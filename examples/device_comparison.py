@@ -1,0 +1,62 @@
+"""What-if device study: the same workload across simulated GPUs.
+
+The adaptive runtime's thresholds derive from the device (T1 = warp
+size, T2 = threads/block x #SMs), so the same graph gets *different
+decision spaces* on different GPUs.  This example runs one SSSP workload
+on three Fermi-class device models and shows how the thresholds, the
+decision mix and the simulated time shift.
+
+Run with::
+
+    python examples/device_comparison.py
+"""
+
+import numpy as np
+
+from repro import RuntimeConfig, adaptive_sssp
+from repro.core.tuning import derive_t2
+from repro.cpu import cpu_dijkstra
+from repro.graph.datasets import make_dataset
+from repro.graph.properties import largest_out_component_node
+from repro.gpusim.device import device_registry
+from repro.utils.tables import Table, format_seconds
+
+
+def main() -> None:
+    graph = make_dataset("amazon", scale=0.05, weighted=True, seed=3)
+    source = largest_out_component_node(graph, seed=0)
+    cpu = cpu_dijkstra(graph, source)
+    print(
+        f"workload: SSSP on the Amazon analogue "
+        f"({graph.num_nodes} nodes, {graph.num_edges} edges)"
+    )
+    print(f"serial CPU Dijkstra: {format_seconds(cpu.seconds)}\n")
+
+    table = Table(
+        ["device", "SMs", "T2", "time", "speedup", "switches", "variants used"],
+        title="adaptive SSSP across devices",
+    )
+    for name, device in device_registry().items():
+        result = adaptive_sssp(graph, source, device=device)
+        assert np.allclose(result.values, cpu.distances)
+        table.add_row(
+            [
+                device.name,
+                device.num_sms,
+                derive_t2(device),
+                format_seconds(result.total_seconds),
+                f"{cpu.seconds / result.total_seconds:.2f}x",
+                result.num_switches,
+                "+".join(sorted(result.variants_used())),
+            ]
+        )
+    print(table.render())
+    print(
+        "\nbigger devices raise T2 (more SMs need larger working sets to\n"
+        "fill) and finish faster; the small Quadro flips more decisions\n"
+        "toward thread mapping because its SMs saturate earlier."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: build a graph, run adaptive BFS and SSSP, inspect results.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Graph
+from repro.utils.tables import Table, format_seconds
+
+
+def main() -> None:
+    # A small directed graph: node 0 fans out to a diamond that rejoins.
+    #
+    #        1 --- 3
+    #      /   \\ /  \\
+    #     0     X     5
+    #      \\   / \\  /
+    #        2 --- 4
+    edges = [(0, 1), (0, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 5), (4, 5)]
+    g = Graph.from_edges(edges, num_nodes=6, name="diamond")
+
+    print(f"graph: {g.num_nodes} nodes, {g.num_edges} edges")
+    print(f"simulated device: {g.device.name}")
+    print()
+
+    # --- BFS under the adaptive runtime --------------------------------
+    bfs = g.bfs(source=0)
+    print("BFS levels from node 0:", bfs.values.tolist())
+    print(f"  iterations: {bfs.num_iterations}")
+    print(f"  simulated time: {format_seconds(bfs.total_seconds)}")
+    print(f"  variants chosen: {bfs.variants_used()}")
+    print()
+
+    # --- SSSP needs weights --------------------------------------------
+    weighted = g.with_random_weights(low=1, high=9, seed=7)
+    sssp = weighted.sssp(source=0)
+    print("SSSP distances from node 0:", sssp.values.tolist())
+    print(f"  simulated time: {format_seconds(sssp.total_seconds)}")
+    print()
+
+    # --- compare against the static variants ---------------------------
+    table = Table(["variant", "time", "iterations"], title="static SSSP variants")
+    for code in ("U_T_BM", "U_T_QU", "U_B_BM", "U_B_QU"):
+        r = weighted.sssp(source=0, mode=code)
+        table.add_row([code, format_seconds(r.total_seconds), r.num_iterations])
+    table.add_row(["adaptive", format_seconds(sssp.total_seconds), sssp.num_iterations])
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,489 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro datasets                 # the six Table-1 analogues
+    python -m repro devices                  # simulated device presets
+    python -m repro characterize amazon --scale 0.05
+    python -m repro bfs  --dataset google --scale 0.05 --mode adaptive
+    python -m repro sssp --dataset amazon --scale 0.05 --mode U_T_BM
+    python -m repro compare --dataset citeseer --algorithm sssp
+    python -m repro sweep-t3 --dataset google --scale 0.25
+
+``--file`` loads a real DIMACS / SNAP / MatrixMarket graph instead of a
+synthetic analogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro._version import __version__
+from repro.core import RuntimeConfig, adaptive_bfs, adaptive_sssp, run_static
+from repro.core.tuning import sweep_t3, tune_t3
+from repro.cpu import cpu_bfs, cpu_dijkstra
+from repro.graph.datasets import DATASETS, dataset_keys, make_dataset
+from repro.graph.generators import attach_uniform_weights
+from repro.graph.io import load_graph
+from repro.graph.properties import (
+    characterize,
+    largest_out_component_node,
+    out_degree_histogram,
+)
+from repro.gpusim.device import device_registry
+from repro.kernels import run_bfs, run_sssp, unordered_variants
+from repro.kernels.variants import extended_variants
+from repro.utils.tables import Table, format_seconds, format_si
+
+__all__ = ["main", "build_parser"]
+
+
+# ----------------------------------------------------------------------
+# Argument plumbing
+# ----------------------------------------------------------------------
+
+def _add_workload_args(parser: argparse.ArgumentParser, *, weighted_default=False):
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--dataset", choices=dataset_keys(), help="synthetic analogue")
+    group.add_argument("--file", help="DIMACS .gr / SNAP edge list / .mtx file")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="dataset scale (fraction of paper size)")
+    parser.add_argument("--seed", type=int, default=1, help="generator seed")
+    parser.add_argument("--source", type=int, default=None,
+                        help="source node (default: a well-connected node)")
+    parser.add_argument("--device", choices=sorted(device_registry()),
+                        default="c2070", help="simulated GPU")
+
+
+def _resolve_workload(args, *, weighted: bool):
+    if args.dataset:
+        graph = make_dataset(
+            args.dataset, scale=args.scale, weighted=weighted, seed=args.seed
+        )
+    else:
+        graph = load_graph(args.file)
+        if weighted and not graph.has_weights:
+            graph = attach_uniform_weights(graph, seed=args.seed)
+    source = (
+        args.source
+        if args.source is not None
+        else largest_out_component_node(graph, seed=0)
+    )
+    device = device_registry()[args.device]
+    return graph, source, device
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def cmd_datasets(args) -> int:
+    table = Table(
+        ["key", "domain", "paper nodes", "paper edges", "avg deg", "description"],
+        title="dataset analogues (paper Table 1)",
+    )
+    for key in dataset_keys():
+        spec = DATASETS[key]
+        table.add_row(
+            [
+                key,
+                spec.domain,
+                format_si(spec.paper_nodes),
+                format_si(spec.paper_edges),
+                spec.paper_avg_outdegree,
+                spec.description,
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_devices(args) -> int:
+    table = Table(
+        ["key", "name", "SMs", "cores", "clock GHz", "mem GB/s"],
+        title="simulated device presets",
+    )
+    for key, dev in device_registry().items():
+        table.add_row(
+            [key, dev.name, dev.num_sms, dev.total_cores, dev.clock_ghz,
+             dev.mem_bandwidth_gbs]
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    graph, _, _ = _resolve_workload(args, weighted=False)
+    c = characterize(graph, estimate_diameter=args.diameter, seed=0)
+    table = Table(["attribute", "value"], title=f"characterization: {graph.name}")
+    table.add_row(["nodes", c.num_nodes])
+    table.add_row(["edges", c.num_edges])
+    table.add_row(["min outdegree", c.min_out_degree])
+    table.add_row(["max outdegree", c.max_out_degree])
+    table.add_row(["avg outdegree", round(c.avg_out_degree, 2)])
+    table.add_row(["outdegree std", round(c.out_degree_std, 2)])
+    if c.pseudo_diameter is not None:
+        table.add_row(["pseudo-diameter", c.pseudo_diameter])
+    print(table.render())
+
+    hist = out_degree_histogram(graph, n_bins=12)
+    dist = Table(["outdegree", "nodes", "%"], title="outdegree distribution")
+    for label, count, frac in zip(hist.bin_labels(), hist.counts, hist.fractions):
+        dist.add_row([label, count, f"{100 * frac:.1f}%"])
+    print()
+    print(dist.render())
+    return 0
+
+
+def _run_traversal(args, algorithm: str) -> int:
+    weighted = algorithm == "sssp"
+    graph, source, device = _resolve_workload(args, weighted=weighted)
+    config = RuntimeConfig(
+        t3_fraction=args.t3,
+        sampling_interval=args.sampling_interval,
+        use_warp_mapping=args.warp_mapping,
+    )
+    if args.mode == "adaptive":
+        runner = adaptive_sssp if weighted else adaptive_bfs
+        result = runner(graph, source, config=config, device=device)
+        traversal = result.traversal
+        extra = (
+            f"decisions: {result.trace.variants_chosen()}  "
+            f"switches: {result.num_switches}"
+        )
+    else:
+        traversal = run_static(graph, source, algorithm, args.mode, device=device)
+        extra = ""
+
+    if args.trace:
+        from repro.gpusim.traceexport import export_chrome_trace
+
+        export_chrome_trace(traversal.timeline, args.trace)
+        print(f"[chrome trace written to {args.trace}]")
+
+    values = traversal.values
+    reached = traversal.reached
+    cpu = (
+        cpu_dijkstra(graph, source) if weighted else cpu_bfs(graph, source)
+    )
+    oracle = cpu.distances if weighted else cpu.levels
+    ok = (
+        np.allclose(values, oracle)
+        if weighted
+        else np.array_equal(values, oracle)
+    )
+
+    table = Table(["metric", "value"], title=f"{algorithm.upper()} on {graph.name}")
+    table.add_row(["source", source])
+    table.add_row(["reached nodes", f"{reached} / {graph.num_nodes}"])
+    table.add_row(["iterations", traversal.num_iterations])
+    table.add_row(["simulated GPU time", format_seconds(traversal.total_seconds)])
+    table.add_row(["serial CPU baseline", format_seconds(cpu.seconds)])
+    table.add_row(["speedup", f"{cpu.seconds / traversal.total_seconds:.2f}x"])
+    table.add_row(["verified vs CPU oracle", "yes" if ok else "MISMATCH"])
+    print(table.render())
+    if extra:
+        print(extra)
+    return 0 if ok else 1
+
+
+def cmd_bfs(args) -> int:
+    return _run_traversal(args, "bfs")
+
+
+def cmd_sssp(args) -> int:
+    return _run_traversal(args, "sssp")
+
+
+def cmd_cc(args) -> int:
+    from repro.core import adaptive_cc
+    from repro.cpu import cpu_connected_components
+    from repro.kernels import run_cc
+
+    graph, _, device = _resolve_workload(args, weighted=False)
+    if args.mode == "adaptive":
+        result = adaptive_cc(graph, device=device)
+        traversal = result.traversal
+        extra = f"decisions: {result.trace.variants_chosen()}"
+    else:
+        traversal = run_cc(graph, args.mode, device=device)
+        extra = ""
+    cpu = cpu_connected_components(graph)
+    ok = np.array_equal(traversal.values, cpu.labels)
+
+    table = Table(["metric", "value"], title=f"connected components on {graph.name}")
+    table.add_row(["components", cpu.num_components])
+    table.add_row(["iterations", traversal.num_iterations])
+    table.add_row(["simulated GPU time", format_seconds(traversal.total_seconds)])
+    table.add_row(["serial CPU union-find", format_seconds(cpu.seconds)])
+    table.add_row(["speedup", f"{cpu.seconds / traversal.total_seconds:.2f}x"])
+    table.add_row(["verified vs union-find", "yes" if ok else "MISMATCH"])
+    print(table.render())
+    if extra:
+        print(extra)
+    return 0 if ok else 1
+
+
+def cmd_kcore(args) -> int:
+    from repro.core import adaptive_kcore
+    from repro.cpu import cpu_kcore
+    from repro.kernels import run_kcore
+
+    graph, _, device = _resolve_workload(args, weighted=False)
+    if args.mode == "adaptive":
+        result = adaptive_kcore(graph, device=device)
+        traversal = result.traversal
+        extra = f"decisions: {result.trace.variants_chosen()}"
+    else:
+        traversal = run_kcore(graph, args.mode, device=device)
+        extra = ""
+    cpu = cpu_kcore(graph)
+    ok = bool(np.array_equal(traversal.values, cpu.coreness))
+
+    table = Table(["metric", "value"], title=f"k-core decomposition on {graph.name}")
+    table.add_row(["max core", cpu.max_core])
+    table.add_row(["peel iterations", traversal.num_iterations])
+    table.add_row(["simulated GPU time", format_seconds(traversal.total_seconds)])
+    table.add_row(["serial CPU peeling", format_seconds(cpu.seconds)])
+    table.add_row(["verified vs CPU", "yes" if ok else "MISMATCH"])
+    print(table.render())
+    if extra:
+        print(extra)
+    return 0 if ok else 1
+
+
+def cmd_pagerank(args) -> int:
+    from repro.core import adaptive_pagerank
+    from repro.cpu import cpu_pagerank
+    from repro.kernels import run_pagerank
+
+    graph, _, device = _resolve_workload(args, weighted=False)
+    if args.mode == "adaptive":
+        result = adaptive_pagerank(
+            graph, tolerance=args.tolerance, device=device
+        )
+        traversal = result.traversal
+        extra = f"decisions: {result.trace.variants_chosen()}"
+    else:
+        traversal = run_pagerank(
+            graph, args.mode, tolerance=args.tolerance, device=device
+        )
+        extra = ""
+    cpu = cpu_pagerank(graph, tolerance=args.tolerance, method="fast")
+    ok = bool(np.abs(traversal.values - cpu.ranks).max() < 1e-9)
+    top = np.argsort(traversal.values)[::-1][:5]
+
+    table = Table(["metric", "value"], title=f"PageRank on {graph.name}")
+    table.add_row(["iterations", traversal.num_iterations])
+    table.add_row(["simulated GPU time", format_seconds(traversal.total_seconds)])
+    table.add_row(["serial CPU push", format_seconds(cpu.seconds)])
+    table.add_row(["speedup", f"{cpu.seconds / traversal.total_seconds:.2f}x"])
+    table.add_row(["verified vs CPU push", "yes" if ok else "MISMATCH"])
+    table.add_row(["top nodes", " ".join(str(int(i)) for i in top)])
+    print(table.render())
+    if extra:
+        print(extra)
+    return 0 if ok else 1
+
+
+def cmd_hybrid(args) -> int:
+    from repro.core.hybrid import hybrid_bfs, hybrid_sssp
+
+    weighted = args.algorithm == "sssp"
+    graph, source, device = _resolve_workload(args, weighted=weighted)
+    runner = hybrid_sssp if weighted else hybrid_bfs
+    result = runner(graph, source, device=device)
+    cpu = cpu_dijkstra(graph, source) if weighted else cpu_bfs(graph, source)
+    oracle = cpu.distances if weighted else cpu.levels
+    ok = (
+        np.allclose(result.values, oracle)
+        if weighted
+        else np.array_equal(result.values, oracle)
+    )
+
+    table = Table(
+        ["metric", "value"], title=f"hybrid {args.algorithm.upper()} on {graph.name}"
+    )
+    table.add_row(["iterations", len(result.devices)])
+    table.add_row(["CPU iterations", result.cpu_iterations])
+    table.add_row(["GPU iterations", result.gpu_iterations])
+    table.add_row(["device transitions", result.transitions])
+    table.add_row(["simulated time", format_seconds(result.total_seconds)])
+    table.add_row(["pure serial CPU", format_seconds(cpu.seconds)])
+    table.add_row(["verified vs CPU oracle", "yes" if ok else "MISMATCH"])
+    print(table.render())
+    return 0 if ok else 1
+
+
+def cmd_compare(args) -> int:
+    weighted = args.algorithm == "sssp"
+    graph, source, device = _resolve_workload(args, weighted=weighted)
+    cpu = cpu_dijkstra(graph, source) if weighted else cpu_bfs(graph, source)
+    runner = run_sssp if weighted else run_bfs
+    variants = extended_variants() if args.extended else unordered_variants()
+
+    table = Table(
+        ["implementation", "time", "speedup", "iterations"],
+        title=f"{args.algorithm.upper()} variant comparison on {graph.name}",
+    )
+    for variant in variants:
+        result = runner(graph, source, variant, device=device)
+        table.add_row(
+            [
+                variant.code,
+                format_seconds(result.total_seconds),
+                f"{cpu.seconds / result.total_seconds:.2f}x",
+                result.num_iterations,
+            ]
+        )
+    adaptive_runner = adaptive_sssp if weighted else adaptive_bfs
+    config = RuntimeConfig(use_warp_mapping=args.extended)
+    ad = adaptive_runner(graph, source, config=config, device=device)
+    table.add_row(
+        [
+            "adaptive" + ("+W" if args.extended else ""),
+            format_seconds(ad.total_seconds),
+            f"{cpu.seconds / ad.total_seconds:.2f}x",
+            ad.num_iterations,
+        ]
+    )
+    print(table.render())
+    return 0
+
+
+def cmd_oracle(args) -> int:
+    from repro.core import adaptive_bfs as _abfs, adaptive_sssp as _asssp
+    from repro.core.oracle import decision_quality, per_iteration_oracle
+
+    weighted = args.algorithm == "sssp"
+    graph, source, device = _resolve_workload(args, weighted=weighted)
+    report = per_iteration_oracle(graph, source, args.algorithm, device=device)
+    runner = _asssp if weighted else _abfs
+    ad = runner(graph, source, device=device)
+    quality = decision_quality(ad, report)
+    best_code, best_secs = report.best_static()
+
+    table = Table(
+        ["metric", "value"],
+        title=f"decision quality on {graph.name} ({args.algorithm.upper()})",
+    )
+    table.add_row(["oracle time", format_seconds(report.oracle_seconds)])
+    table.add_row(["best static", f"{best_code} ({format_seconds(best_secs)})"])
+    table.add_row(["adaptive (re-priced)", format_seconds(quality.realized_seconds)])
+    table.add_row(["agreement with oracle", f"{quality.agreement:.0%}"])
+    table.add_row(["regret vs oracle", f"{quality.regret:.1%}"])
+    print(table.render())
+    return 0
+
+
+def cmd_sweep_t3(args) -> int:
+    graph, source, device = _resolve_workload(args, weighted=True)
+    fractions = [f / 100 for f in range(1, 14)]
+    points = sweep_t3(graph, source, "sssp", fractions=fractions, device=device)
+    table = Table(["T3 (% of nodes)", "time", "switches"],
+                  title=f"T3 sweep on {graph.name}")
+    for p in points:
+        table.add_row(
+            [f"{p.t3_fraction:.0%}", format_seconds(p.seconds), p.num_switches]
+        )
+    print(table.render())
+    print(f"best T3: {tune_t3(points):.0%}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive GPU graph-algorithm runtime (Li & Becchi 2013) "
+        "on a simulated SIMT GPU",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table-1 dataset analogues").set_defaults(
+        func=cmd_datasets
+    )
+    sub.add_parser("devices", help="list simulated device presets").set_defaults(
+        func=cmd_devices
+    )
+
+    p = sub.add_parser("characterize", help="Table-1-style graph characterization")
+    _add_workload_args(p)
+    p.add_argument("--diameter", action="store_true", help="estimate pseudo-diameter")
+    p.set_defaults(func=cmd_characterize)
+
+    for algo, fn in (("bfs", cmd_bfs), ("sssp", cmd_sssp)):
+        p = sub.add_parser(algo, help=f"run {algo.upper()} on the simulated GPU")
+        _add_workload_args(p)
+        p.add_argument("--mode", default="adaptive",
+                       help="'adaptive' or a variant code like U_B_QU")
+        p.add_argument("--t3", type=float, default=0.03, help="T3 fraction of |V|")
+        p.add_argument("--sampling-interval", type=int, default=1)
+        p.add_argument("--warp-mapping", action="store_true",
+                       help="enable the virtual-warp extension")
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a chrome://tracing JSON of the traversal")
+        p.set_defaults(func=fn)
+
+    p = sub.add_parser("cc", help="connected components (extension algorithm)")
+    _add_workload_args(p)
+    p.add_argument("--mode", default="adaptive",
+                   help="'adaptive' or an unordered variant code like U_B_QU")
+    p.set_defaults(func=cmd_cc)
+
+    p = sub.add_parser("kcore", help="k-core decomposition (extension algorithm)")
+    _add_workload_args(p)
+    p.add_argument("--mode", default="adaptive",
+                   help="'adaptive' or an unordered variant code like U_B_QU")
+    p.set_defaults(func=cmd_kcore)
+
+    p = sub.add_parser("pagerank", help="push-based PageRank (extension algorithm)")
+    _add_workload_args(p)
+    p.add_argument("--mode", default="adaptive",
+                   help="'adaptive' or an unordered variant code like U_B_QU")
+    p.add_argument("--tolerance", type=float, default=1e-6)
+    p.set_defaults(func=cmd_pagerank)
+
+    p = sub.add_parser("hybrid", help="hybrid CPU-GPU execution (extension)")
+    _add_workload_args(p)
+    p.add_argument("--algorithm", choices=("bfs", "sssp"), default="sssp")
+    p.set_defaults(func=cmd_hybrid)
+
+    p = sub.add_parser("compare", help="run every variant plus the adaptive runtime")
+    _add_workload_args(p)
+    p.add_argument("--algorithm", choices=("bfs", "sssp"), default="sssp")
+    p.add_argument("--extended", action="store_true",
+                   help="include the virtual-warp variants")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep-t3", help="Figure-13-style T3 sensitivity sweep")
+    _add_workload_args(p)
+    p.set_defaults(func=cmd_sweep_t3)
+
+    p = sub.add_parser(
+        "oracle", help="score the adaptive decisions vs a per-iteration oracle"
+    )
+    _add_workload_args(p)
+    p.add_argument("--algorithm", choices=("bfs", "sssp"), default="sssp")
+    p.set_defaults(func=cmd_oracle)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

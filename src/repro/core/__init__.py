@@ -1,0 +1,79 @@
+"""The paper's contribution: the adaptive runtime (Section VI).
+
+Architecture (Figure 10): a graph API on top, a runtime layer made of a
+*graph inspector* and a *decision maker* in the middle, and the BFS/SSSP
+variant libraries below.
+
+- :mod:`repro.core.api` — the user-facing :class:`Graph` type;
+- :mod:`repro.core.inspector` — static + monitored runtime attributes;
+- :mod:`repro.core.decision` — the Figure-11 decision space (T1/T2/T3);
+- :mod:`repro.core.policies` — the adaptive policy driving the frame;
+- :mod:`repro.core.runtime` — ``adaptive_bfs`` / ``adaptive_sssp``;
+- :mod:`repro.core.tuning` — threshold derivation and the T2/T3 sweeps;
+- :mod:`repro.core.config` / :mod:`repro.core.telemetry` — knobs, traces.
+"""
+
+from repro.core.api import Graph
+from repro.core.config import RuntimeConfig
+from repro.core.decision import DecisionMaker, Thresholds
+from repro.core.hybrid import HybridConfig, HybridResult, hybrid_bfs, hybrid_sssp
+from repro.core.inspector import GraphInspector, StaticAttributes
+from repro.core.oracle import (
+    DecisionQuality,
+    IterationCosts,
+    OracleReport,
+    decision_quality,
+    per_iteration_oracle,
+)
+from repro.core.policies import AdaptivePolicy, FixedPolicy
+from repro.core.runtime import (
+    AdaptiveResult,
+    adaptive_bfs,
+    adaptive_cc,
+    adaptive_kcore,
+    adaptive_pagerank,
+    adaptive_sssp,
+    run_static,
+)
+from repro.core.telemetry import Decision, DecisionTrace
+from repro.core.tuning import (
+    derive_t1,
+    derive_t2,
+    measure_t2_crossover,
+    sweep_t3,
+    tune_t3,
+)
+
+__all__ = [
+    "Graph",
+    "RuntimeConfig",
+    "DecisionMaker",
+    "Thresholds",
+    "GraphInspector",
+    "StaticAttributes",
+    "AdaptivePolicy",
+    "FixedPolicy",
+    "AdaptiveResult",
+    "adaptive_bfs",
+    "adaptive_sssp",
+    "adaptive_cc",
+    "adaptive_pagerank",
+    "adaptive_kcore",
+    "run_static",
+    "hybrid_bfs",
+    "hybrid_sssp",
+    "HybridConfig",
+    "HybridResult",
+    "per_iteration_oracle",
+    "decision_quality",
+    "OracleReport",
+    "IterationCosts",
+    "DecisionQuality",
+    "Decision",
+    "DecisionTrace",
+    "derive_t1",
+    "derive_t2",
+    "measure_t2_crossover",
+    "sweep_t3",
+    "tune_t3",
+]

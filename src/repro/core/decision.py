@@ -1,0 +1,99 @@
+"""The decision maker (Sections VI.B-VI.D and Figure 11).
+
+The decision space is two-dimensional — working-set size on the x-axis,
+average outdegree on the y-axis — split into regions by three thresholds:
+
+- left of **T2** (tiny working sets): always ``B_QU``; thread mapping
+  cannot fill the SMs, and a bitmap would launch mostly-idle threads;
+- between **T2** and **T3**: queue representation; mapping chosen by
+  **T1** (thread if the average outdegree is below the warp size — else
+  block, which needs >= a warp of neighbors per element to pay off);
+- right of **T3** (large working sets): bitmap representation (queue
+  generation atomics now cost more than the bitmap's wasted threads);
+  mapping again chosen by T1.
+
+Only unordered variants are selected: "our adaptive framework uses only
+unordered versions of SSSP and BFS" (Section VI.A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RuntimeConfigError
+from repro.kernels.variants import Mapping, Ordering, Variant, WorksetRepr
+
+__all__ = ["Thresholds", "DecisionMaker"]
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Resolved absolute thresholds for one (graph, device) pair.
+
+    ``t1_low`` only matters in the extended (virtual-warp) decision
+    space: average outdegrees in ``[t1_low, t1)`` map to warp mapping.
+    """
+
+    t1: float
+    t2: int
+    t3: int
+    t1_low: float = 4.0
+
+    def __post_init__(self):
+        if self.t1 <= 0:
+            raise RuntimeConfigError(f"T1 must be > 0, got {self.t1}")
+        if self.t2 < 0 or self.t3 < 0:
+            raise RuntimeConfigError("T2 and T3 must be >= 0")
+        if not 0 < self.t1_low <= self.t1:
+            raise RuntimeConfigError(
+                f"t1_low must be in (0, T1]; got {self.t1_low} with T1={self.t1}"
+            )
+
+
+class DecisionMaker:
+    """Maps (working-set size, average outdegree) to a variant.
+
+    With ``use_warp_mapping`` (an extension beyond the paper's space)
+    the mid/high-degree band splits in two: degrees in ``[t1_low, t1)``
+    select the virtual-warp mapping, which parallelizes each element's
+    neighborhood without dedicating a whole block to it.
+    """
+
+    def __init__(self, thresholds: Thresholds, *, use_warp_mapping: bool = False):
+        self.thresholds = thresholds
+        self.use_warp_mapping = bool(use_warp_mapping)
+
+    def _mapping_for_degree(self, avg_out_degree: float) -> Mapping:
+        t = self.thresholds
+        if avg_out_degree >= t.t1:
+            return Mapping.BLOCK
+        if self.use_warp_mapping and avg_out_degree >= t.t1_low:
+            return Mapping.WARP
+        return Mapping.THREAD
+
+    def decide(self, workset_size: int, avg_out_degree: float) -> Variant:
+        """The Figure-11 region lookup."""
+        t = self.thresholds
+        if workset_size < t.t2:
+            mapping = Mapping.BLOCK
+            workset = WorksetRepr.QUEUE
+        else:
+            mapping = self._mapping_for_degree(avg_out_degree)
+            workset = (
+                WorksetRepr.QUEUE if workset_size < t.t3 else WorksetRepr.BITMAP
+            )
+        return Variant(Ordering.UNORDERED, mapping, workset)
+
+    def region(self, workset_size: int, avg_out_degree: float) -> str:
+        """Human-readable region label (telemetry / debugging)."""
+        t = self.thresholds
+        if workset_size < t.t2:
+            return "small-ws"
+        size_part = "mid-ws" if workset_size < t.t3 else "large-ws"
+        mapping = self._mapping_for_degree(avg_out_degree)
+        degree_part = {
+            Mapping.THREAD: "low-degree",
+            Mapping.WARP: "mid-degree",
+            Mapping.BLOCK: "high-degree",
+        }[mapping]
+        return f"{size_part}/{degree_part}"

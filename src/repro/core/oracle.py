@@ -1,0 +1,235 @@
+"""Per-iteration oracle: how good are the adaptive runtime's decisions?
+
+Because every variant computes the same functional result, a single
+traversal can price *all* candidate variants on each iteration's actual
+frontier and take the per-iteration minimum — a lower bound no realizable
+runtime can beat (it requires knowing each iteration's cost in advance).
+Comparing the adaptive runtime against this oracle quantifies decision
+quality: the *agreement rate* (how often the decision maker picks the
+oracle's variant) and the *regret* (time lost to wrong picks).
+
+This is analysis tooling beyond the paper, built to evaluate its
+contribution the way a follow-up study would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.runtime import AdaptiveResult
+from repro.errors import KernelError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.kernel import CostModel, CostParams
+from repro.gpusim.transfer import transfer_seconds
+from repro.kernels import costs as kcosts
+from repro.kernels.computation import INF, UNSET_LEVEL, bfs_relax, sssp_relax
+from repro.kernels.frame import TraversalResult
+from repro.kernels.mapping import ComputationShape, computation_tally
+from repro.kernels.variants import Variant, unordered_variants
+from repro.kernels.workset import workset_gen_tallies
+
+__all__ = [
+    "IterationCosts",
+    "OracleReport",
+    "DecisionQuality",
+    "per_iteration_oracle",
+    "decision_quality",
+]
+
+
+@dataclass(frozen=True)
+class IterationCosts:
+    """All candidate variants priced on one iteration's actual frontier."""
+
+    iteration: int
+    workset_size: int
+    seconds_by_variant: Dict[str, float]
+
+    @property
+    def best_variant(self) -> str:
+        return min(self.seconds_by_variant, key=self.seconds_by_variant.get)
+
+    @property
+    def best_seconds(self) -> float:
+        return self.seconds_by_variant[self.best_variant]
+
+    @property
+    def worst_seconds(self) -> float:
+        return max(self.seconds_by_variant.values())
+
+
+@dataclass
+class OracleReport:
+    """The full per-iteration cost matrix of one traversal."""
+
+    algorithm: str
+    iterations: List[IterationCosts] = field(default_factory=list)
+    fixed_seconds: float = 0.0  # transfers + per-iteration readbacks
+
+    @property
+    def oracle_seconds(self) -> float:
+        """Total time with perfect per-iteration variant selection."""
+        return self.fixed_seconds + sum(it.best_seconds for it in self.iterations)
+
+    def seconds_for(self, chooser) -> float:
+        """Total time under an arbitrary per-iteration chooser
+        ``chooser(iteration_costs) -> variant_code``."""
+        total = self.fixed_seconds
+        for it in self.iterations:
+            total += it.seconds_by_variant[chooser(it)]
+        return total
+
+    def static_seconds(self, code: str) -> float:
+        """Total time if *code* were used for every iteration."""
+        return self.seconds_for(lambda it: code)
+
+    def best_static(self) -> Tuple[str, float]:
+        """The best single-variant schedule computable in hindsight."""
+        codes = self.iterations[0].seconds_by_variant if self.iterations else {}
+        if not codes:
+            raise KernelError("empty oracle report")
+        totals = {code: self.static_seconds(code) for code in codes}
+        best = min(totals, key=totals.get)
+        return best, totals[best]
+
+
+def per_iteration_oracle(
+    graph: CSRGraph,
+    source: int,
+    algorithm: str = "bfs",
+    *,
+    variants: Optional[Sequence[Union[Variant, str]]] = None,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+) -> OracleReport:
+    """Price every candidate variant on every iteration of one traversal.
+
+    The functional state advances once per iteration (the result does not
+    depend on the variant); each candidate's computation + generation
+    kernels are tallied against the same frontier.
+    """
+    graph._check_node(source)
+    weighted = algorithm == "sssp"
+    if weighted and graph.weights is None:
+        raise KernelError("SSSP requires a weighted graph")
+    candidates = [
+        Variant.parse(v) if isinstance(v, str) else v
+        for v in (variants if variants is not None else unordered_variants())
+    ]
+
+    model = CostModel(device, cost_params)
+    n = graph.num_nodes
+    if weighted:
+        state = np.full(n, INF, dtype=np.float64)
+        state[source] = 0.0
+    else:
+        state = np.full(n, UNSET_LEVEL, dtype=np.int64)
+        state[source] = 0
+
+    report = OracleReport(algorithm=algorithm)
+    # Fixed costs mirror the frame: initial H2D, final D2H.
+    state_bytes = 4 * n + n + 4 * n + n // 8
+    report.fixed_seconds += transfer_seconds(
+        graph.device_bytes() + state_bytes, device
+    )
+    report.fixed_seconds += transfer_seconds(4 * n, device)
+
+    frontier = np.array([source], dtype=np.int64)
+    iteration = 0
+    cap = max_iterations if max_iterations is not None else 16 * n + 64
+    while frontier.size:
+        if iteration >= cap:
+            raise KernelError(f"oracle traversal exceeded {cap} iterations")
+        degrees = graph.out_degrees[frontier]
+        if weighted:
+            updated, _, improved, edges = sssp_relax(graph, frontier, state)
+        else:
+            updated, _, improved, edges = bfs_relax(graph, frontier, state)
+
+        shape = ComputationShape(
+            name=f"{algorithm}_comp",
+            num_nodes=n,
+            active_ids=frontier,
+            degrees=degrees,
+            edge_cost=kcosts.C_EDGE_WEIGHTED if weighted else kcosts.C_EDGE,
+            improved=improved,
+            updated_count=int(updated.size),
+            weight_streams=1 if weighted else 0,
+        )
+        per_variant: Dict[str, float] = {}
+        for variant in candidates:
+            tpb = variant.threads_per_block(graph.avg_out_degree, device)
+            seconds = model.price(
+                computation_tally(shape, variant.mapping, variant.workset, tpb, device)
+            ).seconds
+            for tally in workset_gen_tallies(
+                n, int(updated.size), variant.workset, device
+            ):
+                seconds += model.price(tally).seconds
+            per_variant[variant.code] = seconds
+
+        report.iterations.append(
+            IterationCosts(
+                iteration=iteration,
+                workset_size=int(frontier.size),
+                seconds_by_variant=per_variant,
+            )
+        )
+        report.fixed_seconds += transfer_seconds(4, device)  # readback
+        frontier = updated
+        iteration += 1
+    return report
+
+
+@dataclass(frozen=True)
+class DecisionQuality:
+    """Agreement and regret of a realized schedule vs the oracle."""
+
+    agreement: float
+    realized_seconds: float
+    oracle_seconds: float
+
+    @property
+    def regret(self) -> float:
+        """Fractional time lost to non-oracle decisions (>= 0)."""
+        if self.oracle_seconds <= 0:
+            return 0.0
+        return max(0.0, self.realized_seconds / self.oracle_seconds - 1.0)
+
+
+def decision_quality(
+    result: Union[AdaptiveResult, TraversalResult], report: OracleReport
+) -> DecisionQuality:
+    """Score a traversal's per-iteration variant choices against the oracle.
+
+    The realized schedule is re-priced *inside the oracle's cost matrix*
+    so agreement and regret compare decisions, not incidental cost-model
+    noise.
+    """
+    traversal = result.traversal if isinstance(result, AdaptiveResult) else result
+    if len(traversal.iterations) != len(report.iterations):
+        raise KernelError(
+            f"iteration count mismatch: traversal has "
+            f"{len(traversal.iterations)}, oracle has {len(report.iterations)}"
+        )
+    agree = 0
+    realized = report.fixed_seconds
+    for rec, it in zip(traversal.iterations, report.iterations):
+        if rec.variant not in it.seconds_by_variant:
+            raise KernelError(
+                f"variant {rec.variant} not in the oracle's candidate set"
+            )
+        realized += it.seconds_by_variant[rec.variant]
+        if rec.variant == it.best_variant:
+            agree += 1
+    total = max(1, len(report.iterations))
+    return DecisionQuality(
+        agreement=agree / total,
+        realized_seconds=realized,
+        oracle_seconds=report.oracle_seconds,
+    )

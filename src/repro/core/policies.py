@@ -1,0 +1,143 @@
+"""Variant-selection policies for the traversal frame.
+
+:class:`AdaptivePolicy` is the paper's runtime: a graph inspector feeding
+a decision maker, with sampling to bound monitoring overhead and a
+decision trace for telemetry.  :class:`FixedPolicy` re-exports the static
+behaviour under the policy interface (used by the benches' baselines).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import RuntimeConfig
+from repro.core.decision import DecisionMaker, Thresholds
+from repro.core.inspector import GraphInspector
+from repro.core.telemetry import Decision, DecisionTrace
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import KernelTally
+from repro.gpusim.reduction import reduction_tallies
+from repro.kernels.frame import IterationRecord, StaticPolicy, VariantPolicy
+from repro.kernels.variants import Variant
+from repro.kernels.workset import workset_gen_tallies
+
+__all__ = ["AdaptivePolicy", "FixedPolicy"]
+
+
+class FixedPolicy(StaticPolicy):
+    """Alias of :class:`~repro.kernels.frame.StaticPolicy` under the
+    adaptive-runtime vocabulary."""
+
+
+class AdaptivePolicy(VariantPolicy):
+    """The adaptive runtime's policy: inspector + decision maker.
+
+    The decision is (re-)evaluated on iteration 0 and then every
+    ``sampling_interval`` iterations; between samples the current variant
+    is kept (Section VI.E's sampling trade-off).  In precise-monitoring
+    mode the working set's own average outdegree replaces the whole-graph
+    average, at the cost of one reduction kernel per sample.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: Optional[RuntimeConfig] = None,
+        *,
+        device: DeviceSpec,
+    ):
+        self.config = config or RuntimeConfig()
+        self.device = device
+        self.inspector = GraphInspector(
+            graph,
+            sampling_interval=self.config.sampling_interval,
+            monitor_workset_degree=self.config.monitor_workset_degree,
+        )
+        self.thresholds = Thresholds(
+            t1=self.config.resolve_t1(device),
+            t2=self.config.resolve_t2(device),
+            t3=self.config.resolve_t3(graph.num_nodes),
+            t1_low=min(
+                self.config.resolve_t1_low(device), self.config.resolve_t1(device)
+            ),
+        )
+        self.decision_maker = DecisionMaker(
+            self.thresholds, use_warp_mapping=self.config.use_warp_mapping
+        )
+        self.trace = DecisionTrace()
+        self.name = "adaptive"
+        self._num_nodes = graph.num_nodes
+        self._current: Optional[Variant] = None
+        self._avg_degree: float = self.inspector.static.avg_out_degree
+        self._pending: List[KernelTally] = []
+
+    # ------------------------------------------------------------------
+    # VariantPolicy interface
+    # ------------------------------------------------------------------
+
+    def choose(self, iteration: int, workset_size: int) -> Variant:
+        if self._current is not None and not self.inspector.should_sample(iteration):
+            return self._current
+        self.inspector.observe(iteration, workset_size)
+        variant = self.decision_maker.decide(workset_size, self._avg_degree)
+        switched = self._current is not None and variant != self._current
+        self.trace.record(
+            Decision(
+                iteration=iteration,
+                workset_size=workset_size,
+                avg_out_degree=self._avg_degree,
+                variant=variant.code,
+                region=self.decision_maker.region(workset_size, self._avg_degree),
+                switched=switched,
+            )
+        )
+        if (
+            switched
+            and self.config.switch_mode == "rebuild"
+            and self._current is not None
+            and variant.workset is not self._current.workset
+        ):
+            # Naive runtime ablation: a representation change costs a full
+            # re-materialization pass instead of riding the shared update
+            # vector.
+            self._pending.extend(
+                workset_gen_tallies(
+                    self._num_nodes,
+                    min(workset_size, self._num_nodes),
+                    variant.workset,
+                    self.device,
+                    name="switch_rebuild",
+                )
+            )
+        self._current = variant
+        return variant
+
+    def notify(self, record: IterationRecord) -> None:
+        if not self.config.monitor_workset_degree:
+            return
+        if not self.inspector.should_sample(record.iteration):
+            return
+        # Precise mode: the working set's own average outdegree, measured
+        # by a reduction over the active elements' degrees.
+        if record.processed > 0:
+            self._avg_degree = record.edges_scanned / record.processed
+        self._pending.extend(
+            reduction_tallies(
+                max(1, record.workset_size), self.device, name="inspector_degree"
+            )
+        )
+
+    def overhead_tallies(
+        self, iteration: int, workset_size: int, num_nodes: int, device: DeviceSpec
+    ) -> List[KernelTally]:
+        out, self._pending = self._pending, []
+        return out
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+
+    @property
+    def num_switches(self) -> int:
+        return self.trace.num_switches

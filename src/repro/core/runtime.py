@@ -1,0 +1,219 @@
+"""The adaptive runtime's entry points (Section VI).
+
+``adaptive_bfs`` / ``adaptive_sssp`` run a traversal under the
+inspector + decision-maker policy and return an
+:class:`AdaptiveResult` bundling the traversal outcome with the decision
+trace.  ``run_static`` is the matching one-variant runner so comparisons
+share an identical code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.core.config import RuntimeConfig
+from repro.core.decision import Thresholds
+from repro.core.policies import AdaptivePolicy
+from repro.core.telemetry import DecisionTrace
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.kernel import CostParams
+from repro.kernels.frame import (
+    StaticPolicy,
+    TraversalResult,
+    traverse_bfs,
+    traverse_sssp,
+)
+from repro.kernels.variants import Variant
+
+__all__ = [
+    "AdaptiveResult",
+    "adaptive_bfs",
+    "adaptive_sssp",
+    "adaptive_cc",
+    "adaptive_pagerank",
+    "adaptive_kcore",
+    "run_static",
+]
+
+
+@dataclass
+class AdaptiveResult:
+    """A traversal result plus the adaptive runtime's decision trace."""
+
+    traversal: TraversalResult
+    trace: DecisionTrace
+    thresholds: Thresholds
+
+    # Convenience pass-throughs ----------------------------------------
+
+    @property
+    def values(self):
+        return self.traversal.values
+
+    @property
+    def total_seconds(self) -> float:
+        return self.traversal.total_seconds
+
+    @property
+    def num_iterations(self) -> int:
+        return self.traversal.num_iterations
+
+    @property
+    def num_switches(self) -> int:
+        return self.trace.num_switches
+
+    def variants_used(self) -> Dict[str, int]:
+        return self.traversal.variants_used()
+
+
+def adaptive_bfs(
+    graph: CSRGraph,
+    source: int,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+) -> AdaptiveResult:
+    """BFS under the adaptive runtime."""
+    policy = AdaptivePolicy(graph, config, device=device)
+    result = traverse_bfs(
+        graph,
+        source,
+        policy,
+        device=device,
+        cost_params=cost_params,
+        queue_gen=policy.config.queue_gen,
+    )
+    return AdaptiveResult(
+        traversal=result, trace=policy.trace, thresholds=policy.thresholds
+    )
+
+
+def adaptive_sssp(
+    graph: CSRGraph,
+    source: int,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+) -> AdaptiveResult:
+    """SSSP under the adaptive runtime (unordered variants only,
+    Section VI.A)."""
+    policy = AdaptivePolicy(graph, config, device=device)
+    result = traverse_sssp(
+        graph,
+        source,
+        policy,
+        device=device,
+        cost_params=cost_params,
+        queue_gen=policy.config.queue_gen,
+    )
+    return AdaptiveResult(
+        traversal=result, trace=policy.trace, thresholds=policy.thresholds
+    )
+
+
+def adaptive_cc(
+    graph: CSRGraph,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+) -> AdaptiveResult:
+    """Connected components under the adaptive runtime.
+
+    The extension algorithm (label propagation shares BFS/SSSP's
+    iterative working-set pattern, so the same inspector/decision-maker
+    pair drives it — Section I's generalization claim).
+    """
+    from repro.kernels.cc import traverse_cc
+
+    policy = AdaptivePolicy(graph, config, device=device)
+    result = traverse_cc(
+        graph,
+        policy,
+        device=device,
+        cost_params=cost_params,
+        queue_gen=policy.config.queue_gen,
+    )
+    return AdaptiveResult(
+        traversal=result, trace=policy.trace, thresholds=policy.thresholds
+    )
+
+
+def adaptive_pagerank(
+    graph: CSRGraph,
+    *,
+    damping: float = 0.85,
+    tolerance: float = 1e-6,
+    config: Optional[RuntimeConfig] = None,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+) -> AdaptiveResult:
+    """Push-based PageRank under the adaptive runtime (extension
+    algorithm; see :mod:`repro.kernels.pagerank`)."""
+    from repro.kernels.pagerank import traverse_pagerank
+
+    policy = AdaptivePolicy(graph, config, device=device)
+    result = traverse_pagerank(
+        graph,
+        policy,
+        damping=damping,
+        tolerance=tolerance,
+        device=device,
+        cost_params=cost_params,
+        queue_gen=policy.config.queue_gen,
+    )
+    return AdaptiveResult(
+        traversal=result, trace=policy.trace, thresholds=policy.thresholds
+    )
+
+
+def adaptive_kcore(
+    graph: CSRGraph,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+) -> AdaptiveResult:
+    """k-core decomposition under the adaptive runtime (extension
+    algorithm; see :mod:`repro.kernels.kcore`)."""
+    from repro.kernels.kcore import traverse_kcore
+
+    policy = AdaptivePolicy(graph, config, device=device)
+    result = traverse_kcore(
+        graph,
+        policy,
+        device=device,
+        cost_params=cost_params,
+        queue_gen=policy.config.queue_gen,
+    )
+    return AdaptiveResult(
+        traversal=result, trace=policy.trace, thresholds=policy.thresholds
+    )
+
+
+def run_static(
+    graph: CSRGraph,
+    source: int,
+    algorithm: str,
+    variant: Union[Variant, str],
+    *,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+) -> TraversalResult:
+    """Run one static variant of *algorithm* (``"bfs"`` or ``"sssp"``)."""
+    if isinstance(variant, str):
+        variant = Variant.parse(variant)
+    policy = StaticPolicy(variant)
+    if algorithm == "bfs":
+        return traverse_bfs(
+            graph, source, policy, device=device, cost_params=cost_params
+        )
+    if algorithm == "sssp":
+        return traverse_sssp(
+            graph, source, policy, device=device, cost_params=cost_params
+        )
+    raise ValueError(f"unknown algorithm {algorithm!r} (expected 'bfs' or 'sssp')")

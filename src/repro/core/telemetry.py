@@ -1,0 +1,47 @@
+"""Decision traces: what the adaptive runtime chose, when, and why."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Decision", "DecisionTrace"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One decision-maker invocation."""
+
+    iteration: int
+    workset_size: int
+    avg_out_degree: float
+    variant: str
+    region: str
+    switched: bool
+
+
+@dataclass
+class DecisionTrace:
+    """Ordered record of every decision taken during one traversal."""
+
+    decisions: List[Decision] = field(default_factory=list)
+
+    def record(self, decision: Decision) -> None:
+        self.decisions.append(decision)
+
+    @property
+    def num_switches(self) -> int:
+        return sum(1 for d in self.decisions if d.switched)
+
+    @property
+    def num_decisions(self) -> int:
+        return len(self.decisions)
+
+    def variants_chosen(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for d in self.decisions:
+            out[d.variant] = out.get(d.variant, 0) + 1
+        return out
+
+    def switch_iterations(self) -> List[int]:
+        return [d.iteration for d in self.decisions if d.switched]

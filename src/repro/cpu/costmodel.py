@@ -1,0 +1,81 @@
+"""Calibrated serial-CPU cost model.
+
+The paper's baseline is a serial C++ implementation compiled with
+``gcc -O3`` on an Intel Core i7 (Section VII).  We model its runtime
+from operation counts: a cache-resident graph traversal on that class of
+machine sustains on the order of 10^8 edge relaxations per second, and
+binary-heap operations cost a few tens of nanoseconds each.  The
+constants live in :class:`CpuModel` so experiments can model faster or
+slower hosts; defaults approximate the paper's platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CpuModel", "DEFAULT_CPU"]
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Per-operation costs of the serial baseline, in seconds."""
+
+    name: str = "Core i7 (gcc -O3)"
+    #: visiting a node: pop from queue, read offsets
+    node_visit_s: float = 8.0e-9
+    #: scanning one edge: load neighbor id + its state, compare
+    edge_scan_s: float = 5.0e-9
+    #: updating a node's level/distance + pushing to the FIFO
+    update_s: float = 6.0e-9
+    #: one binary-heap push or pop-fixup step (per comparison/swap)
+    heap_step_s: float = 9.0e-9
+    #: one-time setup per traversal (allocations, initialization) per node
+    init_per_node_s: float = 1.2e-9
+
+    def with_overrides(self, **kwargs) -> "CpuModel":
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Aggregate formulas used by the baseline implementations
+    # ------------------------------------------------------------------
+
+    def bfs_seconds(self, nodes_visited: int, edges_scanned: int, num_nodes: int) -> float:
+        """FIFO BFS: every reached node visited once, every out-edge scanned."""
+        return (
+            num_nodes * self.init_per_node_s
+            + nodes_visited * (self.node_visit_s + self.update_s)
+            + edges_scanned * self.edge_scan_s
+        )
+
+    def dijkstra_seconds(
+        self,
+        nodes_visited: int,
+        edges_scanned: int,
+        heap_pushes: int,
+        heap_pops: int,
+        max_heap_size: int,
+        num_nodes: int,
+    ) -> float:
+        """Binary-heap Dijkstra: pushes/pops cost log2(heap size) steps."""
+        import math
+
+        log_h = math.log2(max(2, max_heap_size))
+        return (
+            num_nodes * self.init_per_node_s
+            + nodes_visited * self.node_visit_s
+            + edges_scanned * self.edge_scan_s
+            + (heap_pushes + heap_pops) * log_h * self.heap_step_s
+        )
+
+    def bellman_ford_seconds(
+        self, total_relaxations: int, total_node_visits: int, num_nodes: int
+    ) -> float:
+        """Frontier Bellman-Ford: cost proportional to total work done."""
+        return (
+            num_nodes * self.init_per_node_s
+            + total_node_visits * (self.node_visit_s + self.update_s)
+            + total_relaxations * self.edge_scan_s
+        )
+
+
+DEFAULT_CPU = CpuModel()

@@ -1,0 +1,63 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch one base class.  Each subsystem
+gets its own subclass; these carry no extra state beyond the message, but
+having distinct types lets tests and users discriminate failure modes
+without string matching.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "GraphFormatError",
+    "DeviceError",
+    "LaunchError",
+    "KernelError",
+    "WorksetError",
+    "RuntimeConfigError",
+    "TuningError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph structure or graph-construction arguments."""
+
+
+class GraphFormatError(GraphError):
+    """A graph file (DIMACS / SNAP / Matrix Market) could not be parsed."""
+
+
+class DeviceError(ReproError):
+    """Inconsistent or unsupported simulated-device specification."""
+
+
+class LaunchError(ReproError):
+    """A kernel launch configuration violates device limits."""
+
+
+class KernelError(ReproError):
+    """A simulated kernel was invoked with inconsistent arguments."""
+
+
+class WorksetError(ReproError):
+    """Working-set (bitmap / queue) misuse, e.g. capacity overflow."""
+
+
+class RuntimeConfigError(ReproError):
+    """Invalid adaptive-runtime configuration (thresholds, policy, ...)."""
+
+
+class TuningError(ReproError):
+    """Threshold-tuning procedure failed or got degenerate inputs."""
+
+
+class DatasetError(ReproError):
+    """A named dataset analogue could not be generated as requested."""

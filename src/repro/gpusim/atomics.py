@@ -1,0 +1,52 @@
+"""Atomic-operation serialization model.
+
+The queue-based working set obtains insertion indices with ``atomicAdd``
+on a single counter (Section V.C).  Same-address atomics serialize at
+the L2 atomic units: throughput is one operation per a few cycles no
+matter how many threads issue them.  Distinct-address atomics (e.g.
+``atomicMin`` on different nodes' distances) proceed mostly in parallel
+and only pay a conflict penalty proportional to the collision rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["same_address_cycles", "multi_address_cycles"]
+
+#: cycles per same-address atomic at the L2 atomic unit (Fermi-era
+#: microbenchmarks put same-word atomicAdd throughput in the
+#: 1 op / 2-10 cycles range; the exact value is a calibration constant
+#: of CostParams — this is the hardware floor).
+SAME_ADDRESS_CYCLES_PER_OP = 2.0
+
+
+def same_address_cycles(
+    num_ops: float, device: DeviceSpec, cycles_per_op: float = SAME_ADDRESS_CYCLES_PER_OP
+) -> float:
+    """Serialized cycles for *num_ops* atomics hitting one address."""
+    return float(num_ops) * float(cycles_per_op)
+
+
+def multi_address_cycles(
+    num_ops: float,
+    num_addresses: int,
+    device: DeviceSpec,
+    cycles_per_op: float = SAME_ADDRESS_CYCLES_PER_OP,
+) -> float:
+    """Cycles for atomics spread over *num_addresses* distinct addresses.
+
+    With many addresses the atomic units pipeline across them; the
+    serialization seen is the expected maximum queue on one address,
+    approximated by the balls-in-bins mean plus one standard deviation.
+    """
+    ops = float(num_ops)
+    if ops <= 0:
+        return 0.0
+    addresses = max(1, int(num_addresses))
+    mean_per_address = ops / addresses
+    # Balls-in-bins: max bin ~ mean + sqrt(mean) for the loads we see.
+    hottest = mean_per_address + np.sqrt(mean_per_address)
+    return float(hottest * cycles_per_op)

@@ -1,0 +1,147 @@
+"""Calibrating the cost model to a target machine's crossovers.
+
+The simulator ships calibrated to the paper's anchors (see
+``docs/simulator.md``), but a user reproducing on *their* hardware will
+measure different T2/T3 crossovers.  This module inverts the model:
+given a measured crossover, it solves for the `CostParams` coefficient
+that reproduces it, by bisection over the same pricing code the
+traversals use — so a calibrated simulator is consistent end-to-end.
+
+- T2 (thread-vs-block crossover in working-set size) is governed by the
+  latency-hiding warp count: thread mapping supplies |WS|/32 working
+  warps while block mapping supplies ~deg x |WS|/32, so the size at
+  which thread mapping stops paying the latency penalty *is* T2.
+- T3 (queue-vs-bitmap crossover as a working-set fraction) is governed
+  by the same-address atomic cost: the queue's per-element atomic
+  against the bitmap's per-node sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TuningError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.kernel import CostModel, CostParams
+from repro.kernels import costs as kcosts
+from repro.kernels.mapping import ComputationShape, computation_tally
+from repro.kernels.variants import Mapping, WorksetRepr
+from repro.kernels.workset import workset_gen_tallies
+
+__all__ = [
+    "measured_t3_crossover",
+    "calibrate_atomic_cost",
+]
+
+
+def _bitmap_vs_queue_gap(
+    graph: CSRGraph,
+    fraction: float,
+    params: CostParams,
+    device: DeviceSpec,
+    rng: np.random.Generator,
+) -> float:
+    """Bitmap-minus-queue per-iteration cost at the given working-set
+    fraction (negative means the bitmap is already cheaper)."""
+    n = graph.num_nodes
+    size = max(1, int(n * fraction))
+    nodes = np.sort(rng.choice(n, size=size, replace=False))
+    degrees = graph.out_degrees[nodes]
+    model = CostModel(device, params)
+    shape = ComputationShape(
+        name="calib",
+        num_nodes=n,
+        active_ids=nodes,
+        degrees=degrees,
+        edge_cost=kcosts.C_EDGE,
+        improved=int(degrees.sum() // 2),
+        updated_count=max(1, size // 2),
+    )
+    out = {}
+    for wsr in (WorksetRepr.BITMAP, WorksetRepr.QUEUE):
+        seconds = model.price(
+            computation_tally(shape, Mapping.THREAD, wsr, 192, device)
+        ).seconds
+        for tally in workset_gen_tallies(n, size, wsr, device):
+            seconds += model.price(tally).seconds
+        out[wsr] = seconds
+    return out[WorksetRepr.BITMAP] - out[WorksetRepr.QUEUE]
+
+
+def measured_t3_crossover(
+    graph: CSRGraph,
+    *,
+    params: Optional[CostParams] = None,
+    device: DeviceSpec = TESLA_C2070,
+    seed: int = 0,
+    tolerance: float = 1e-3,
+) -> float:
+    """The working-set fraction where the bitmap overtakes the queue
+    under the given cost parameters (bisection; NaN-free by clamping to
+    the probe range [1/n, 0.5])."""
+    params = params or CostParams()
+    rng = np.random.default_rng(seed)
+    lo, hi = 1.0 / max(2, graph.num_nodes), 0.5
+    gap_lo = _bitmap_vs_queue_gap(graph, lo, params, device, rng)
+    gap_hi = _bitmap_vs_queue_gap(graph, hi, params, device, rng)
+    if gap_lo <= 0:
+        return lo  # bitmap already wins at the smallest working set
+    if gap_hi >= 0:
+        return hi  # queue wins across the whole probe range
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if _bitmap_vs_queue_gap(graph, mid, params, device, rng) > 0:
+            lo = mid  # queue still ahead: crossover is to the right
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def calibrate_atomic_cost(
+    graph: CSRGraph,
+    target_t3_fraction: float,
+    *,
+    base_params: Optional[CostParams] = None,
+    device: DeviceSpec = TESLA_C2070,
+    seed: int = 0,
+    bounds: Tuple[float, float] = (0.25, 64.0),
+    iterations: int = 24,
+) -> CostParams:
+    """Solve for ``atomic_cycles_per_op`` so the simulator's T3 crossover
+    matches a measured *target_t3_fraction* (e.g. the paper's 0.06-0.13
+    band on real Fermi hardware).
+
+    The crossover fraction decreases monotonically in the atomic cost
+    (costlier atomics make the queue lose earlier), so bisection applies.
+    """
+    if not 0 < target_t3_fraction < 0.5:
+        raise TuningError(
+            f"target_t3_fraction must be in (0, 0.5), got {target_t3_fraction}"
+        )
+    base = base_params or CostParams()
+    lo, hi = bounds
+    if lo <= 0 or hi <= lo:
+        raise TuningError(f"invalid bounds {bounds}")
+
+    def crossover_at(atomic: float) -> float:
+        params = base.with_overrides(atomic_cycles_per_op=atomic)
+        return measured_t3_crossover(
+            graph, params=params, device=device, seed=seed
+        )
+
+    x_lo, x_hi = crossover_at(lo), crossover_at(hi)
+    if not (x_hi <= target_t3_fraction <= x_lo):
+        raise TuningError(
+            f"target {target_t3_fraction:.3f} outside achievable crossover "
+            f"range [{x_hi:.3f}, {x_lo:.3f}] for atomic cost in {bounds}"
+        )
+    for _ in range(iterations):
+        mid = (lo + hi) / 2
+        if crossover_at(mid) > target_t3_fraction:
+            lo = mid  # crossover too far right -> need costlier atomics
+        else:
+            hi = mid
+    return base.with_overrides(atomic_cycles_per_op=(lo + hi) / 2)

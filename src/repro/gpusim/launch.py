@@ -1,0 +1,82 @@
+"""Kernel launch configurations.
+
+A launch is a 1-D grid of thread-blocks (the paper's kernels are all
+1-D).  :func:`LaunchConfig.for_elements` computes the grid covering a
+given element count, the way host code computes
+``(n + threads - 1) / threads`` blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LaunchError
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["LaunchConfig"]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A validated ``<<<grid_blocks, threads_per_block>>>`` configuration."""
+
+    grid_blocks: int
+    threads_per_block: int
+
+    def __post_init__(self):
+        if self.grid_blocks < 1:
+            raise LaunchError(f"grid_blocks must be >= 1, got {self.grid_blocks}")
+        if self.threads_per_block < 1:
+            raise LaunchError(
+                f"threads_per_block must be >= 1, got {self.threads_per_block}"
+            )
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_blocks * self.threads_per_block
+
+    def warps_per_block(self, device: DeviceSpec) -> int:
+        ws = device.warp_size
+        return (self.threads_per_block + ws - 1) // ws
+
+    def total_warps(self, device: DeviceSpec) -> int:
+        return self.grid_blocks * self.warps_per_block(device)
+
+    def validate(self, device: DeviceSpec) -> "LaunchConfig":
+        """Raise :class:`LaunchError` if the config exceeds device limits.
+
+        CUDA-4-era grids are allowed up to ``64K`` blocks per axis; since
+        our grids are 1-D we allow up to ``max_grid_dim ** 2`` blocks,
+        which host code would express as a 2-D grid.
+        """
+        if self.threads_per_block > device.max_threads_per_block:
+            raise LaunchError(
+                f"{self.threads_per_block} threads/block exceeds device limit "
+                f"{device.max_threads_per_block}"
+            )
+        if self.grid_blocks > device.max_grid_dim**2:
+            raise LaunchError(
+                f"{self.grid_blocks} blocks exceeds 2-D grid limit "
+                f"{device.max_grid_dim ** 2}"
+            )
+        return self
+
+    @classmethod
+    def for_elements(
+        cls, num_elements: int, threads_per_block: int, device: DeviceSpec
+    ) -> "LaunchConfig":
+        """The smallest grid of *threads_per_block*-blocks covering
+        *num_elements* threads (at least one block, as CUDA requires)."""
+        if num_elements < 0:
+            raise LaunchError(f"num_elements must be >= 0, got {num_elements}")
+        blocks = max(1, -(-num_elements // threads_per_block))
+        return cls(blocks, threads_per_block).validate(device)
+
+    @classmethod
+    def one_block_per_element(
+        cls, num_elements: int, threads_per_block: int, device: DeviceSpec
+    ) -> "LaunchConfig":
+        """Block-mapping launch: one block per working-set element."""
+        if num_elements < 0:
+            raise LaunchError(f"num_elements must be >= 0, got {num_elements}")
+        return cls(max(1, num_elements), threads_per_block).validate(device)

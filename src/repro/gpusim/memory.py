@@ -1,0 +1,87 @@
+"""Global-memory transaction model.
+
+Fermi global memory is accessed in 128-byte transactions; a warp's 32
+accesses collapse into a handful of transactions when they fall into few
+128-byte segments (coalescing) and into up to 32 transactions when
+scattered (Section III.C of the paper).  These helpers count transactions
+for the access patterns graph kernels produce; the cost model converts
+transaction counts into cycles via the device bandwidth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+
+__all__ = [
+    "coalesced_transactions",
+    "scattered_transactions",
+    "strided_transactions",
+    "segment_stream_transactions",
+    "bandwidth_cycles",
+]
+
+
+def coalesced_transactions(
+    num_elements, element_bytes: int, device: DeviceSpec
+) -> float:
+    """Transactions for *num_elements* consecutive accesses by consecutive
+    threads — the ideal pattern (queue reads, bitmap sweeps).
+
+    Scalar or ndarray *num_elements* supported.
+    """
+    bytes_total = np.asarray(num_elements, dtype=np.float64) * element_bytes
+    out = np.ceil(bytes_total / device.transaction_bytes)
+    return float(out) if np.isscalar(num_elements) else out
+
+
+def scattered_transactions(num_accesses) -> float:
+    """Transactions for fully scattered accesses: one each.
+
+    Neighbor state lookups (``level[dst]``, ``dist[dst]``) land anywhere
+    in the arrays, so each access occupies its own transaction.
+    """
+    arr = np.asarray(num_accesses, dtype=np.float64)
+    return float(arr) if np.isscalar(num_accesses) else arr
+
+
+def strided_transactions(
+    num_accesses, stride_bytes: int, element_bytes: int, device: DeviceSpec
+) -> float:
+    """Transactions when consecutive threads access with a fixed stride.
+
+    With ``stride >= transaction_bytes`` every access is its own
+    transaction; below that, ``stride / transaction_bytes`` of a
+    transaction is wasted per access.
+    """
+    arr = np.asarray(num_accesses, dtype=np.float64)
+    per_access = min(1.0, max(stride_bytes, element_bytes) / device.transaction_bytes)
+    out = np.ceil(arr * per_access)
+    return float(out) if np.isscalar(num_accesses) else out
+
+
+def segment_stream_transactions(
+    segment_lengths, element_bytes: int, device: DeviceSpec
+) -> float:
+    """Transactions for streaming variable-length contiguous segments.
+
+    An adjacency list of ``deg`` neighbors occupies ``deg*element_bytes``
+    contiguous bytes but starts at an arbitrary offset, so it costs
+    ``ceil(deg*eb / tb) + 1`` transactions in the worst alignment; the
+    ``+1``/2 average misalignment is modelled as ``+0.5``.  Accepts an
+    array of segment lengths and returns the summed transaction count.
+    """
+    lengths = np.asarray(segment_lengths, dtype=np.float64)
+    if lengths.size == 0:
+        return 0.0
+    per_segment = np.ceil(lengths * element_bytes / device.transaction_bytes)
+    nonzero = lengths > 0
+    return float(per_segment[nonzero].sum() + 0.5 * nonzero.sum())
+
+
+def bandwidth_cycles(transactions: float, device: DeviceSpec) -> float:
+    """Core cycles to move *transactions* 128-byte transactions at the
+    device's peak bandwidth (the bandwidth-bound lower limit)."""
+    bytes_total = float(transactions) * device.transaction_bytes
+    return bytes_total / device.bytes_per_cycle

@@ -1,0 +1,110 @@
+"""Fermi-style occupancy calculation.
+
+Reimplements the logic of the CUDA Occupancy Calculator the paper uses to
+pick kernel configurations (Section VII.A): the number of thread-blocks
+resident on an SM is the minimum of the block-slot limit, the warp-slot
+limit, the register limit and the shared-memory limit; occupancy is
+resident warps over the warp-slot maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import LaunchError
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["OccupancyResult", "occupancy"]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _round_up(value: int, granularity: int) -> int:
+    return _ceil_div(value, granularity) * granularity
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Resident blocks/warps per SM for one kernel configuration."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    threads_per_sm: int
+    occupancy: float
+    limiter: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.blocks_per_sm} blocks/SM, {self.warps_per_sm} warps/SM "
+            f"({self.occupancy:.0%}, limited by {self.limiter})"
+        )
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    *,
+    registers_per_thread: int = 20,
+    shared_mem_per_block: int = 0,
+) -> OccupancyResult:
+    """Occupancy of a kernel with the given per-block resource usage.
+
+    ``registers_per_thread`` defaults to 20, typical of the paper-era
+    graph kernels (simple integer address arithmetic plus a few live
+    values).  Results are memoized — the traversal frame queries the same
+    handful of configurations millions of times.
+    """
+    return _occupancy_cached(
+        device, threads_per_block, registers_per_thread, shared_mem_per_block
+    )
+
+
+@lru_cache(maxsize=4096)
+def _occupancy_cached(
+    device: DeviceSpec,
+    threads_per_block: int,
+    registers_per_thread: int,
+    shared_mem_per_block: int,
+) -> OccupancyResult:
+    if threads_per_block < 1 or threads_per_block > device.max_threads_per_block:
+        raise LaunchError(
+            f"threads_per_block must be in [1, {device.max_threads_per_block}], "
+            f"got {threads_per_block}"
+        )
+    if registers_per_thread < 0:
+        raise LaunchError("registers_per_thread must be >= 0")
+    if shared_mem_per_block < 0:
+        raise LaunchError("shared_mem_per_block must be >= 0")
+
+    warps_per_block = _ceil_div(threads_per_block, device.warp_size)
+
+    limits = {}
+    limits["blocks"] = device.max_blocks_per_sm
+    limits["warps"] = device.max_warps_per_sm // warps_per_block
+    limits["threads"] = device.max_threads_per_sm // threads_per_block
+
+    if registers_per_thread > 0:
+        # Fermi allocates registers per warp at `register_alloc_unit`
+        # granularity.
+        regs_per_warp = _round_up(
+            registers_per_thread * device.warp_size, device.register_alloc_unit
+        )
+        regs_per_block = regs_per_warp * warps_per_block
+        limits["registers"] = device.registers_per_sm // regs_per_block
+    if shared_mem_per_block > 0:
+        smem = _round_up(shared_mem_per_block, device.shared_alloc_unit)
+        limits["shared_memory"] = device.shared_mem_per_sm_bytes // smem
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = max(0, limits[limiter])
+    warps = blocks * warps_per_block
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        threads_per_sm=blocks * threads_per_block,
+        occupancy=warps / device.max_warps_per_sm,
+        limiter=limiter,
+    )

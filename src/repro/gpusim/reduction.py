@@ -1,0 +1,111 @@
+"""Parallel reduction: the GPU ``findmin`` the ordered SSSP needs.
+
+The paper implements the ordered-SSSP ``findmin`` as a parallel
+reduction on the GPU, "which is faster than maintaining a heap on CPU"
+(Section V.B).  This module provides the functional result (a NumPy
+reduction) together with the tally of what the standard tree-reduction
+kernel sequence would have cost: each pass launches ``n / (2*block)``
+blocks, each block reduces ``2*block`` elements in ``log2`` steps
+through shared memory, and passes repeat until one value remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import KernelTally
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.sharedmem import reduction_step_cycles
+
+__all__ = ["reduce_min", "reduction_tallies", "ReductionPlan"]
+
+#: warp instructions per shared-memory reduction step (compare, select,
+#: sync amortized; the shared-memory traffic is priced separately via
+#: the bank-conflict model)
+_STEP_COST = 2.0
+
+
+@dataclass(frozen=True)
+class ReductionPlan:
+    """The kernel sequence a tree reduction of *n* elements executes."""
+
+    n: int
+    threads_per_block: int
+    passes: Tuple[int, ...]  # element count entering each pass
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.passes)
+
+
+def plan_reduction(n: int, threads_per_block: int = 256) -> ReductionPlan:
+    """Pass structure for reducing *n* elements, 2*block per block/pass."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    passes: List[int] = []
+    remaining = n
+    per_block = 2 * threads_per_block
+    while remaining > 1:
+        passes.append(remaining)
+        remaining = -(-remaining // per_block)
+    if not passes and n >= 1:
+        passes = [n]
+    return ReductionPlan(n=n, threads_per_block=threads_per_block, passes=tuple(passes))
+
+
+def reduction_tallies(
+    n: int,
+    device: DeviceSpec,
+    *,
+    threads_per_block: int = 256,
+    name: str = "reduce",
+    sequential_addressing: bool = True,
+) -> List[KernelTally]:
+    """Tallies of the kernel launches a min-reduction of *n* values costs.
+
+    *sequential_addressing* selects the conflict-free shared-memory
+    layout (the standard optimized formulation); ``False`` models the
+    naive interleaved tree, whose late steps serialize on the banks —
+    exposed for the bank-conflict ablation.
+    """
+    plan = plan_reduction(n, threads_per_block)
+    tallies: List[KernelTally] = []
+    for pass_idx, elements in enumerate(plan.passes):
+        per_block = 2 * threads_per_block
+        blocks = max(1, -(-elements // per_block))
+        launch = LaunchConfig.for_elements(
+            max(1, elements // 2), threads_per_block, device
+        )
+        warps_per_block = launch.warps_per_block(device)
+        steps = int(np.ceil(np.log2(max(2, per_block))))
+        per_warp_cycles = sum(
+            _STEP_COST
+            + reduction_step_cycles(step, sequential_addressing=sequential_addressing)
+            for step in range(steps)
+        )
+        issue = blocks * warps_per_block * per_warp_cycles
+        mem = np.ceil(elements * 4 / device.transaction_bytes) + blocks
+        tallies.append(
+            KernelTally(
+                name=f"{name}[{pass_idx}]",
+                launch=LaunchConfig(blocks, threads_per_block),
+                issue_cycles=float(issue),
+                useful_lane_cycles=float(elements * _STEP_COST),
+                max_block_cycles=float(warps_per_block * per_warp_cycles),
+                mem_transactions=float(mem),
+                active_threads=elements // 2 + 1,
+            )
+        )
+    return tallies
+
+
+def reduce_min(values: np.ndarray) -> float:
+    """Functional result of the reduction (the device would return this)."""
+    arr = np.asarray(values)
+    if arr.size == 0:
+        raise ValueError("cannot reduce an empty array")
+    return float(arr.min())

@@ -1,0 +1,48 @@
+"""Scheduling thread-blocks onto streaming multiprocessors.
+
+The GigaThread engine dispatches blocks to SMs as slots free up.  For a
+makespan estimate we use the classic list-scheduling bound: the finish
+time of greedily scheduled independent jobs on ``S`` identical machines
+lies within ``[max(total/S, longest_job), total/S + longest_job]``.  We
+take the lower bound plus a configurable imbalance slack — accurate for
+the thousands of small blocks graph kernels launch, while still charging
+a lone giant block (one hub node under block-mapping) its full serial
+cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["makespan_cycles", "wave_count"]
+
+
+def makespan_cycles(
+    block_cycles,
+    device: DeviceSpec,
+    *,
+    imbalance_slack: float = 0.05,
+) -> float:
+    """Estimated cycles to drain the given per-block issue costs.
+
+    ``block_cycles`` may be an array of per-block costs or a pair
+    ``(total, longest)`` when the caller has already aggregated.
+    """
+    if isinstance(block_cycles, tuple):
+        total, longest = (float(block_cycles[0]), float(block_cycles[1]))
+    else:
+        arr = np.asarray(block_cycles, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return 0.0
+        total, longest = float(arr.sum()), float(arr.max())
+    ideal = total / device.num_sms
+    return max(ideal * (1.0 + imbalance_slack), longest)
+
+
+def wave_count(num_blocks: int, blocks_per_sm: int, device: DeviceSpec) -> int:
+    """Number of full scheduling waves needed for *num_blocks* blocks
+    given the occupancy-derived resident-block capacity per SM."""
+    capacity = max(1, blocks_per_sm) * device.num_sms
+    return max(1, -(-num_blocks // capacity)) if num_blocks > 0 else 0

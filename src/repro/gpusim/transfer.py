@@ -1,0 +1,44 @@
+"""PCIe host-device transfer model.
+
+The paper's measurements include CPU-GPU transfer times (Section VII):
+graph arrays and state move host-to-device once before the traversal and
+results move back once after.  A transfer costs a fixed latency plus
+bytes over effective PCIe bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["transfer_seconds", "TransferRecord"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One host-device copy: direction, payload, simulated cost."""
+
+    direction: str  # "h2d" or "d2h"
+    num_bytes: int
+    seconds: float
+
+
+def transfer_seconds(num_bytes: int, device: DeviceSpec) -> float:
+    """Simulated seconds to move *num_bytes* across PCIe (either way)."""
+    if num_bytes < 0:
+        raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+    if num_bytes == 0:
+        return 0.0
+    return device.pcie_latency_s + num_bytes / (device.pcie_bandwidth_gbs * 1e9)
+
+
+def record_transfer(direction: str, num_bytes: int, device: DeviceSpec) -> TransferRecord:
+    """Build a :class:`TransferRecord` with its priced cost."""
+    if direction not in ("h2d", "d2h"):
+        raise ValueError(f"direction must be 'h2d' or 'd2h', got {direction!r}")
+    return TransferRecord(
+        direction=direction,
+        num_bytes=int(num_bytes),
+        seconds=transfer_seconds(num_bytes, device),
+    )

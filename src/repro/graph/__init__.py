@@ -1,0 +1,35 @@
+"""Graph substrate: CSR storage, construction, generators, I/O, analysis.
+
+The paper stores graphs in compressed sparse row (CSR) form on both the
+host and the (simulated) device: a *node vector* of row offsets and an
+*edge vector* of neighbor ids (Section V.A, Figure 7).  This package
+provides that representation plus everything needed to feed it:
+
+- :mod:`repro.graph.csr` — the :class:`CSRGraph` structure;
+- :mod:`repro.graph.builder` — edge lists / COO / networkx -> CSR;
+- :mod:`repro.graph.generators` — synthetic topology generators;
+- :mod:`repro.graph.datasets` — analogues of the paper's six datasets;
+- :mod:`repro.graph.io` — DIMACS / SNAP / Matrix Market readers+writers;
+- :mod:`repro.graph.properties` — degree statistics and characterization;
+- :mod:`repro.graph.transforms` — symmetrize, relabel, subgraph, components.
+"""
+
+from repro.graph.builder import (
+    from_coo,
+    from_edge_list,
+    from_networkx,
+    to_networkx,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import GraphCharacterization, characterize, out_degree_histogram
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_list",
+    "from_coo",
+    "from_networkx",
+    "to_networkx",
+    "characterize",
+    "GraphCharacterization",
+    "out_degree_histogram",
+]

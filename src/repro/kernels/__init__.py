@@ -1,0 +1,65 @@
+"""GPU implementations of BFS and SSSP across the exploration space.
+
+The package realizes the paper's Section IV/V: 8 static variants per
+algorithm (ordered/unordered x thread/block mapping x bitmap/queue
+working set), built from:
+
+- :mod:`repro.kernels.variants` — the space and naming (``U_B_QU`` ...);
+- :mod:`repro.kernels.computation` — the ``CUDA_computation`` kernels
+  (functional NumPy execution + structural tallies);
+- :mod:`repro.kernels.workset` — working-set representations and the
+  ``CUDA_workset_gen`` kernel (atomic and scan-based queue generation);
+- :mod:`repro.kernels.findmin` — the ordered-SSSP reduction;
+- :mod:`repro.kernels.frame` — the host loop of Figure 8 with pluggable
+  variant policies;
+- :mod:`repro.kernels.bfs` / :mod:`repro.kernels.sssp` — static runners.
+"""
+
+from repro.kernels.bfs import run_bfs, run_bfs_all_variants
+from repro.kernels.cc import run_cc, traverse_cc
+from repro.kernels.kcore import run_kcore, traverse_kcore
+from repro.kernels.pagerank import run_pagerank, traverse_pagerank
+from repro.kernels.frame import (
+    IterationRecord,
+    StaticPolicy,
+    TraversalResult,
+    VariantPolicy,
+    traverse_bfs,
+    traverse_sssp,
+)
+from repro.kernels.sssp import run_sssp, run_sssp_all_variants
+from repro.kernels.variants import (
+    Mapping,
+    Ordering,
+    Variant,
+    WorksetRepr,
+    all_variants,
+    extended_variants,
+    unordered_variants,
+)
+
+__all__ = [
+    "run_bfs",
+    "run_bfs_all_variants",
+    "run_sssp",
+    "run_sssp_all_variants",
+    "run_cc",
+    "traverse_cc",
+    "run_pagerank",
+    "traverse_pagerank",
+    "run_kcore",
+    "traverse_kcore",
+    "traverse_bfs",
+    "traverse_sssp",
+    "TraversalResult",
+    "IterationRecord",
+    "VariantPolicy",
+    "StaticPolicy",
+    "Variant",
+    "Ordering",
+    "Mapping",
+    "WorksetRepr",
+    "all_variants",
+    "unordered_variants",
+    "extended_variants",
+]

@@ -1,0 +1,211 @@
+"""Connected components on the GPU frame — the paper's extension claim.
+
+Section I: "we believe that our proposed mechanisms can be extended and
+applied to other graph algorithms that exhibit similar computational
+patterns".  Connected components via min-label propagation is the
+canonical such algorithm: iterate over a working set of active nodes,
+push each node's label to its neighbors, mark improved neighbors in the
+update vector — structurally identical to unordered BFS/SSSP, so it
+plugs straight into the exploration space and the adaptive runtime.
+
+Weak connectivity is computed (direction ignored); directed inputs are
+symmetrized once on the host before the traversal, and the symmetrized
+arrays are what gets transferred to the device.
+
+Unlike BFS/SSSP, the initial working set is *every node*, so CC starts
+deep in the bitmap region of the decision space and drains toward the
+queue region — the opposite trajectory, and a good stress test for the
+decision maker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import is_symmetric
+from repro.graph.transforms import symmetrize
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.kernel import CostModel, CostParams
+from repro.gpusim.timeline import Timeline
+from repro.kernels import costs
+from repro.kernels.computation import _gather_edges
+from repro.kernels.frame import (
+    IterationRecord,
+    StaticPolicy,
+    TraversalResult,
+    VariantPolicy,
+    _final_transfers,
+    _initial_transfers,
+    _readback,
+    _tpb_for,
+)
+from repro.kernels.mapping import ComputationShape, computation_tally
+from repro.kernels.variants import Variant
+from repro.kernels.workset import Workset, workset_gen_tallies
+from repro.errors import KernelError
+
+__all__ = ["cc_step", "traverse_cc", "run_cc"]
+
+
+def cc_step(
+    graph: CSRGraph,
+    workset: Workset,
+    labels: np.ndarray,
+    variant: Variant,
+    threads_per_block: int,
+    device: DeviceSpec,
+    *,
+    name: str = "cc_comp",
+):
+    """One min-label propagation sweep; mutates *labels* in place."""
+    from repro.kernels.computation import StepResult
+
+    frontier = workset.nodes
+    if frontier.size == 0:
+        raise KernelError("cc_step called with an empty working set")
+    idx, dst, degrees = _gather_edges(graph, frontier)
+    cand = np.repeat(labels[frontier], degrees)
+
+    improving = cand < labels[dst]
+    improved_count = int(improving.sum())
+    if improved_count:
+        before = labels.copy()
+        np.minimum.at(labels, dst[improving], cand[improving])
+        updated = np.flatnonzero(labels < before).astype(np.int64)
+    else:
+        updated = np.empty(0, dtype=np.int64)
+
+    shape = ComputationShape(
+        name=name,
+        num_nodes=graph.num_nodes,
+        active_ids=frontier,
+        degrees=degrees,
+        edge_cost=costs.C_EDGE,
+        improved=improved_count,
+        updated_count=int(updated.size),
+    )
+    tally = computation_tally(
+        shape, variant.mapping, variant.workset, threads_per_block, device
+    )
+    return StepResult(
+        updated=updated,
+        tally=tally,
+        improved_relaxations=improved_count,
+        edges_scanned=int(idx.size),
+        processed=int(frontier.size),
+    )
+
+
+def traverse_cc(
+    graph: CSRGraph,
+    policy: VariantPolicy,
+    *,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    queue_gen: str = "atomic",
+    assume_symmetric: bool = False,
+) -> TraversalResult:
+    """Label-propagation connected components under *policy*.
+
+    ``result.values[i]`` is the minimum node id in node *i*'s weakly
+    connected component.
+    """
+    work_graph = graph
+    host_prep_seconds = 0.0
+    if not assume_symmetric and not is_symmetric(graph):
+        # Host-side symmetrization before transfer: roughly one pass
+        # over the edges plus the sort the CSR rebuild performs.
+        work_graph = symmetrize(graph)
+        host_prep_seconds = work_graph.num_edges * 12e-9
+
+    model = CostModel(device, cost_params)
+    timeline = Timeline()
+    _initial_transfers(work_graph, timeline, device)
+    timeline.add_host_seconds(host_prep_seconds)
+
+    n = work_graph.num_nodes
+    labels = np.arange(n, dtype=np.int64)
+    frontier = np.arange(n, dtype=np.int64)
+    records: List[IterationRecord] = []
+    iteration = 0
+    cap = max_iterations if max_iterations is not None else 4 * n + 64
+    variant = policy.choose(0, max(1, n))
+
+    while frontier.size:
+        if iteration >= cap:
+            raise KernelError(f"CC exceeded {cap} iterations (non-convergence)")
+        tpb = _tpb_for(variant, work_graph, device)
+        workset = Workset.from_update_ids(frontier, variant.workset)
+
+        step = cc_step(work_graph, workset, labels, variant, tpb, device)
+        comp_cost = model.price(step.tally)
+        timeline.add_kernel(iteration, step.tally, comp_cost, variant.code)
+        seconds = comp_cost.seconds
+
+        next_size = int(step.updated.size)
+        next_variant = policy.choose(iteration + 1, next_size) if next_size else variant
+        for tally in policy.overhead_tallies(iteration, workset.size, n, device):
+            cost = model.price(tally)
+            timeline.add_kernel(iteration, tally, cost, variant.code)
+            seconds += cost.seconds
+
+        for tally in workset_gen_tallies(
+            n, next_size, next_variant.workset, device, scheme=queue_gen
+        ):
+            cost = model.price(tally)
+            timeline.add_kernel(iteration, tally, cost, variant.code)
+            seconds += cost.seconds
+        _readback(timeline, device)
+
+        record = IterationRecord(
+            iteration=iteration,
+            variant=variant.code,
+            workset_size=workset.size,
+            processed=step.processed,
+            updated=next_size,
+            edges_scanned=step.edges_scanned,
+            improved_relaxations=step.improved_relaxations,
+            seconds=seconds,
+        )
+        records.append(record)
+        policy.notify(record)
+        frontier = step.updated
+        variant = next_variant
+        iteration += 1
+
+    _final_transfers(work_graph, timeline, device)
+    return TraversalResult(
+        algorithm="cc",
+        source=-1,
+        values=labels,
+        iterations=records,
+        timeline=timeline,
+        device=device,
+        policy_name=policy.name,
+    )
+
+
+def run_cc(
+    graph: CSRGraph,
+    variant: Union[Variant, str] = "U_T_BM",
+    *,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    queue_gen: str = "atomic",
+) -> TraversalResult:
+    """Run one static connected-components variant."""
+    if isinstance(variant, str):
+        variant = Variant.parse(variant)
+    return traverse_cc(
+        graph,
+        StaticPolicy(variant),
+        device=device,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
+        queue_gen=queue_gen,
+    )

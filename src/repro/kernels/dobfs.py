@@ -1,0 +1,244 @@
+"""Direction-optimizing BFS (push/pull) — a forward-looking extension.
+
+The paper's adaptive runtime switches *implementations* of the same
+top-down sweep.  The next idea in this line of work (Beamer et al.,
+later Enterprise and Gunrock) switches the sweep's *direction*: when the
+frontier is a large fraction of the graph, it is cheaper for every
+**unvisited** node to scan its in-neighbors and stop at the first one in
+the frontier ("pull" / bottom-up) than for every frontier node to push
+to all its out-neighbors.  This module adds that axis on top of the same
+substrates, with Beamer's two-threshold heuristic:
+
+- switch push -> pull when the frontier's outgoing edge count exceeds
+  ``m / alpha`` (the push sweep would touch more edges than a pull sweep
+  is likely to);
+- switch pull -> push when the frontier shrinks below ``n / beta``.
+
+Pull sweeps need the reverse adjacency (CSC); like real
+direction-optimizing implementations, both CSR and CSC are resident on
+the device (the initial transfer pays for both).
+
+The pull kernel's cost profile differs structurally from push: every
+unvisited node is scanned, but each stops at its *first* frontier
+in-neighbor — the tally charges exactly the edges examined before the
+hit, which the functional sweep computes precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import _ragged_gather_indices
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.kernel import CostModel, CostParams
+from repro.gpusim.timeline import Timeline
+from repro.gpusim.transfer import record_transfer
+from repro.kernels import costs
+from repro.kernels.computation import UNSET_LEVEL, bfs_relax
+from repro.kernels.frame import (
+    IterationRecord,
+    TraversalResult,
+    _final_transfers,
+    _initial_transfers,
+    _readback,
+)
+from repro.kernels.mapping import ComputationShape, computation_tally
+from repro.kernels.variants import Mapping, Ordering, Variant, WorksetRepr
+from repro.kernels.workset import Workset, workset_gen_tallies
+
+__all__ = ["DirectionConfig", "pull_step", "direction_optimizing_bfs"]
+
+
+@dataclass(frozen=True)
+class DirectionConfig:
+    """Beamer-style direction-switch thresholds."""
+
+    #: push -> pull when frontier out-edges > m / alpha
+    alpha: float = 14.0
+    #: pull -> push when frontier size < n / beta
+    beta: float = 24.0
+
+    def __post_init__(self):
+        if self.alpha <= 0 or self.beta <= 0:
+            raise KernelError("alpha and beta must be > 0")
+
+
+def pull_step(
+    graph: CSRGraph,
+    reverse: CSRGraph,
+    frontier_mask: np.ndarray,
+    levels: np.ndarray,
+    level: int,
+    threads_per_block: int,
+    device: DeviceSpec,
+):
+    """One bottom-up sweep: every unvisited node scans its in-neighbors
+    and joins the next frontier at the first hit.
+
+    Returns ``(new_frontier_ids, tally, edges_examined)``.
+    """
+    unvisited = np.flatnonzero(levels == UNSET_LEVEL).astype(np.int64)
+    if unvisited.size == 0:
+        return np.empty(0, dtype=np.int64), None, 0
+    offsets, cols = reverse.row_offsets, reverse.col_indices
+
+    starts = offsets[unvisited]
+    ends = offsets[unvisited + 1]
+    seg_len = (ends - starts).astype(np.int64)
+    idx = _ragged_gather_indices(starts, ends)
+    hits = frontier_mask[cols[idx]]
+
+    # Edges examined per node: position of the first hit + 1, or the full
+    # in-degree when no in-neighbor is in the frontier (early exit).
+    boundaries = np.zeros(idx.size, dtype=np.int64)
+    if seg_len.size:
+        nz = seg_len > 0
+        seg_starts = np.concatenate([[0], np.cumsum(seg_len)[:-1]])
+        # within-segment position of each edge
+        pos = np.arange(idx.size, dtype=np.int64) - np.repeat(seg_starts[nz], seg_len[nz])
+        big = np.iinfo(np.int64).max
+        first_hit = np.full(unvisited.size, big, dtype=np.int64)
+        if hits.any():
+            hit_pos = pos[hits]
+            seg_of_hit = np.repeat(np.arange(unvisited.size)[nz], seg_len[nz])[hits]
+            np.minimum.at(first_hit, seg_of_hit, hit_pos)
+        found = first_hit < big
+        examined = np.where(found, first_hit + 1, seg_len)
+    else:
+        found = np.zeros(0, dtype=bool)
+        examined = np.zeros(0, dtype=np.int64)
+
+    new_frontier = unvisited[found]
+    levels[new_frontier] = level
+
+    shape = ComputationShape(
+        name="bfs_pull",
+        num_nodes=graph.num_nodes,
+        active_ids=unvisited,
+        degrees=examined,
+        edge_cost=costs.C_EDGE,
+        improved=int(found.sum()),
+        updated_count=max(1, int(found.sum())),
+    )
+    # Pull is thread-mapped over the unvisited set with a bitmap of the
+    # frontier (the standard formulation: the frontier is tested by
+    # membership, not iterated).
+    tally = computation_tally(
+        shape, Mapping.THREAD, WorksetRepr.BITMAP, threads_per_block, device
+    )
+    return new_frontier, tally, int(examined.sum())
+
+
+def direction_optimizing_bfs(
+    graph: CSRGraph,
+    source: int,
+    *,
+    config: Optional[DirectionConfig] = None,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+) -> TraversalResult:
+    """BFS with Beamer-style push/pull direction switching.
+
+    Push iterations run the paper's ``U_T_BM`` kernel; pull iterations
+    run the bottom-up kernel.  ``result.variants_used()`` reports
+    ``"push"``/``"pull"`` per iteration.
+    """
+    graph._check_node(source)
+    config = config or DirectionConfig()
+    from repro.graph.properties import is_symmetric
+
+    model = CostModel(device, cost_params)
+    timeline = Timeline()
+    _initial_transfers(graph, timeline, device)
+    if is_symmetric(graph):
+        # Undirected graph: the CSR already is its own transpose.
+        reverse = graph
+    else:
+        reverse = graph.reverse()
+        # The CSC copy also rides the initial transfer.
+        timeline.add_transfer(record_transfer("h2d", reverse.device_bytes(), device))
+
+    n, m = graph.num_nodes, graph.num_edges
+    levels = np.full(n, UNSET_LEVEL, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    push_variant = Variant(Ordering.UNORDERED, Mapping.THREAD, WorksetRepr.BITMAP)
+    records: List[IterationRecord] = []
+    iteration = 0
+    direction = "push"
+    cap = max_iterations if max_iterations is not None else 4 * n + 64
+
+    while frontier.size:
+        if iteration >= cap:
+            raise KernelError(f"DO-BFS exceeded {cap} iterations")
+        frontier_edges = int(graph.out_degrees[frontier].sum())
+        if direction == "push" and frontier_edges > m / config.alpha:
+            direction = "pull"
+        elif direction == "pull" and frontier.size < n / config.beta:
+            direction = "push"
+
+        level = int(levels[frontier[0]]) + 1
+        if direction == "pull":
+            frontier_mask = np.zeros(n, dtype=bool)
+            frontier_mask[frontier] = True
+            new_frontier, tally, edges = pull_step(
+                graph, reverse, frontier_mask, levels, level, 192, device
+            )
+            if tally is None:
+                break
+            cost = model.price(tally)
+            timeline.add_kernel(iteration, tally, cost, "pull")
+            seconds = cost.seconds
+            processed = int((levels == UNSET_LEVEL).sum()) + new_frontier.size
+            improved = int(new_frontier.size)
+        else:
+            workset = Workset.from_update_ids(frontier, WorksetRepr.BITMAP)
+            from repro.kernels.computation import bfs_step
+
+            step = bfs_step(graph, workset, levels, push_variant, 192, device)
+            cost = model.price(step.tally)
+            timeline.add_kernel(iteration, step.tally, cost, "push")
+            seconds = cost.seconds
+            new_frontier, edges = step.updated, step.edges_scanned
+            processed = step.processed
+            improved = step.improved_relaxations
+
+        for tally in workset_gen_tallies(
+            n, int(new_frontier.size), WorksetRepr.BITMAP, device
+        ):
+            gen_cost = model.price(tally)
+            timeline.add_kernel(iteration, tally, gen_cost, direction)
+            seconds += gen_cost.seconds
+        _readback(timeline, device)
+
+        records.append(
+            IterationRecord(
+                iteration=iteration,
+                variant=direction,
+                workset_size=int(frontier.size),
+                processed=processed,
+                updated=int(new_frontier.size),
+                edges_scanned=edges,
+                improved_relaxations=improved,
+                seconds=seconds,
+            )
+        )
+        frontier = new_frontier
+        iteration += 1
+
+    _final_transfers(graph, timeline, device)
+    return TraversalResult(
+        algorithm="dobfs",
+        source=source,
+        values=levels,
+        iterations=records,
+        timeline=timeline,
+        device=device,
+        policy_name="direction-optimizing",
+    )

@@ -1,0 +1,42 @@
+"""The ordered-SSSP ``findmin`` operation.
+
+The paper implements it "on GPU by parallel reduction (which is faster
+than maintaining a heap on CPU)" (Section V.B).  The reduction runs over
+the working-set keys: over the compacted queue for the queue
+representation, or over all node slots (unset ones contribute +inf) for
+the bitmap representation — which is one more way bitmaps hurt when the
+working set is sparse.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import KernelTally
+from repro.gpusim.reduction import reduction_tallies
+from repro.kernels.variants import WorksetRepr
+
+__all__ = ["findmin", "findmin_tallies"]
+
+
+def findmin(keys: np.ndarray) -> float:
+    """Functional result: the minimum key in the working set."""
+    arr = np.asarray(keys, dtype=np.float64)
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        raise ValueError("findmin over a working set with no finite keys")
+    return float(finite.min())
+
+
+def findmin_tallies(
+    workset_size: int,
+    num_nodes: int,
+    representation: WorksetRepr,
+    device: DeviceSpec,
+) -> List[KernelTally]:
+    """Tallies of the reduction kernels for one findmin."""
+    elements = num_nodes if representation is WorksetRepr.BITMAP else workset_size
+    return reduction_tallies(max(1, elements), device, name="findmin")

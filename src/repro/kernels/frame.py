@@ -1,0 +1,492 @@
+"""The host-side traversal framework (the paper's Figure 8).
+
+::
+
+    1: Create data structures on CPU and GPU
+    2: Initialize working set on CPU
+    3: Transfer working set and support data from CPU to GPU
+    4: while working set is not empty do
+    5:   Invoke CUDA_computation kernel
+    6:   Invoke CUDA_workingset_generation kernel
+    7: end while
+
+The loop is generic over a *variant policy* — a callable choosing the
+implementation for each iteration — so the same frame drives the static
+variants (constant policy) and the adaptive runtime (decision-maker
+policy, :mod:`repro.core.runtime`).  Every iteration's structure
+(working-set size, processed nodes, kernel costs, variant used) is
+recorded; Figure 2's working-set curves and the telemetry the paper's
+inspector monitors both come from these records.
+
+Each iteration also pays a 4-byte device-to-host readback of the
+working-set size: the ``while`` condition on line 4 is host code, and
+this synchronization is a real, per-iteration PCIe latency that
+dominates traversals with many near-empty iterations (road networks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.kernel import CostModel, CostParams, KernelTally
+from repro.gpusim.timeline import Timeline
+from repro.gpusim.transfer import record_transfer
+from repro.kernels.computation import (
+    INF,
+    OrderedSsspState,
+    UNSET_LEVEL,
+    bfs_step,
+    sssp_ordered_step,
+    sssp_step,
+)
+from repro.kernels.findmin import findmin, findmin_tallies
+from repro.kernels.variants import Ordering, Variant, WorksetRepr
+from repro.kernels.workset import Workset, workset_gen_tallies
+
+__all__ = [
+    "IterationRecord",
+    "TraversalResult",
+    "VariantPolicy",
+    "StaticPolicy",
+    "traverse_bfs",
+    "traverse_sssp",
+]
+
+#: host-side bookkeeping per traversal node (allocation + init), seconds
+HOST_INIT_PER_NODE_S = 1.0e-9
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Structure and cost of one ``while``-loop iteration."""
+
+    iteration: int
+    variant: str
+    workset_size: int
+    processed: int
+    updated: int
+    edges_scanned: int
+    improved_relaxations: int
+    seconds: float
+
+
+@dataclass
+class TraversalResult:
+    """Everything a traversal produced: answers, structure, simulated time."""
+
+    algorithm: str
+    source: int
+    #: BFS levels (int64, -1 unreached) or SSSP distances (float64, inf)
+    values: np.ndarray
+    iterations: List[IterationRecord]
+    timeline: Timeline
+    device: DeviceSpec
+    policy_name: str
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def gpu_seconds(self) -> float:
+        return self.timeline.gpu_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self.timeline.total_seconds
+
+    @property
+    def reached(self) -> int:
+        if self.values.dtype.kind == "f":
+            return int(np.isfinite(self.values).sum())
+        return int((self.values >= 0).sum())
+
+    @property
+    def total_edges_scanned(self) -> int:
+        return sum(r.edges_scanned for r in self.iterations)
+
+    def workset_curve(self) -> np.ndarray:
+        """Working-set size per iteration (Figure 2's series)."""
+        return np.array([r.workset_size for r in self.iterations], dtype=np.int64)
+
+    def variants_used(self) -> Dict[str, int]:
+        """Iteration counts per variant code (adaptive-runtime telemetry)."""
+        out: Dict[str, int] = {}
+        for r in self.iterations:
+            out[r.variant] = out.get(r.variant, 0) + 1
+        return out
+
+    def nodes_per_second(self) -> float:
+        """Processing speed in traversed nodes per simulated second
+        (Figure 12's metric)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.reached / self.total_seconds
+
+
+class VariantPolicy:
+    """Chooses the implementation variant for each traversal iteration.
+
+    The frame calls :meth:`choose` for iteration ``i + 1`` right after
+    iteration ``i``'s computation kernel, when the next working-set size
+    is known but before the generation kernel materializes it — the
+    paper's decision point, which is what makes representation switches
+    free (the generation kernel simply emits the other representation
+    from the shared update vector).
+    """
+
+    name = "policy"
+
+    def choose(self, iteration: int, workset_size: int) -> Variant:  # pragma: no cover
+        raise NotImplementedError
+
+    def is_ordered(self) -> bool:
+        """Whether this policy selects ordered variants (decides which
+        SSSP frame runs).  Adaptive policies are unordered-only
+        (Section VI.A), so the default is False."""
+        return False
+
+    def notify(self, record: IterationRecord) -> None:
+        """Called after each iteration (for monitoring policies)."""
+
+    def overhead_tallies(
+        self, iteration: int, workset_size: int, num_nodes: int, device: DeviceSpec
+    ) -> List["KernelTally"]:
+        """Extra monitoring kernels this policy ran this iteration (the
+        graph inspector's working-set profiling); priced into the
+        traversal's timeline by the frame."""
+        return []
+
+
+class StaticPolicy(VariantPolicy):
+    """Always the same variant — the paper's static implementations."""
+
+    def __init__(self, variant: Variant):
+        self.variant = variant
+        self.name = variant.code
+
+    def choose(self, iteration: int, workset_size: int) -> Variant:
+        return self.variant
+
+    def is_ordered(self) -> bool:
+        return self.variant.ordering is Ordering.ORDERED
+
+
+# ----------------------------------------------------------------------
+# Shared frame pieces
+# ----------------------------------------------------------------------
+
+def _initial_transfers(graph: CSRGraph, timeline: Timeline, device: DeviceSpec) -> None:
+    n = graph.num_nodes
+    # Graph arrays + state array (4 B/node) + update flags (1 B/node)
+    # + queue capacity (4 B/node) + bitmap (1 bit/node).
+    state_bytes = 4 * n + n + 4 * n + n // 8
+    total_bytes = graph.device_bytes() + state_bytes
+    if total_bytes > device.global_mem_bytes:
+        raise KernelError(
+            f"graph {graph.name!r} needs {total_bytes / 2**30:.2f} GiB of device "
+            f"memory but {device.name} has {device.global_mem_bytes / 2**30:.2f} GiB "
+            "(the paper's system keeps the whole CSR resident)"
+        )
+    timeline.add_transfer(record_transfer("h2d", total_bytes, device))
+    timeline.add_host_seconds(n * HOST_INIT_PER_NODE_S)
+
+
+def _final_transfers(graph: CSRGraph, timeline: Timeline, device: DeviceSpec) -> None:
+    timeline.add_transfer(record_transfer("d2h", 4 * graph.num_nodes, device))
+
+
+def _readback(timeline: Timeline, device: DeviceSpec) -> None:
+    """The per-iteration working-set-size readback (loop condition)."""
+    timeline.add_transfer(record_transfer("d2h", 4, device))
+
+
+def _tpb_for(variant: Variant, graph: CSRGraph, device: DeviceSpec) -> int:
+    return variant.threads_per_block(graph.avg_out_degree, device)
+
+
+# ----------------------------------------------------------------------
+# BFS / unordered SSSP frame
+# ----------------------------------------------------------------------
+
+def traverse_bfs(
+    graph: CSRGraph,
+    source: int,
+    policy: VariantPolicy,
+    *,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    queue_gen: str = "atomic",
+) -> TraversalResult:
+    """Run BFS from *source* under *policy*; ordered and unordered BFS
+    share this level-synchronous frame (their step rule differs).
+
+    *queue_gen* selects the queue-generation scheme: ``"atomic"``
+    (the paper's baseline), ``"scan"`` (Merrill-style prefix scan) or
+    ``"hierarchical"`` (Luo-style shared-memory queues) — Section
+    V.C's orthogonal optimizations."""
+    graph._check_node(source)
+    model = CostModel(device, cost_params)
+    timeline = Timeline()
+    _initial_transfers(graph, timeline, device)
+
+    levels = np.full(graph.num_nodes, UNSET_LEVEL, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    records: List[IterationRecord] = []
+    iteration = 0
+    cap = max_iterations if max_iterations is not None else 4 * graph.num_nodes + 64
+    variant = policy.choose(0, 1)
+
+    while frontier.size:
+        if iteration >= cap:
+            raise KernelError(f"BFS exceeded {cap} iterations (non-convergence)")
+        tpb = _tpb_for(variant, graph, device)
+        workset = Workset.from_update_ids(frontier, variant.workset)
+
+        step = bfs_step(graph, workset, levels, variant, tpb, device)
+        comp_cost = model.price(step.tally)
+        timeline.add_kernel(iteration, step.tally, comp_cost, variant.code)
+        seconds = comp_cost.seconds
+
+        # Decide the next iteration's variant now: the generation kernel
+        # below materializes whichever representation it will read.
+        next_size = int(step.updated.size)
+        next_variant = policy.choose(iteration + 1, next_size) if next_size else variant
+        for tally in policy.overhead_tallies(
+            iteration, workset.size, graph.num_nodes, device
+        ):
+            cost = model.price(tally)
+            timeline.add_kernel(iteration, tally, cost, variant.code)
+            seconds += cost.seconds
+
+        for tally in workset_gen_tallies(
+            graph.num_nodes, next_size, next_variant.workset, device,
+            scheme=queue_gen,
+        ):
+            cost = model.price(tally)
+            timeline.add_kernel(iteration, tally, cost, variant.code)
+            seconds += cost.seconds
+        _readback(timeline, device)
+
+        record = IterationRecord(
+            iteration=iteration,
+            variant=variant.code,
+            workset_size=workset.size,
+            processed=step.processed,
+            updated=next_size,
+            edges_scanned=step.edges_scanned,
+            improved_relaxations=step.improved_relaxations,
+            seconds=seconds,
+        )
+        records.append(record)
+        policy.notify(record)
+        frontier = step.updated
+        variant = next_variant
+        iteration += 1
+
+    _final_transfers(graph, timeline, device)
+    algo = "bfs_ordered" if _is_ordered(policy) else "bfs"
+    return TraversalResult(
+        algorithm=algo,
+        source=source,
+        values=levels,
+        iterations=records,
+        timeline=timeline,
+        device=device,
+        policy_name=policy.name,
+    )
+
+
+def traverse_sssp(
+    graph: CSRGraph,
+    source: int,
+    policy: VariantPolicy,
+    *,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    queue_gen: str = "atomic",
+) -> TraversalResult:
+    """Run SSSP from *source* under *policy*.
+
+    Dispatches to the unordered (Bellman-Ford) or ordered (GPU Dijkstra
+    with findmin) frame based on the policy's variants.
+    """
+    graph._check_node(source)
+    if graph.weights is None:
+        raise KernelError(
+            f"SSSP requires edge weights; graph {graph.name!r} has none"
+        )
+    if _is_ordered(policy):
+        return _traverse_sssp_ordered(
+            graph, source, policy, device, cost_params, max_iterations,
+            queue_gen,
+        )
+    return _traverse_sssp_unordered(
+        graph, source, policy, device, cost_params, max_iterations,
+        queue_gen,
+    )
+
+
+def _is_ordered(policy: VariantPolicy) -> bool:
+    return policy.is_ordered()
+
+
+def _traverse_sssp_unordered(
+    graph, source, policy, device, cost_params, max_iterations, queue_gen="atomic"
+) -> TraversalResult:
+    model = CostModel(device, cost_params)
+    timeline = Timeline()
+    _initial_transfers(graph, timeline, device)
+
+    dist = np.full(graph.num_nodes, INF, dtype=np.float64)
+    dist[source] = 0.0
+    frontier = np.array([source], dtype=np.int64)
+    records: List[IterationRecord] = []
+    iteration = 0
+    cap = max_iterations if max_iterations is not None else 16 * graph.num_nodes + 64
+    variant = policy.choose(0, 1)
+
+    while frontier.size:
+        if iteration >= cap:
+            raise KernelError(f"SSSP exceeded {cap} iterations (non-convergence)")
+        tpb = _tpb_for(variant, graph, device)
+        workset = Workset.from_update_ids(frontier, variant.workset)
+
+        step = sssp_step(graph, workset, dist, variant, tpb, device)
+        comp_cost = model.price(step.tally)
+        timeline.add_kernel(iteration, step.tally, comp_cost, variant.code)
+        seconds = comp_cost.seconds
+
+        next_size = int(step.updated.size)
+        next_variant = policy.choose(iteration + 1, next_size) if next_size else variant
+        for tally in policy.overhead_tallies(
+            iteration, workset.size, graph.num_nodes, device
+        ):
+            cost = model.price(tally)
+            timeline.add_kernel(iteration, tally, cost, variant.code)
+            seconds += cost.seconds
+
+        for tally in workset_gen_tallies(
+            graph.num_nodes, next_size, next_variant.workset, device,
+            scheme=queue_gen,
+        ):
+            cost = model.price(tally)
+            timeline.add_kernel(iteration, tally, cost, variant.code)
+            seconds += cost.seconds
+        _readback(timeline, device)
+
+        record = IterationRecord(
+            iteration=iteration,
+            variant=variant.code,
+            workset_size=workset.size,
+            processed=step.processed,
+            updated=next_size,
+            edges_scanned=step.edges_scanned,
+            improved_relaxations=step.improved_relaxations,
+            seconds=seconds,
+        )
+        records.append(record)
+        policy.notify(record)
+        frontier = step.updated
+        variant = next_variant
+        iteration += 1
+
+    _final_transfers(graph, timeline, device)
+    return TraversalResult(
+        algorithm="sssp",
+        source=source,
+        values=dist,
+        iterations=records,
+        timeline=timeline,
+        device=device,
+        policy_name=policy.name,
+    )
+
+
+def _traverse_sssp_ordered(
+    graph, source, policy, device, cost_params, max_iterations, queue_gen="atomic"
+) -> TraversalResult:
+    model = CostModel(device, cost_params)
+    timeline = Timeline()
+    _initial_transfers(graph, timeline, device)
+
+    # The working-set structure depends on the representation: a queue
+    # holds the (node, key) pair multiset verbatim; a bitmap dedupes via
+    # per-node atomicMin slots.  The representation is fixed by the
+    # policy's first choice (ordered traversals are static in the paper).
+    first_variant = policy.choose(0, 1)
+    dedupe = first_variant.workset is WorksetRepr.BITMAP
+    state = OrderedSsspState.initial(graph.num_nodes, source, dedupe=dedupe)
+    records: List[IterationRecord] = []
+    iteration = 0
+    # Each iteration retires every pair at the current minimum key, so
+    # iterations are bounded by the number of pair insertions <= m.
+    cap = max_iterations if max_iterations is not None else 16 * graph.num_edges + 64
+
+    while state.workset_size:
+        if iteration >= cap:
+            raise KernelError(
+                f"ordered SSSP exceeded {cap} iterations (non-convergence)"
+            )
+        ws_size = state.workset_size
+        variant = policy.choose(iteration, ws_size)
+        tpb = _tpb_for(variant, graph, device)
+
+        # findmin reduction over the working-set keys.
+        min_key = findmin(state.ws_keys)
+        seconds = 0.0
+        for tally in findmin_tallies(
+            ws_size, graph.num_nodes, variant.workset, device
+        ):
+            cost = model.price(tally)
+            timeline.add_kernel(iteration, tally, cost, variant.code)
+            seconds += cost.seconds
+
+        step = sssp_ordered_step(graph, state, min_key, variant, tpb, device)
+        comp_cost = model.price(step.tally)
+        timeline.add_kernel(iteration, step.tally, comp_cost, variant.code)
+        seconds += comp_cost.seconds
+
+        gen_count = min(state.workset_size, graph.num_nodes)
+        for tally in workset_gen_tallies(
+            graph.num_nodes, gen_count, variant.workset, device,
+            scheme=queue_gen,
+        ):
+            cost = model.price(tally)
+            timeline.add_kernel(iteration, tally, cost, variant.code)
+            seconds += cost.seconds
+        _readback(timeline, device)
+
+        record = IterationRecord(
+            iteration=iteration,
+            variant=variant.code,
+            workset_size=ws_size,
+            processed=step.settled,
+            updated=state.workset_size,
+            edges_scanned=step.edges_scanned,
+            improved_relaxations=step.improved_relaxations,
+            seconds=seconds,
+        )
+        records.append(record)
+        policy.notify(record)
+        iteration += 1
+
+    _final_transfers(graph, timeline, device)
+    return TraversalResult(
+        algorithm="sssp_ordered",
+        source=source,
+        values=state.dist,
+        iterations=records,
+        timeline=timeline,
+        device=device,
+        policy_name=policy.name,
+    )

@@ -1,0 +1,239 @@
+"""k-core decomposition on the GPU frame — the third extension algorithm.
+
+Iterative peeling is another amorphous working-set computation: for
+each k, the working set holds the still-alive nodes whose remaining
+degree dropped below k; processing a node removes it (coreness = k-1)
+and atomically decrements its neighbors' degrees, which may push *them*
+into the working set.  When a k-stage drains, a filter kernel over the
+alive set seeds the next stage.
+
+The working-set trajectory is a sawtooth: each k-stage starts with a
+burst (all sub-k nodes at once), cascades briefly, and drains —
+repeating up to the maximum coreness.  It is the most switch-intensive
+trajectory in the repository and a stress test for cheap switching.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import _ragged_gather_indices, is_symmetric
+from repro.graph.transforms import symmetrize
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.kernel import CostModel, CostParams, KernelTally
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.timeline import Timeline
+from repro.kernels import costs
+from repro.kernels.computation import StepResult
+from repro.kernels.frame import (
+    IterationRecord,
+    StaticPolicy,
+    TraversalResult,
+    VariantPolicy,
+    _final_transfers,
+    _initial_transfers,
+    _readback,
+    _tpb_for,
+)
+from repro.kernels.mapping import ComputationShape, computation_tally
+from repro.kernels.variants import Variant
+from repro.kernels.workset import GEN_TPB, Workset, workset_gen_tallies
+
+__all__ = ["kcore_peel_step", "traverse_kcore", "run_kcore"]
+
+
+def kcore_peel_step(
+    graph: CSRGraph,
+    workset: Workset,
+    degree: np.ndarray,
+    alive: np.ndarray,
+    coreness: np.ndarray,
+    k: int,
+    variant: Variant,
+    threads_per_block: int,
+    device: DeviceSpec,
+    *,
+    name: str = "kcore_comp",
+) -> StepResult:
+    """Peel one batch of sub-k nodes; mutates the state arrays in place.
+
+    Returns the alive nodes whose degree dropped below k this sweep.
+    """
+    frontier = workset.nodes
+    if frontier.size == 0:
+        raise KernelError("kcore_peel_step called with an empty working set")
+    offsets, cols = graph.row_offsets, graph.col_indices
+    degrees_now = graph.out_degrees[frontier]
+
+    coreness[frontier] = k - 1
+    alive[frontier] = False
+    idx = _ragged_gather_indices(offsets[frontier], offsets[frontier + 1])
+    edges = int(idx.size)
+    improved = 0
+    if edges:
+        neigh = cols[idx]
+        before = degree[neigh] >= k
+        np.subtract.at(degree, neigh, 1)
+        crossed = before & (degree[neigh] < k)
+        improved = int(crossed.sum())
+        candidates = np.unique(neigh[(degree[neigh] < k)])
+        updated = candidates[alive[candidates]].astype(np.int64)
+    else:
+        updated = np.empty(0, dtype=np.int64)
+
+    shape = ComputationShape(
+        name=name,
+        num_nodes=graph.num_nodes,
+        active_ids=frontier,
+        degrees=degrees_now,
+        edge_cost=costs.C_EDGE,  # neighbor load + atomicSub + compare
+        improved=edges,  # every decrement is an atomic
+        updated_count=max(1, int(updated.size)),
+    )
+    tally = computation_tally(
+        shape, variant.mapping, variant.workset, threads_per_block, device
+    )
+    return StepResult(
+        updated=updated,
+        tally=tally,
+        improved_relaxations=improved,
+        edges_scanned=edges,
+        processed=int(frontier.size),
+    )
+
+
+def _filter_tally(num_nodes: int, device: DeviceSpec) -> KernelTally:
+    """The per-stage filter kernel: scan the alive set for degree < k."""
+    launch = LaunchConfig.for_elements(max(1, num_nodes), GEN_TPB, device)
+    warps = launch.total_warps(device)
+    return KernelTally(
+        name="kcore_filter",
+        launch=launch,
+        issue_cycles=float(warps * costs.C_CHECK * 2),
+        useful_lane_cycles=float(num_nodes * costs.C_CHECK),
+        max_block_cycles=float(launch.warps_per_block(device) * costs.C_CHECK * 2),
+        mem_transactions=float(np.ceil(num_nodes * 5 / device.transaction_bytes)),
+        active_threads=num_nodes,
+    )
+
+
+def traverse_kcore(
+    graph: CSRGraph,
+    policy: VariantPolicy,
+    *,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    queue_gen: str = "atomic",
+) -> TraversalResult:
+    """k-core decomposition under *policy*; ``result.values`` are the
+    per-node core numbers (direction ignored; directed inputs are
+    symmetrized on the host first)."""
+    work = graph if is_symmetric(graph) else symmetrize(graph)
+    host_prep = 0.0 if work is graph else work.num_edges * 12e-9
+
+    model = CostModel(device, cost_params)
+    timeline = Timeline()
+    _initial_transfers(work, timeline, device)
+    timeline.add_host_seconds(host_prep)
+
+    n = work.num_nodes
+    degree = work.out_degrees.copy().astype(np.int64)
+    alive = np.ones(n, dtype=bool)
+    coreness = np.zeros(n, dtype=np.int64)
+    records: List[IterationRecord] = []
+    iteration = 0
+    cap = max_iterations if max_iterations is not None else 8 * n + 64
+    variant = policy.choose(0, max(1, n))
+    k = 1
+
+    while alive.any():
+        # Stage seed: a filter kernel over the alive set.
+        tally = _filter_tally(n, device)
+        cost = model.price(tally)
+        timeline.add_kernel(iteration, tally, cost, variant.code)
+        _readback(timeline, device)
+        frontier = np.flatnonzero(alive & (degree < k)).astype(np.int64)
+
+        while frontier.size:
+            if iteration >= cap:
+                raise KernelError(f"k-core exceeded {cap} iterations")
+            tpb = _tpb_for(variant, work, device)
+            workset = Workset.from_update_ids(frontier, variant.workset)
+            step = kcore_peel_step(
+                work, workset, degree, alive, coreness, k, variant, tpb, device
+            )
+            comp_cost = model.price(step.tally)
+            timeline.add_kernel(iteration, step.tally, comp_cost, variant.code)
+            seconds = comp_cost.seconds
+
+            next_size = int(step.updated.size)
+            next_variant = (
+                policy.choose(iteration + 1, next_size) if next_size else variant
+            )
+            for tally in policy.overhead_tallies(iteration, workset.size, n, device):
+                cost = model.price(tally)
+                timeline.add_kernel(iteration, tally, cost, variant.code)
+                seconds += cost.seconds
+            for tally in workset_gen_tallies(
+                n, next_size, next_variant.workset, device, scheme=queue_gen
+            ):
+                cost = model.price(tally)
+                timeline.add_kernel(iteration, tally, cost, variant.code)
+                seconds += cost.seconds
+            _readback(timeline, device)
+
+            records.append(
+                IterationRecord(
+                    iteration=iteration,
+                    variant=variant.code,
+                    workset_size=workset.size,
+                    processed=step.processed,
+                    updated=next_size,
+                    edges_scanned=step.edges_scanned,
+                    improved_relaxations=step.improved_relaxations,
+                    seconds=seconds,
+                )
+            )
+            policy.notify(records[-1])
+            frontier = step.updated
+            variant = next_variant
+            iteration += 1
+        k += 1
+
+    _final_transfers(work, timeline, device)
+    return TraversalResult(
+        algorithm="kcore",
+        source=-1,
+        values=coreness,
+        iterations=records,
+        timeline=timeline,
+        device=device,
+        policy_name=policy.name,
+    )
+
+
+def run_kcore(
+    graph: CSRGraph,
+    variant: Union[Variant, str] = "U_B_QU",
+    *,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    queue_gen: str = "atomic",
+) -> TraversalResult:
+    """Run one static k-core variant."""
+    if isinstance(variant, str):
+        variant = Variant.parse(variant)
+    return traverse_kcore(
+        graph,
+        StaticPolicy(variant),
+        device=device,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
+        queue_gen=queue_gen,
+    )

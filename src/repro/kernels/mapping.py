@@ -1,0 +1,360 @@
+"""Building :class:`~repro.gpusim.kernel.KernelTally` objects for the
+``CUDA_computation`` kernel under every mapping x working-set combination.
+
+This module encodes the performance *mechanisms* of Section IV:
+
+- **thread mapping**: one working-set element per thread; a warp's issue
+  cost is the max over its 32 elements' work (divergence), and with a
+  bitmap all ``n`` threads are launched, active or not;
+- **block mapping**: one element per block; its neighborhood is visited
+  cooperatively in rounds of ``threads_per_block`` lanes, so a node with
+  outdegree below the warp size still pays a full round (idle cores),
+  while a hub node is parallelized instead of serializing a warp;
+- **bitmap**: membership checks are coalesced streams over all ``n``
+  entries (thread mapping) or one scattered read per block (block
+  mapping);
+- **queue**: only ``|WS|`` elements are launched and reads are coalesced,
+  but the queue had to be built with serialized atomics (priced in
+  :mod:`repro.kernels.workset`).
+
+Memory accounting: scattered 4-byte state accesses use 32-byte
+transactions (a quarter of the 128-byte unit); adjacency lists stream
+contiguously under block mapping and quarter-coalesce under thread
+mapping (consecutive threads walk different lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import KernelTally
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.memory import segment_stream_transactions
+from repro.kernels import costs
+from repro.kernels.variants import Mapping, WorksetRepr
+
+__all__ = ["ComputationShape", "computation_tally"]
+
+#: fraction of a 128-byte transaction consumed by one scattered 4-byte
+#: access (Fermi issues 32-byte transactions for uncached loads)
+SCATTER_FRACTION = 0.25
+
+#: coalescing efficiency of thread-mapped adjacency streaming: each lane
+#: walks its own list, so only ~1/4 of each 32-byte transaction is useful
+THREAD_ADJ_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class ComputationShape:
+    """Structural inputs describing one computation-kernel launch."""
+
+    name: str
+    num_nodes: int
+    #: working-set node ids, sorted ascending (queue order == id order)
+    active_ids: np.ndarray
+    #: outdegree of each active node (parallel to active_ids)
+    degrees: np.ndarray
+    #: per-edge cost constant (C_EDGE or C_EDGE_WEIGHTED)
+    edge_cost: float
+    #: improving relaxations performed (atomic update-flag/min stores)
+    improved: int
+    #: distinct nodes whose state improved (atomic address diversity)
+    updated_count: int
+    #: extra per-active-element guard cost (ordered variants' key check)
+    guard_cost: float = 0.0
+    #: number of weight-array streams (1 for SSSP, 0 for BFS)
+    weight_streams: int = 0
+
+
+def computation_tally(
+    shape: ComputationShape,
+    mapping: Mapping,
+    workset: WorksetRepr,
+    threads_per_block: int,
+    device: DeviceSpec,
+) -> KernelTally:
+    """Price the structure of one ``CUDA_computation`` launch."""
+    if mapping is Mapping.THREAD:
+        return _thread_tally(shape, workset, threads_per_block, device)
+    if mapping is Mapping.WARP:
+        return _warp_tally(shape, workset, threads_per_block, device)
+    return _block_tally(shape, workset, threads_per_block, device)
+
+
+# ----------------------------------------------------------------------
+# Thread mapping
+# ----------------------------------------------------------------------
+
+def _thread_tally(
+    shape: ComputationShape,
+    workset: WorksetRepr,
+    tpb: int,
+    device: DeviceSpec,
+) -> KernelTally:
+    ws = device.warp_size
+    active = shape.active_ids
+    deg = shape.degrees.astype(np.float64)
+    work = costs.C_NODE + shape.guard_cost + deg * shape.edge_cost
+
+    if workset is WorksetRepr.BITMAP:
+        # All n threads launched in node-id order; inactive lanes early-out
+        # after the flag check, so a warp costs C_CHECK plus the max of its
+        # active lanes' work.  Only warps containing active lanes do real
+        # work (and supply latency hiding).
+        n = shape.num_nodes
+        launch = LaunchConfig.for_elements(n, tpb, device)
+        num_warps = launch.total_warps(device)
+        warp_cost = np.full(num_warps, costs.C_CHECK, dtype=np.float64)
+        if active.size:
+            np.maximum.at(warp_cost, active // ws, costs.C_CHECK + work)
+        useful = n * costs.C_CHECK + float(work.sum())
+    else:
+        # Only |WS| threads launched; queue entries are node ids in
+        # ascending order (the generation kernel scans the update vector
+        # in index order).
+        launch = LaunchConfig.for_elements(max(1, active.size), tpb, device)
+        num_warps = launch.total_warps(device)
+        warp_cost = np.full(num_warps, costs.C_CHECK, dtype=np.float64)
+        if active.size:
+            lane_work = costs.C_CHECK + work
+            pad = num_warps * ws
+            padded = np.zeros(pad, dtype=np.float64)
+            padded[: active.size] = lane_work
+            warp_cost = np.maximum(warp_cost, padded.reshape(num_warps, ws).max(axis=1))
+        useful = active.size * costs.C_CHECK + float(work.sum())
+
+    issue = float(warp_cost.sum())
+    # Per-block critical path: warps of the same block issue serially on
+    # one SM, so the heaviest block is the sum of its warps' costs.
+    wpb = launch.warps_per_block(device)
+    max_block = _max_block_cycles(warp_cost, wpb)
+
+    # Thread mapping's memory parallelism: one outstanding neighbor fetch
+    # per active element (each thread walks its list serially), so the
+    # latency-hiding width is |WS| lanes — identically for bitmap and
+    # queue, since only the packing differs.
+    active_warps = -(-active.size // ws)
+
+    mem = _membership_read_transactions(shape, workset, Mapping.THREAD, device)
+    mem += _node_and_edge_transactions(shape, Mapping.THREAD, device)
+
+    return KernelTally(
+        name=shape.name,
+        launch=launch,
+        issue_cycles=issue,
+        useful_lane_cycles=useful,
+        max_block_cycles=max_block,
+        mem_transactions=mem,
+        atomics_multi_address=float(shape.improved),
+        atomic_address_count=max(1, shape.updated_count),
+        active_threads=int(active.size),
+        active_warps=active_warps,
+    )
+
+
+# ----------------------------------------------------------------------
+# Block mapping
+# ----------------------------------------------------------------------
+
+def _block_tally(
+    shape: ComputationShape,
+    workset: WorksetRepr,
+    tpb: int,
+    device: DeviceSpec,
+) -> KernelTally:
+    ws = device.warp_size
+    active = shape.active_ids
+    deg = shape.degrees.astype(np.float64)
+    warps_per_block = -(-tpb // ws)
+
+    # Neighborhood rounds: ceil(deg / tpb) sweeps of the whole block; each
+    # sweep issues one edge-visit instruction bundle per warp of the
+    # block, busy lanes or not — this is where sub-warp outdegrees waste
+    # cores (Section IV.B).
+    rounds = np.ceil(deg / tpb)
+    rounds = np.maximum(rounds, (deg > 0).astype(np.float64))
+    active_block_cost = (
+        costs.C_CHECK
+        + shape.guard_cost
+        + costs.C_NODE
+        + rounds * warps_per_block * shape.edge_cost
+    )
+
+    if workset is WorksetRepr.BITMAP:
+        num_blocks = max(1, shape.num_nodes)
+        inactive_blocks = num_blocks - active.size
+        issue = float(active_block_cost.sum()) + inactive_blocks * costs.C_CHECK
+        useful = shape.num_nodes * costs.C_CHECK + float(
+            (costs.C_NODE + deg * shape.edge_cost).sum()
+        )
+    else:
+        num_blocks = max(1, active.size)
+        issue = float(active_block_cost.sum()) if active.size else costs.C_CHECK
+        useful = float((costs.C_CHECK + costs.C_NODE + deg * shape.edge_cost).sum())
+
+    launch = LaunchConfig(num_blocks, tpb)
+    max_block = float(active_block_cost.max()) if active.size else costs.C_CHECK
+
+    mem = _membership_read_transactions(shape, workset, Mapping.BLOCK, device)
+    mem += _node_and_edge_transactions(shape, Mapping.BLOCK, device)
+
+    return KernelTally(
+        name=shape.name,
+        launch=launch,
+        issue_cycles=issue,
+        useful_lane_cycles=useful,
+        max_block_cycles=max_block,
+        mem_transactions=mem,
+        atomics_multi_address=float(shape.improved),
+        atomic_address_count=max(1, shape.updated_count),
+        active_threads=int(active.size),
+        # Block mapping's two-level parallelism: every neighbor of an
+        # active element is fetched by its own lane, so the
+        # latency-hiding width is min(deg, tpb) lanes per block.
+        active_warps=max(
+            1 if active.size else 0,
+            int(np.minimum(deg, tpb).sum()) // device.warp_size,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Virtual-warp mapping (extension: Hong et al.'s intermediate granularity)
+# ----------------------------------------------------------------------
+
+def _warp_tally(
+    shape: ComputationShape,
+    workset: WorksetRepr,
+    tpb: int,
+    device: DeviceSpec,
+) -> KernelTally:
+    """One working-set element per 32-lane warp.
+
+    The warp visits its element's neighborhood cooperatively in rounds
+    of ``warp_size`` lanes: a hub node no longer serializes a whole warp
+    (thread mapping's failure mode), and a low-degree node wastes at
+    most one warp-round instead of a whole block's (block mapping's
+    failure mode).  The price is that each element occupies 32 lanes, so
+    sub-warp outdegrees still idle cores.
+    """
+    ws = device.warp_size
+    active = shape.active_ids
+    deg = shape.degrees.astype(np.float64)
+    wpb = -(-tpb // ws)
+
+    rounds = np.ceil(deg / ws)
+    rounds = np.maximum(rounds, (deg > 0).astype(np.float64))
+    active_warp_cost = (
+        costs.C_CHECK + shape.guard_cost + costs.C_NODE + rounds * shape.edge_cost
+    )
+
+    if workset is WorksetRepr.BITMAP:
+        # One virtual warp per node: n warps = n/wpb blocks of tpb lanes.
+        num_warps = max(1, shape.num_nodes)
+        issue = float(active_warp_cost.sum()) + (num_warps - active.size) * costs.C_CHECK
+        useful = shape.num_nodes * costs.C_CHECK + float(
+            (costs.C_NODE + deg * shape.edge_cost).sum()
+        )
+        # Each warp's lane 0 reads its own flag byte: 32-byte transactions.
+        membership_mem = shape.num_nodes * SCATTER_FRACTION
+    else:
+        num_warps = max(1, active.size)
+        issue = float(active_warp_cost.sum()) if active.size else costs.C_CHECK
+        useful = float((costs.C_CHECK + costs.C_NODE + deg * shape.edge_cost).sum())
+        membership_mem = active.size * SCATTER_FRACTION
+
+    num_blocks = -(-num_warps // wpb)
+    launch = LaunchConfig(max(1, num_blocks), tpb)
+
+    # Critical path: the wpb warps co-resident in one block issue
+    # serially; bound by the heaviest wpb elements stacked together.
+    if active.size:
+        top = np.sort(active_warp_cost)[-min(wpb, active_warp_cost.size):]
+        max_block = float(top.sum())
+    else:
+        max_block = costs.C_CHECK
+
+    mem = membership_mem + _node_and_edge_transactions(shape, Mapping.WARP, device)
+
+    return KernelTally(
+        name=shape.name,
+        launch=launch,
+        issue_cycles=issue,
+        useful_lane_cycles=useful,
+        max_block_cycles=max_block,
+        mem_transactions=mem,
+        atomics_multi_address=float(shape.improved),
+        atomic_address_count=max(1, shape.updated_count),
+        active_threads=int(active.size),
+        # Cooperative neighbor fetches: min(deg, warp) lanes per element.
+        active_warps=max(
+            1 if active.size else 0,
+            int(np.minimum(deg, ws).sum()) // ws,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared memory-traffic accounting
+# ----------------------------------------------------------------------
+
+def _membership_read_transactions(
+    shape: ComputationShape,
+    workset: WorksetRepr,
+    mapping: Mapping,
+    device: DeviceSpec,
+) -> float:
+    tb = device.transaction_bytes
+    if workset is WorksetRepr.BITMAP:
+        if mapping is Mapping.THREAD:
+            # Consecutive threads stream consecutive flag bytes: coalesced.
+            return float(np.ceil(shape.num_nodes / tb))
+        # One flag byte per block, read by lane 0 of each block: one
+        # (32-byte) transaction per block.
+        return shape.num_nodes * SCATTER_FRACTION
+    if mapping is Mapping.THREAD:
+        return float(np.ceil(shape.active_ids.size * 4 / tb))
+    return shape.active_ids.size * SCATTER_FRACTION
+
+
+def _node_and_edge_transactions(
+    shape: ComputationShape, mapping: Mapping, device: DeviceSpec
+) -> float:
+    active = shape.active_ids
+    if active.size == 0:
+        return 0.0
+    deg = shape.degrees.astype(np.float64)
+    total_edges = float(deg.sum())
+
+    # Row-offset loads: two 8-byte values per active node, scattered.
+    offsets = 2 * active.size * SCATTER_FRACTION
+
+    # Adjacency (+ weight) streaming: cooperative mappings (block, warp)
+    # read each list with consecutive lanes -> coalesced streaming;
+    # thread mapping's lanes each walk their own list.
+    streams = 1 + shape.weight_streams
+    if mapping is Mapping.THREAD:
+        adjacency = streams * total_edges * THREAD_ADJ_FRACTION
+    else:
+        adjacency = streams * segment_stream_transactions(deg, 4, device)
+
+    # Neighbor state loads: fully scattered, both mappings.
+    state_loads = total_edges * SCATTER_FRACTION
+
+    # Improving relaxations write state + update flag, scattered.
+    update_writes = 2 * shape.improved * SCATTER_FRACTION
+
+    return float(offsets + adjacency + state_loads + update_writes)
+
+
+def _max_block_cycles(warp_cost: np.ndarray, warps_per_block: int) -> float:
+    """Max over blocks of the sum of their warps' issue costs."""
+    if warp_cost.size == 0:
+        return 0.0
+    num_blocks = -(-warp_cost.size // warps_per_block)
+    padded = np.zeros(num_blocks * warps_per_block, dtype=np.float64)
+    padded[: warp_cost.size] = warp_cost
+    return float(padded.reshape(num_blocks, warps_per_block).sum(axis=1).max())

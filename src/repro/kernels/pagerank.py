@@ -1,0 +1,236 @@
+"""Push-based PageRank on the GPU frame — the second extension algorithm.
+
+Residual-push PageRank is the textbook *unordered* amorphous algorithm
+(Galois's running example, Section II's lineage): each sweep processes
+every node whose residual exceeds the tolerance, absorbs the residual
+into its rank, and scatter-adds ``damping * residual / outdegree`` to
+its neighbors' residuals via ``atomicAdd`` — the same
+working-set / update-vector structure as unordered BFS/SSSP, so the
+variants and the adaptive runtime apply unchanged.
+
+PageRank's working-set trajectory is distinctive: it *starts at all
+nodes* (everyone holds initial residual), collapses quickly as
+low-degree regions converge, then trickles for many iterations around
+hubs — a mid-traversal mix that exercises every region of the decision
+space in one run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import _ragged_gather_indices
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.kernel import CostModel, CostParams
+from repro.gpusim.timeline import Timeline
+from repro.kernels import costs
+from repro.kernels.computation import StepResult
+from repro.kernels.frame import (
+    IterationRecord,
+    StaticPolicy,
+    TraversalResult,
+    VariantPolicy,
+    _final_transfers,
+    _initial_transfers,
+    _readback,
+    _tpb_for,
+)
+from repro.kernels.mapping import ComputationShape, computation_tally
+from repro.kernels.variants import Variant
+from repro.kernels.workset import Workset, workset_gen_tallies
+
+__all__ = ["pagerank_step", "traverse_pagerank", "run_pagerank"]
+
+
+def pagerank_step(
+    graph: CSRGraph,
+    workset: Workset,
+    rank: np.ndarray,
+    residual: np.ndarray,
+    damping: float,
+    tolerance: float,
+    variant: Variant,
+    threads_per_block: int,
+    device: DeviceSpec,
+    *,
+    name: str = "pagerank_comp",
+) -> StepResult:
+    """One push sweep; mutates *rank* and *residual* in place.
+
+    Returns the nodes whose residual crossed the tolerance during this
+    sweep (the next working set).
+    """
+    frontier = workset.nodes
+    if frontier.size == 0:
+        raise KernelError("pagerank_step called with an empty working set")
+    offsets, cols = graph.row_offsets, graph.col_indices
+    degrees = graph.out_degrees[frontier]
+
+    r = residual[frontier]
+    rank[frontier] += r
+    residual[frontier] = 0.0
+
+    has_out = degrees > 0
+    src = frontier[has_out]
+    edges = 0
+    improved = 0
+    if src.size:
+        idx = _ragged_gather_indices(offsets[src], offsets[src + 1])
+        edges = int(idx.size)
+        dst = cols[idx]
+        share = np.repeat(
+            damping * r[has_out] / degrees[has_out], degrees[has_out]
+        )
+        before = residual[dst] < tolerance
+        np.add.at(residual, dst, share)
+        crossed = before & (residual[dst] >= tolerance)
+        improved = int(crossed.sum())
+        updated = np.unique(dst[residual[dst] >= tolerance])
+    else:
+        updated = np.empty(0, dtype=np.int64)
+    # Frontier members whose residual was re-raised above tolerance by
+    # their own neighbors within this sweep stay in the working set.
+    updated = np.union1d(
+        updated, frontier[residual[frontier] >= tolerance]
+    ).astype(np.int64)
+
+    shape = ComputationShape(
+        name=name,
+        num_nodes=graph.num_nodes,
+        active_ids=frontier,
+        degrees=degrees,
+        # Each push is a neighbor load + float divide share + atomicAdd.
+        edge_cost=costs.C_EDGE_WEIGHTED,
+        improved=edges,  # every push is an atomic residual update
+        updated_count=max(1, int(updated.size)),
+        weight_streams=0,
+    )
+    tally = computation_tally(
+        shape, variant.mapping, variant.workset, threads_per_block, device
+    )
+    return StepResult(
+        updated=updated,
+        tally=tally,
+        improved_relaxations=improved,
+        edges_scanned=edges,
+        processed=int(frontier.size),
+    )
+
+
+def traverse_pagerank(
+    graph: CSRGraph,
+    policy: VariantPolicy,
+    *,
+    damping: float = 0.85,
+    tolerance: float = 1e-6,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    queue_gen: str = "atomic",
+) -> TraversalResult:
+    """Push PageRank under *policy*; ``result.values`` are the ranks."""
+    if not 0 < damping < 1:
+        raise KernelError(f"damping must be in (0, 1), got {damping}")
+    if tolerance <= 0:
+        raise KernelError(f"tolerance must be > 0, got {tolerance}")
+    model = CostModel(device, cost_params)
+    timeline = Timeline()
+    _initial_transfers(graph, timeline, device)
+
+    n = graph.num_nodes
+    rank = np.zeros(n, dtype=np.float64)
+    residual = np.full(n, (1.0 - damping) / max(1, n), dtype=np.float64)
+    frontier = np.flatnonzero(residual >= tolerance).astype(np.int64)
+    records: List[IterationRecord] = []
+    iteration = 0
+    cap = max_iterations if max_iterations is not None else 1000 * max(
+        1, int(np.log2(max(2, n)))
+    )
+    variant = policy.choose(0, max(1, int(frontier.size)))
+
+    while frontier.size:
+        if iteration >= cap:
+            raise KernelError(
+                f"pagerank exceeded {cap} iterations; lower the tolerance"
+            )
+        tpb = _tpb_for(variant, graph, device)
+        workset = Workset.from_update_ids(frontier, variant.workset)
+
+        step = pagerank_step(
+            graph, workset, rank, residual, damping, tolerance,
+            variant, tpb, device,
+        )
+        comp_cost = model.price(step.tally)
+        timeline.add_kernel(iteration, step.tally, comp_cost, variant.code)
+        seconds = comp_cost.seconds
+
+        next_size = int(step.updated.size)
+        next_variant = policy.choose(iteration + 1, next_size) if next_size else variant
+        for tally in policy.overhead_tallies(iteration, workset.size, n, device):
+            cost = model.price(tally)
+            timeline.add_kernel(iteration, tally, cost, variant.code)
+            seconds += cost.seconds
+        for tally in workset_gen_tallies(
+            n, next_size, next_variant.workset, device, scheme=queue_gen
+        ):
+            cost = model.price(tally)
+            timeline.add_kernel(iteration, tally, cost, variant.code)
+            seconds += cost.seconds
+        _readback(timeline, device)
+
+        record = IterationRecord(
+            iteration=iteration,
+            variant=variant.code,
+            workset_size=workset.size,
+            processed=step.processed,
+            updated=next_size,
+            edges_scanned=step.edges_scanned,
+            improved_relaxations=step.improved_relaxations,
+            seconds=seconds,
+        )
+        records.append(record)
+        policy.notify(record)
+        frontier = step.updated
+        variant = next_variant
+        iteration += 1
+
+    _final_transfers(graph, timeline, device)
+    return TraversalResult(
+        algorithm="pagerank",
+        source=-1,
+        values=rank,
+        iterations=records,
+        timeline=timeline,
+        device=device,
+        policy_name=policy.name,
+    )
+
+
+def run_pagerank(
+    graph: CSRGraph,
+    variant: Union[Variant, str] = "U_T_BM",
+    *,
+    damping: float = 0.85,
+    tolerance: float = 1e-6,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    queue_gen: str = "atomic",
+) -> TraversalResult:
+    """Run one static PageRank variant."""
+    if isinstance(variant, str):
+        variant = Variant.parse(variant)
+    return traverse_pagerank(
+        graph,
+        StaticPolicy(variant),
+        damping=damping,
+        tolerance=tolerance,
+        device=device,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
+        queue_gen=queue_gen,
+    )

@@ -1,0 +1,61 @@
+"""User-facing runners for the 8 static SSSP variants."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.kernel import CostParams
+from repro.kernels.frame import StaticPolicy, TraversalResult, traverse_sssp
+from repro.kernels.variants import Variant, all_variants
+
+__all__ = ["run_sssp", "run_sssp_all_variants"]
+
+
+def run_sssp(
+    graph: CSRGraph,
+    source: int,
+    variant: Union[Variant, str] = "U_T_BM",
+    *,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    queue_gen: str = "atomic",
+) -> TraversalResult:
+    """Run one static SSSP variant on the simulated device.
+
+    Ordered variants use the GPU-Dijkstra frame (findmin by parallel
+    reduction); unordered ones the Bellman-Ford frame (Figure 5).
+    """
+    if isinstance(variant, str):
+        variant = Variant.parse(variant)
+    return traverse_sssp(
+        graph,
+        source,
+        StaticPolicy(variant),
+        device=device,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
+        queue_gen=queue_gen,
+    )
+
+
+def run_sssp_all_variants(
+    graph: CSRGraph,
+    source: int,
+    *,
+    variants: Optional[Sequence[Union[Variant, str]]] = None,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+) -> Dict[str, TraversalResult]:
+    """Run SSSP under every requested variant (default: all 8); results
+    are keyed by variant code in table order (the columns of Table 3)."""
+    chosen = variants if variants is not None else all_variants()
+    out: Dict[str, TraversalResult] = {}
+    for v in chosen:
+        v = Variant.parse(v) if isinstance(v, str) else v
+        out[v.code] = run_sssp(
+            graph, source, v, device=device, cost_params=cost_params
+        )
+    return out

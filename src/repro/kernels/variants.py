@@ -1,0 +1,144 @@
+"""The implementation space: O/U x T/B x BM/QU (Figure 3).
+
+A :class:`Variant` names one corner of the paper's 3-D exploration
+space.  The naming convention follows Section VII: three fields joined
+by underscores — ordering (``O``/``U``), mapping (``T``/``B``), working
+set (``BM``/``QU``); e.g. ``U_B_QU`` is unordered, block-mapped, with a
+queue working set.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import KernelError
+from repro.gpusim.device import DeviceSpec
+
+__all__ = [
+    "Ordering",
+    "Mapping",
+    "WorksetRepr",
+    "Variant",
+    "all_variants",
+    "unordered_variants",
+    "extended_variants",
+    "THREAD_MAPPING_TPB",
+    "block_mapping_tpb",
+]
+
+
+class Ordering(enum.Enum):
+    """Ordered algorithms process working-set elements in key order and
+    touch each element a minimum number of times; unordered ones process
+    the whole set every sweep (Section IV.A)."""
+
+    ORDERED = "O"
+    UNORDERED = "U"
+
+
+class Mapping(enum.Enum):
+    """Work-to-hardware mapping granularity (Section IV.B): one element
+    per thread, or one element per thread-block with the neighborhood
+    visited cooperatively.
+
+    ``WARP`` is this library's *extension* of the space — the
+    intermediate granularity the paper points at ("nodes with a high
+    outdegree can be split across multiple threads ... we limit
+    ourselves to the two basic mapping strategies") and Hong et al.'s
+    virtual warp-centric model: one element per 32-lane warp, neighbors
+    visited cooperatively by the warp's lanes.  It is not part of the
+    paper's evaluated space and is excluded from :func:`all_variants`;
+    use :func:`extended_variants` to include it.
+    """
+
+    THREAD = "T"
+    BLOCK = "B"
+    WARP = "W"
+
+
+class WorksetRepr(enum.Enum):
+    """Working-set representation (Section IV.C)."""
+
+    BITMAP = "BM"
+    QUEUE = "QU"
+
+
+#: threads per block for thread-based mapping — the paper's empirically
+#: best configuration ("192 threads per block", Section VII.A)
+THREAD_MAPPING_TPB = 192
+
+
+def block_mapping_tpb(avg_out_degree: float, device: DeviceSpec) -> int:
+    """Block-mapping block size: "the multiple of 32 closest to the
+    average node outdegree in the graph" (Section VII.A), clamped to
+    [warp size, device limit]."""
+    ws = device.warp_size
+    multiple = int(round(max(avg_out_degree, 1.0) / ws)) * ws
+    return int(min(max(multiple, ws), device.max_threads_per_block))
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One point of the exploration space."""
+
+    ordering: Ordering
+    mapping: Mapping
+    workset: WorksetRepr
+
+    @property
+    def code(self) -> str:
+        """Paper-style short code, e.g. ``'U_T_BM'``."""
+        return f"{self.ordering.value}_{self.mapping.value}_{self.workset.value}"
+
+    @classmethod
+    def parse(cls, code: str) -> "Variant":
+        """Parse a paper-style code like ``'U_B_QU'`` (case-insensitive)."""
+        parts = code.strip().upper().split("_")
+        if len(parts) != 3:
+            raise KernelError(
+                f"variant code must have 3 fields like 'U_T_BM', got {code!r}"
+            )
+        try:
+            return cls(Ordering(parts[0]), Mapping(parts[1]), WorksetRepr(parts[2]))
+        except ValueError as exc:
+            raise KernelError(f"invalid variant code {code!r}") from exc
+
+    def threads_per_block(self, avg_out_degree: float, device: DeviceSpec) -> int:
+        """The launch block size this variant uses on this graph."""
+        if self.mapping is Mapping.BLOCK:
+            return block_mapping_tpb(avg_out_degree, device)
+        # Thread and virtual-warp mapping both use the empirically best
+        # general-purpose block size (192 = 6 warps on Fermi).
+        return min(THREAD_MAPPING_TPB, device.max_threads_per_block)
+
+    def __str__(self) -> str:
+        return self.code
+
+
+def all_variants(ordering: Tuple[Ordering, ...] = (Ordering.ORDERED, Ordering.UNORDERED)) -> Tuple[Variant, ...]:
+    """All 8 variants (or the 4 of one ordering) in table order:
+    O_T_BM, O_T_QU, O_B_BM, O_B_QU, U_T_BM, U_T_QU, U_B_BM, U_B_QU."""
+    out = []
+    for o in ordering:
+        for m in (Mapping.THREAD, Mapping.BLOCK):
+            for w in (WorksetRepr.BITMAP, WorksetRepr.QUEUE):
+                out.append(Variant(o, m, w))
+    return tuple(out)
+
+
+def unordered_variants() -> Tuple[Variant, ...]:
+    """The 4 unordered variants the adaptive runtime switches between
+    (Section VI.A: the framework uses only unordered versions)."""
+    return all_variants(ordering=(Ordering.UNORDERED,))
+
+
+def extended_variants() -> Tuple[Variant, ...]:
+    """The unordered variants including the virtual-warp extension:
+    U_T_*, U_W_*, U_B_* (6 variants)."""
+    out = []
+    for m in (Mapping.THREAD, Mapping.WARP, Mapping.BLOCK):
+        for w in (WorksetRepr.BITMAP, WorksetRepr.QUEUE):
+            out.append(Variant(Ordering.UNORDERED, m, w))
+    return tuple(out)

@@ -1,0 +1,95 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The paper reports its evaluation as tables (Tables 1-3) and series
+(Figures 1, 2, 12, 13).  The benches print the same rows with this small
+formatter so outputs are diffable and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["Table", "format_si", "format_seconds"]
+
+_SI_PREFIXES = [(1e9, "G"), (1e6, "M"), (1e3, "K")]
+
+
+def format_si(value: float, digits: int = 1) -> str:
+    """Format *value* with an SI suffix: ``34_500_000 -> '34.5M'``."""
+    v = float(value)
+    sign = "-" if v < 0 else ""
+    v = abs(v)
+    for factor, suffix in _SI_PREFIXES:
+        if v >= factor:
+            return f"{sign}{v / factor:.{digits}f}{suffix}"
+    if v == int(v):
+        return f"{sign}{int(v)}"
+    return f"{sign}{v:.{digits}f}"
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a simulated duration with a unit that keeps 3-4 significant digits."""
+    s = float(seconds)
+    if s < 0:
+        return "-" + format_seconds(-s)
+    if s == 0:
+        return "0s"
+    if s < 1e-6:
+        return f"{s * 1e9:.1f}ns"
+    if s < 1e-3:
+        return f"{s * 1e6:.1f}us"
+    if s < 1.0:
+        return f"{s * 1e3:.2f}ms"
+    return f"{s:.3f}s"
+
+
+class Table:
+    """Monospace table builder.
+
+    >>> t = Table(["net", "nodes"], title="datasets")
+    >>> t.add_row(["CO-road", 435666])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns: List[str] = [str(c) for c in columns]
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "-"
+            if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+                return f"{value:.3g}"
+            return f"{value:.2f}"
+        return str(value)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "+".join("-" * (w + 2) for w in widths)
+        lines = []
+        if self.title:
+            lines.append(f"== {self.title} ==")
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,108 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    attach_uniform_weights,
+    balanced_tree,
+    chain_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    power_law_graph,
+    star_graph,
+)
+from repro.gpusim.device import TESLA_C2070
+
+
+@pytest.fixture
+def device():
+    return TESLA_C2070
+
+
+@pytest.fixture
+def tiny_graph() -> CSRGraph:
+    """The paper's Figure 7 example-style graph: 5 nodes, mixed degrees."""
+    # 0 -> 1, 2; 1 -> 2; 2 -> 3, 4; 3 -> 4; 4 -> (none)
+    return from_edge_list(
+        [0, 0, 1, 2, 2, 3],
+        [1, 2, 2, 3, 4, 4],
+        num_nodes=5,
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def tiny_weighted(tiny_graph) -> CSRGraph:
+    return tiny_graph.with_weights([1.0, 4.0, 2.0, 7.0, 3.0, 1.0])
+
+
+@pytest.fixture
+def chain10() -> CSRGraph:
+    return chain_graph(10)
+
+
+@pytest.fixture
+def tree_3_4() -> CSRGraph:
+    return balanced_tree(3, 4)
+
+
+@pytest.fixture
+def grid_8x8() -> CSRGraph:
+    return grid_graph(8, 8)
+
+
+@pytest.fixture
+def star_64() -> CSRGraph:
+    return star_graph(64)
+
+
+@pytest.fixture
+def random_graph() -> CSRGraph:
+    return erdos_renyi_graph(200, 900, seed=7)
+
+
+@pytest.fixture
+def random_weighted() -> CSRGraph:
+    return attach_uniform_weights(erdos_renyi_graph(200, 900, seed=7), seed=8)
+
+
+@pytest.fixture
+def skewed_graph() -> CSRGraph:
+    return power_law_graph(
+        300, alpha=1.8, min_degree=1, max_degree=80, seed=11, name="skewed"
+    )
+
+
+def assert_bfs_matches_networkx(graph: CSRGraph, source: int, levels: np.ndarray):
+    """Check levels against networkx shortest hop counts."""
+    import networkx as nx
+
+    from repro.graph.builder import to_networkx
+
+    nxg = to_networkx(graph)
+    expected = nx.single_source_shortest_path_length(nxg, source)
+    for node in range(graph.num_nodes):
+        if node in expected:
+            assert levels[node] == expected[node], f"node {node}"
+        else:
+            assert levels[node] == -1, f"node {node} should be unreachable"
+
+
+def assert_sssp_matches_networkx(graph: CSRGraph, source: int, dist: np.ndarray):
+    """Check distances against networkx Dijkstra."""
+    import networkx as nx
+
+    from repro.graph.builder import to_networkx
+
+    nxg = to_networkx(graph)
+    expected = nx.single_source_dijkstra_path_length(nxg, source, weight="weight")
+    for node in range(graph.num_nodes):
+        if node in expected:
+            assert np.isclose(dist[node], expected[node]), f"node {node}"
+        else:
+            assert np.isinf(dist[node]), f"node {node} should be unreachable"

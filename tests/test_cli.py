@@ -1,0 +1,178 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.generators import attach_uniform_weights, erdos_renyi_graph
+from repro.graph.io import write_dimacs
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])
+
+    def test_dataset_and_file_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["bfs", "--dataset", "amazon", "--file", "x.gr"]
+            )
+
+
+class TestListingCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for key in ("co-road", "citeseer", "p2p", "amazon", "google", "sns"):
+            assert key in out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla C2070" in out
+        assert "14" in out
+
+
+class TestCharacterize:
+    def test_dataset(self, capsys):
+        assert main(["characterize", "--dataset", "p2p", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "avg outdegree" in out
+        assert "outdegree distribution" in out
+
+    def test_with_diameter(self, capsys):
+        rc = main(
+            ["characterize", "--dataset", "co-road", "--scale", "0.01", "--diameter"]
+        )
+        assert rc == 0
+        assert "pseudo-diameter" in capsys.readouterr().out
+
+
+class TestTraversals:
+    def test_bfs_adaptive(self, capsys):
+        rc = main(["bfs", "--dataset", "amazon", "--scale", "0.01"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verified vs CPU oracle" in out
+        assert "MISMATCH" not in out
+        assert "decisions" in out
+
+    def test_sssp_static_variant(self, capsys):
+        rc = main(["sssp", "--dataset", "p2p", "--scale", "0.1", "--mode", "U_B_QU"])
+        assert rc == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_sssp_warp_mapping(self, capsys):
+        rc = main(
+            ["sssp", "--dataset", "amazon", "--scale", "0.01", "--warp-mapping"]
+        )
+        assert rc == 0
+
+    def test_explicit_source(self, capsys):
+        import re
+
+        rc = main(["bfs", "--dataset", "p2p", "--scale", "0.1", "--source", "5"])
+        assert rc == 0
+        assert re.search(r"source\s*\|\s*5\b", capsys.readouterr().out)
+
+    def test_file_input(self, tmp_path, capsys):
+        g = attach_uniform_weights(erdos_renyi_graph(60, 300, seed=1), seed=2)
+        path = tmp_path / "little.gr"
+        write_dimacs(g, path)
+        rc = main(["sssp", "--file", str(path)])
+        assert rc == 0
+        assert "little" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_sssp(self, capsys):
+        rc = main(["compare", "--dataset", "p2p", "--scale", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for code in ("U_T_BM", "U_B_QU", "adaptive"):
+            assert code in out
+
+    def test_compare_extended(self, capsys):
+        rc = main(
+            ["compare", "--dataset", "amazon", "--scale", "0.01", "--extended"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "U_W_QU" in out
+        assert "adaptive+W" in out
+
+
+class TestSweep:
+    def test_sweep_t3(self, capsys):
+        rc = main(["sweep-t3", "--dataset", "p2p", "--scale", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best T3" in out
+        assert "13%" in out
+
+
+class TestExtensionCommands:
+    def test_cc(self, capsys):
+        rc = main(["cc", "--dataset", "p2p", "--scale", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "components" in out
+        assert "MISMATCH" not in out
+
+    def test_cc_static_mode(self, capsys):
+        rc = main(["cc", "--dataset", "p2p", "--scale", "0.05", "--mode", "U_B_QU"])
+        assert rc == 0
+
+    def test_kcore(self, capsys):
+        rc = main(["kcore", "--dataset", "p2p", "--scale", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max core" in out
+        assert "MISMATCH" not in out
+
+    def test_pagerank(self, capsys):
+        rc = main(["pagerank", "--dataset", "p2p", "--scale", "0.05",
+                   "--tolerance", "1e-5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "top nodes" in out
+        assert "MISMATCH" not in out
+
+    def test_hybrid(self, capsys):
+        rc = main(
+            ["hybrid", "--dataset", "co-road", "--scale", "0.01",
+             "--algorithm", "bfs"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CPU iterations" in out
+        assert "MISMATCH" not in out
+
+    def test_oracle(self, capsys):
+        rc = main(["oracle", "--dataset", "p2p", "--scale", "0.1",
+                   "--algorithm", "bfs"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "regret" in out
+        assert "agreement" in out
+
+    def test_trace_export(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "t.json"
+        rc = main(
+            ["bfs", "--dataset", "p2p", "--scale", "0.05", "--trace", str(path)]
+        )
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]

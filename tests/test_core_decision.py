@@ -1,0 +1,98 @@
+"""Tests for repro.core.decision and repro.core.config: the Figure-11
+decision space."""
+
+import pytest
+
+from repro.core.config import RuntimeConfig
+from repro.core.decision import DecisionMaker, Thresholds
+from repro.errors import RuntimeConfigError
+from repro.gpusim.device import GTX_580, TESLA_C2070
+
+
+@pytest.fixture
+def maker():
+    # T1=32, T2=2688, T3=10000 (a 167k-node graph at 6 %)
+    return DecisionMaker(Thresholds(t1=32.0, t2=2688, t3=10_000))
+
+
+class TestDecisionRegions:
+    def test_tiny_workset_always_b_qu(self, maker):
+        # Left of T2: B_QU regardless of degree (Figure 11).
+        assert maker.decide(10, 2.5).code == "U_B_QU"
+        assert maker.decide(2687, 500.0).code == "U_B_QU"
+
+    def test_mid_workset_low_degree(self, maker):
+        assert maker.decide(5000, 8.0).code == "U_T_QU"
+
+    def test_mid_workset_high_degree(self, maker):
+        assert maker.decide(5000, 73.9).code == "U_B_QU"
+
+    def test_large_workset_low_degree(self, maker):
+        assert maker.decide(50_000, 8.0).code == "U_T_BM"
+
+    def test_large_workset_high_degree(self, maker):
+        assert maker.decide(50_000, 73.9).code == "U_B_BM"
+
+    def test_boundaries_inclusive_exclusive(self, maker):
+        # ws == T2 leaves the small-ws region; ws == T3 enters bitmap.
+        assert maker.decide(2688, 8.0).code == "U_T_QU"
+        assert maker.decide(10_000, 8.0).code == "U_T_BM"
+        assert maker.decide(9_999, 8.0).code == "U_T_QU"
+
+    def test_t1_boundary(self, maker):
+        assert maker.decide(5000, 31.9).code == "U_T_QU"
+        assert maker.decide(5000, 32.0).code == "U_B_QU"
+
+    def test_only_unordered(self, maker):
+        for ws in (1, 5000, 50_000):
+            for deg in (2.0, 100.0):
+                assert maker.decide(ws, deg).code.startswith("U_")
+
+    def test_region_labels(self, maker):
+        assert maker.region(10, 5.0) == "small-ws"
+        assert maker.region(5000, 5.0) == "mid-ws/low-degree"
+        assert maker.region(50_000, 100.0) == "large-ws/high-degree"
+
+
+class TestThresholds:
+    def test_rejects_bad_t1(self):
+        with pytest.raises(RuntimeConfigError):
+            Thresholds(t1=0.0, t2=1, t3=1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(RuntimeConfigError):
+            Thresholds(t1=32.0, t2=-1, t3=1)
+
+
+class TestRuntimeConfig:
+    def test_t1_defaults_to_warp_size(self):
+        assert RuntimeConfig().resolve_t1(TESLA_C2070) == 32.0
+
+    def test_t2_defaults_to_tpb_times_sms(self):
+        # 192 threads x 14 SMs = 2688 (Section VII.B).
+        assert RuntimeConfig().resolve_t2(TESLA_C2070) == 2688
+
+    def test_t2_scales_with_device(self):
+        assert RuntimeConfig().resolve_t2(GTX_580) == 192 * 16
+
+    def test_t3_fraction_resolution(self):
+        assert RuntimeConfig(t3_fraction=0.06).resolve_t3(435_666) == 26_140
+
+    def test_explicit_overrides(self):
+        cfg = RuntimeConfig(t1=16.0, t2=999)
+        assert cfg.resolve_t1(TESLA_C2070) == 16.0
+        assert cfg.resolve_t2(TESLA_C2070) == 999
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(RuntimeConfigError):
+            RuntimeConfig(t3_fraction=0.0)
+        with pytest.raises(RuntimeConfigError):
+            RuntimeConfig(sampling_interval=0)
+        with pytest.raises(RuntimeConfigError):
+            RuntimeConfig(switch_mode="magic")
+        with pytest.raises(RuntimeConfigError):
+            RuntimeConfig(t1=-2.0)
+
+    def test_with_overrides(self):
+        cfg = RuntimeConfig().with_overrides(sampling_interval=4)
+        assert cfg.sampling_interval == 4

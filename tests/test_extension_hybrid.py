@@ -1,0 +1,122 @@
+"""Tests for the hybrid CPU-GPU executor (extension: Hong et al. [13])."""
+
+import numpy as np
+import pytest
+
+from repro.core import HybridConfig, hybrid_bfs, hybrid_sssp
+from repro.cpu import cpu_bfs, cpu_dijkstra
+from repro.errors import KernelError
+from repro.graph.generators import (
+    attach_uniform_weights,
+    chain_graph,
+    erdos_renyi_graph,
+    power_law_graph,
+    road_network,
+)
+from repro.gpusim.device import TESLA_C2070
+
+
+class TestCorrectness:
+    def test_bfs_matches_cpu(self, random_graph):
+        r = hybrid_bfs(random_graph, 0)
+        assert np.array_equal(r.values, cpu_bfs(random_graph, 0).levels)
+
+    def test_sssp_matches_dijkstra(self, random_weighted):
+        r = hybrid_sssp(random_weighted, 0)
+        assert np.allclose(r.values, cpu_dijkstra(random_weighted, 0).distances)
+
+    def test_sssp_requires_weights(self, random_graph):
+        with pytest.raises(KernelError, match="weighted"):
+            hybrid_sssp(random_graph, 0)
+
+    def test_bad_source(self, random_graph):
+        with pytest.raises(Exception):
+            hybrid_bfs(random_graph, 10**9)
+
+    def test_max_iterations(self):
+        g = chain_graph(100)
+        with pytest.raises(KernelError, match="exceeded"):
+            hybrid_bfs(g, 0, max_iterations=2)
+
+
+class TestDeviceSchedule:
+    def test_devices_per_iteration(self, random_graph):
+        r = hybrid_bfs(random_graph, 0)
+        assert len(r.devices) == r.traversal.num_iterations
+        assert set(r.devices) <= {"cpu", "gpu"}
+        assert r.cpu_iterations + r.gpu_iterations == len(r.devices)
+
+    def test_tiny_frontiers_go_to_cpu(self):
+        # A chain's frontier is always one node: pure CPU territory.
+        g = chain_graph(200)
+        r = hybrid_bfs(g, 0)
+        assert r.cpu_iterations > 0.9 * len(r.devices)
+
+    def test_huge_frontiers_go_to_gpu(self):
+        g = power_law_graph(50_000, alpha=1.8, max_degree=400, seed=3)
+        src = int(np.argmax(g.out_degrees))
+        r = hybrid_bfs(g, src)
+        assert r.gpu_iterations >= 1
+        # The peak-frontier iteration must be on the GPU.
+        peak = max(range(len(r.devices)),
+                   key=lambda i: r.traversal.iterations[i].workset_size)
+        assert r.devices[peak] == "gpu"
+
+    def test_transitions_counted_and_paid(self):
+        g = power_law_graph(50_000, alpha=1.8, max_degree=400, seed=3)
+        src = int(np.argmax(g.out_degrees))
+        r = hybrid_bfs(g, src)
+        # Device changes along the schedule match the transition count,
+        # remembering execution starts on the GPU (post-transfer).
+        changes = sum(
+            1 for a, b in zip(["gpu"] + r.devices[:-1], r.devices) if a != b
+        )
+        assert changes == r.transitions
+        # Each transition shows up as a PCIe transfer of at least the
+        # state array.
+        big_transfers = [
+            t for t in r.traversal.timeline.transfers
+            if t.num_bytes >= 4 * g.num_nodes
+        ]
+        assert len(big_transfers) >= r.transitions
+
+    def test_hysteresis_limits_ping_pong(self):
+        g = erdos_renyi_graph(30_000, 120_000, seed=4)
+        strict = hybrid_bfs(
+            g, 0, hybrid_config=HybridConfig(min_run_length=10)
+        )
+        loose = hybrid_bfs(
+            g, 0, hybrid_config=HybridConfig(min_run_length=1)
+        )
+        assert strict.transitions <= loose.transitions
+
+
+class TestHybridAdvantage:
+    def test_beats_pure_gpu_on_road(self):
+        """The Hong et al. result: alternating execution rescues the
+        GPU-hostile road topology."""
+        from repro.core import adaptive_bfs
+
+        g = road_network(20_000, seed=5)
+        r_hybrid = hybrid_bfs(g, 0)
+        r_gpu = adaptive_bfs(g, 0)
+        assert np.array_equal(r_hybrid.values, r_gpu.values)
+        assert r_hybrid.total_seconds < 0.6 * r_gpu.total_seconds
+
+    def test_close_to_gpu_on_dense(self):
+        from repro.core import adaptive_sssp
+
+        g = attach_uniform_weights(
+            power_law_graph(30_000, alpha=1.7, max_degree=500, seed=6), seed=7
+        )
+        src = int(np.argmax(g.out_degrees))
+        r_hybrid = hybrid_sssp(g, src)
+        r_gpu = adaptive_sssp(g, src)
+        assert r_hybrid.total_seconds < 1.3 * r_gpu.total_seconds
+
+    def test_cpu_advantage_knob(self):
+        g = erdos_renyi_graph(20_000, 80_000, seed=8)
+        never_cpu = hybrid_bfs(
+            g, 0, hybrid_config=HybridConfig(cpu_advantage=0.0)
+        )
+        assert never_cpu.cpu_iterations == 0

@@ -1,0 +1,59 @@
+"""Tests for the cost-model calibration utility."""
+
+import pytest
+
+from repro.errors import TuningError
+from repro.gpusim.calibration import calibrate_atomic_cost, measured_t3_crossover
+from repro.gpusim.kernel import CostParams
+from repro.graph.generators import power_law_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(100_000, alpha=2.1, max_degree=300, seed=30)
+
+
+class TestMeasuredCrossover:
+    def test_default_params_low_percent(self, graph):
+        frac = measured_t3_crossover(graph)
+        assert 0.001 < frac < 0.10
+
+    def test_monotone_in_atomic_cost(self, graph):
+        cheap = measured_t3_crossover(
+            graph, params=CostParams(atomic_cycles_per_op=1.0)
+        )
+        dear = measured_t3_crossover(
+            graph, params=CostParams(atomic_cycles_per_op=12.0)
+        )
+        assert dear <= cheap
+
+    def test_deterministic(self, graph):
+        assert measured_t3_crossover(graph, seed=1) == measured_t3_crossover(
+            graph, seed=1
+        )
+
+
+class TestCalibrateAtomicCost:
+    def test_hits_target(self, graph):
+        target = 0.02
+        params = calibrate_atomic_cost(graph, target)
+        achieved = measured_t3_crossover(graph, params=params)
+        assert achieved == pytest.approx(target, abs=0.005)
+
+    def test_preserves_other_params(self, graph):
+        base = CostParams(block_dispatch_cycles=77.0)
+        params = calibrate_atomic_cost(graph, 0.02, base_params=base)
+        assert params.block_dispatch_cycles == 77.0
+
+    def test_rejects_silly_target(self, graph):
+        with pytest.raises(TuningError):
+            calibrate_atomic_cost(graph, 0.9)
+
+    def test_rejects_unreachable_target(self, graph):
+        # A crossover at 40% of |V| would need absurdly cheap atomics.
+        with pytest.raises(TuningError, match="outside achievable"):
+            calibrate_atomic_cost(graph, 0.45)
+
+    def test_rejects_bad_bounds(self, graph):
+        with pytest.raises(TuningError):
+            calibrate_atomic_cost(graph, 0.02, bounds=(5.0, 1.0))

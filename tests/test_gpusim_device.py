@@ -1,0 +1,68 @@
+"""Tests for repro.gpusim.device."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim.device import (
+    DeviceSpec,
+    GTX_580,
+    QUADRO_2000,
+    TESLA_C2070,
+    device_registry,
+)
+
+
+class TestPresets:
+    def test_c2070_matches_paper(self):
+        # Section VII: "an Nvidia Tesla C2070 GPU, which contains 14
+        # 32-core SMs"; Fermi datasheet: 1.15 GHz, 144 GB/s.
+        assert TESLA_C2070.num_sms == 14
+        assert TESLA_C2070.cores_per_sm == 32
+        assert TESLA_C2070.total_cores == 448
+        assert TESLA_C2070.warp_size == 32
+        assert TESLA_C2070.clock_ghz == pytest.approx(1.15)
+        assert TESLA_C2070.mem_bandwidth_gbs == pytest.approx(144.0)
+
+    def test_registry_contains_presets(self):
+        reg = device_registry()
+        assert reg["c2070"] is TESLA_C2070
+        assert reg["gtx580"] is GTX_580
+        assert reg["quadro2000"] is QUADRO_2000
+
+    def test_gtx580_bigger(self):
+        assert GTX_580.num_sms > TESLA_C2070.num_sms
+        assert GTX_580.clock_ghz > TESLA_C2070.clock_ghz
+
+
+class TestDerivedQuantities:
+    def test_bytes_per_cycle(self):
+        # 144 GB/s at 1.15 GHz ~ 125 bytes per core cycle.
+        assert TESLA_C2070.bytes_per_cycle == pytest.approx(125.2, rel=0.01)
+
+    def test_cycles_seconds_roundtrip(self):
+        s = TESLA_C2070.cycles_to_seconds(1_150_000_000)
+        assert s == pytest.approx(1.0)
+        assert TESLA_C2070.seconds_to_cycles(s) == pytest.approx(1_150_000_000)
+
+    def test_warps_per_block_limit(self):
+        assert TESLA_C2070.warps_per_block_limit == 32
+
+
+class TestValidation:
+    def test_rejects_zero_sms(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(name="bad", num_sms=0, cores_per_sm=32)
+
+    def test_rejects_negative_clock(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(name="bad", num_sms=1, cores_per_sm=32, clock_ghz=-1)
+
+    def test_rejects_non_warp_multiple_block(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(name="bad", num_sms=1, cores_per_sm=32, max_threads_per_block=100)
+
+    def test_with_overrides(self):
+        d = TESLA_C2070.with_overrides(num_sms=7)
+        assert d.num_sms == 7
+        assert d.clock_ghz == TESLA_C2070.clock_ghz
+        assert TESLA_C2070.num_sms == 14  # original untouched

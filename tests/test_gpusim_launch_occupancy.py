@@ -1,0 +1,95 @@
+"""Tests for repro.gpusim.launch and repro.gpusim.occupancy."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpusim.device import TESLA_C2070
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.occupancy import occupancy
+
+
+class TestLaunchConfig:
+    def test_for_elements_rounds_up(self):
+        lc = LaunchConfig.for_elements(1000, 192, TESLA_C2070)
+        assert lc.grid_blocks == 6
+        assert lc.total_threads == 1152
+
+    def test_for_zero_elements_one_block(self):
+        lc = LaunchConfig.for_elements(0, 192, TESLA_C2070)
+        assert lc.grid_blocks == 1
+
+    def test_one_block_per_element(self):
+        lc = LaunchConfig.one_block_per_element(500, 32, TESLA_C2070)
+        assert lc.grid_blocks == 500
+        assert lc.threads_per_block == 32
+
+    def test_warps_per_block(self):
+        lc = LaunchConfig(1, 192)
+        assert lc.warps_per_block(TESLA_C2070) == 6
+        assert LaunchConfig(1, 33).warps_per_block(TESLA_C2070) == 2
+
+    def test_total_warps(self):
+        assert LaunchConfig(10, 64).total_warps(TESLA_C2070) == 20
+
+    def test_rejects_too_many_threads(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig(1, 2048).validate(TESLA_C2070)
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig(0, 32)
+
+    def test_rejects_negative_elements(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig.for_elements(-1, 32, TESLA_C2070)
+
+    def test_huge_grid_allowed_2d(self):
+        # CUDA-4 grids go to 64K x 64K; 4.3M-node graphs need > 64K blocks.
+        LaunchConfig(4_300_000, 32).validate(TESLA_C2070)
+
+
+class TestOccupancy:
+    def test_192_threads_full_occupancy(self):
+        # The paper's thread-mapping config: 192 threads -> 6 warps/block,
+        # 8 blocks/SM = 48 warps = 100 % on Fermi.
+        occ = occupancy(TESLA_C2070, 192)
+        assert occ.blocks_per_sm == 8
+        assert occ.warps_per_sm == 48
+        assert occ.occupancy == pytest.approx(1.0)
+
+    def test_small_blocks_limited_by_block_slots(self):
+        occ = occupancy(TESLA_C2070, 32)
+        assert occ.blocks_per_sm == 8
+        assert occ.warps_per_sm == 8
+        assert occ.limiter == "blocks"
+        assert occ.occupancy == pytest.approx(8 / 48)
+
+    def test_1024_threads_limited_by_threads(self):
+        occ = occupancy(TESLA_C2070, 1024)
+        assert occ.blocks_per_sm == 1
+        assert occ.limiter in ("threads", "warps")
+
+    def test_register_pressure(self):
+        light = occupancy(TESLA_C2070, 256, registers_per_thread=16)
+        heavy = occupancy(TESLA_C2070, 256, registers_per_thread=63)
+        assert heavy.blocks_per_sm < light.blocks_per_sm
+        assert heavy.limiter == "registers"
+
+    def test_shared_memory_limit(self):
+        occ = occupancy(TESLA_C2070, 256, shared_mem_per_block=48 * 1024)
+        assert occ.blocks_per_sm == 1
+        assert occ.limiter == "shared_memory"
+
+    def test_rejects_bad_threads(self):
+        with pytest.raises(LaunchError):
+            occupancy(TESLA_C2070, 0)
+        with pytest.raises(LaunchError):
+            occupancy(TESLA_C2070, 4096)
+
+    def test_occupancy_monotone_in_registers(self):
+        prev = None
+        for regs in (16, 24, 32, 48, 63):
+            occ = occupancy(TESLA_C2070, 192, registers_per_thread=regs).occupancy
+            if prev is not None:
+                assert occ <= prev + 1e-12
+            prev = occ

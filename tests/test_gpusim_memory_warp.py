@@ -1,0 +1,128 @@
+"""Tests for repro.gpusim.memory, repro.gpusim.warp, repro.gpusim.smscheduler
+and repro.gpusim.atomics."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.atomics import multi_address_cycles, same_address_cycles
+from repro.gpusim.device import TESLA_C2070
+from repro.gpusim.memory import (
+    bandwidth_cycles,
+    coalesced_transactions,
+    scattered_transactions,
+    segment_stream_transactions,
+    strided_transactions,
+)
+from repro.gpusim.smscheduler import makespan_cycles, wave_count
+from repro.gpusim.warp import profile_warps, warp_reduce
+
+
+class TestMemoryModel:
+    def test_coalesced_full_warp(self):
+        # 32 x 4-byte accesses = 128 bytes = 1 transaction.
+        assert coalesced_transactions(32, 4, TESLA_C2070) == 1
+
+    def test_coalesced_rounds_up(self):
+        assert coalesced_transactions(33, 4, TESLA_C2070) == 2
+
+    def test_scattered_one_each(self):
+        assert scattered_transactions(100) == 100
+
+    def test_strided_wide(self):
+        # stride >= transaction size: no coalescing at all.
+        assert strided_transactions(10, 256, 4, TESLA_C2070) == 10
+
+    def test_strided_narrow(self):
+        # stride 32 bytes: 4 accesses share a 128-byte transaction.
+        assert strided_transactions(8, 32, 4, TESLA_C2070) == 2
+
+    def test_segment_stream(self):
+        # two segments of 32 ints each: 1 transaction + misalignment each
+        t = segment_stream_transactions([32, 32], 4, TESLA_C2070)
+        assert t == pytest.approx(3.0)  # 2 x (1 + 0.5)
+
+    def test_segment_stream_skips_empty(self):
+        assert segment_stream_transactions([0, 0], 4, TESLA_C2070) == 0.0
+
+    def test_bandwidth_cycles(self):
+        # 1 transaction = 128 bytes ~ 1.02 cycles at 125 B/cycle.
+        assert bandwidth_cycles(1, TESLA_C2070) == pytest.approx(
+            128 / TESLA_C2070.bytes_per_cycle
+        )
+
+
+class TestWarpModel:
+    def test_divergence_max(self):
+        # One heavy lane dominates its warp.
+        costs = np.ones(32)
+        costs[5] = 100
+        assert warp_reduce(costs, how="max").tolist() == [100.0]
+
+    def test_multiple_warps(self):
+        costs = np.concatenate([np.full(32, 2.0), np.full(32, 7.0)])
+        assert warp_reduce(costs, how="max").tolist() == [2.0, 7.0]
+
+    def test_partial_warp_padded(self):
+        out = warp_reduce(np.full(40, 3.0), how="max")
+        assert len(out) == 2
+
+    def test_sum_reduction(self):
+        assert warp_reduce([1, 2, 3], how="sum").tolist() == [6.0]
+
+    def test_unknown_how(self):
+        with pytest.raises(ValueError):
+            warp_reduce([1.0], how="median")
+
+    def test_profile_no_divergence(self):
+        p = profile_warps(np.full(64, 5.0))
+        assert p.simt_efficiency == pytest.approx(1.0)
+        assert p.issue_cycles == 10.0
+        assert p.num_warps == 2
+
+    def test_profile_heavy_divergence(self):
+        costs = np.ones(32)
+        costs[0] = 320
+        p = profile_warps(costs)
+        assert p.issue_cycles == 320
+        assert p.simt_efficiency < 0.05
+
+    def test_profile_empty(self):
+        p = profile_warps(np.empty(0))
+        assert p.num_warps == 0
+        assert p.simt_efficiency == 1.0
+
+
+class TestScheduler:
+    def test_makespan_ideal(self):
+        # 1400 equal blocks spread over 14 SMs.
+        blocks = np.full(1400, 10.0)
+        m = makespan_cycles(blocks, TESLA_C2070)
+        assert m == pytest.approx(1400 * 10 / 14 * 1.05)
+
+    def test_makespan_straggler(self):
+        blocks = np.array([10_000.0] + [1.0] * 10)
+        assert makespan_cycles(blocks, TESLA_C2070) == 10_000.0
+
+    def test_makespan_tuple_form(self):
+        assert makespan_cycles((140.0, 5.0), TESLA_C2070) == pytest.approx(10.5)
+
+    def test_makespan_empty(self):
+        assert makespan_cycles(np.empty(0), TESLA_C2070) == 0.0
+
+    def test_wave_count(self):
+        assert wave_count(0, 8, TESLA_C2070) == 0
+        assert wave_count(1, 8, TESLA_C2070) == 1
+        assert wave_count(14 * 8 + 1, 8, TESLA_C2070) == 2
+
+
+class TestAtomics:
+    def test_same_address_linear(self):
+        assert same_address_cycles(100, TESLA_C2070, cycles_per_op=3.0) == 300.0
+
+    def test_multi_address_spreads(self):
+        hot = multi_address_cycles(1000, 1, TESLA_C2070)
+        spread = multi_address_cycles(1000, 1000, TESLA_C2070)
+        assert spread < hot / 10
+
+    def test_multi_address_zero_ops(self):
+        assert multi_address_cycles(0, 5, TESLA_C2070) == 0.0

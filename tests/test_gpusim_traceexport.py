@@ -1,0 +1,73 @@
+"""Tests for the Chrome-trace exporter."""
+
+import json
+
+import pytest
+
+from repro.gpusim.traceexport import export_chrome_trace, timeline_to_trace_events
+from repro.kernels import run_bfs
+from repro.graph.generators import balanced_tree
+
+
+@pytest.fixture(scope="module")
+def traversal():
+    return run_bfs(balanced_tree(3, 4), 0, "U_B_QU")
+
+
+class TestTraceEvents:
+    def test_metadata_rows(self, traversal):
+        events = timeline_to_trace_events(traversal.timeline)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(meta) == 3
+
+    def test_one_duration_event_per_kernel(self, traversal):
+        events = timeline_to_trace_events(traversal.timeline)
+        kernels = [e for e in events if e["ph"] == "X" and e["tid"] == 1]
+        assert len(kernels) == traversal.timeline.num_launches
+
+    def test_transfer_track(self, traversal):
+        events = timeline_to_trace_events(traversal.timeline)
+        transfers = [e for e in events if e["ph"] == "X" and e["tid"] == 2]
+        assert len(transfers) == len(traversal.timeline.transfers)
+
+    def test_events_non_overlapping_in_time(self, traversal):
+        events = [
+            e
+            for e in timeline_to_trace_events(traversal.timeline)
+            if e["ph"] == "X" and e["tid"] == 1
+        ]
+        for a, b in zip(events, events[1:]):
+            assert b["ts"] >= a["ts"] + a["dur"] - 1e-9
+
+    def test_total_duration_matches_timeline(self, traversal):
+        events = [
+            e for e in timeline_to_trace_events(traversal.timeline) if e["ph"] == "X"
+        ]
+        total_us = sum(e["dur"] for e in events)
+        expected = (
+            traversal.timeline.gpu_seconds + traversal.timeline.transfer_seconds
+        ) * 1e6
+        assert total_us == pytest.approx(expected, rel=1e-9)
+
+    def test_iteration_markers(self, traversal):
+        events = timeline_to_trace_events(traversal.timeline)
+        markers = [e for e in events if e["ph"] == "i"]
+        assert len(markers) == traversal.num_iterations
+
+    def test_kernel_args(self, traversal):
+        events = timeline_to_trace_events(traversal.timeline)
+        kernel = next(e for e in events if e["ph"] == "X" and e["tid"] == 1)
+        for key in ("variant", "blocks", "occupancy", "simt_efficiency"):
+            assert key in kernel["args"]
+
+
+class TestExportFile:
+    def test_writes_valid_json(self, traversal, tmp_path):
+        path = tmp_path / "trace.json"
+        out = export_chrome_trace(traversal.timeline, path)
+        assert out == str(path)
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert "traceEvents" in doc
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) > 0

@@ -1,0 +1,104 @@
+"""Tests for repro.graph.builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import from_coo, from_edge_list, from_networkx, to_networkx
+
+
+class TestFromEdgeList:
+    def test_basic(self):
+        g = from_edge_list([0, 0, 1], [1, 2, 2], num_nodes=3)
+        assert g.num_edges == 3
+        assert g.neighbors(0).tolist() == [1, 2]
+
+    def test_infers_num_nodes(self):
+        g = from_edge_list([0], [9])
+        assert g.num_nodes == 10
+
+    def test_num_nodes_too_small(self):
+        with pytest.raises(GraphError):
+            from_edge_list([0], [5], num_nodes=3)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(GraphError, match="negative"):
+            from_edge_list([-1], [0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(GraphError):
+            from_edge_list([0, 1], [1])
+
+    def test_empty_edge_list(self):
+        g = from_edge_list([], [], num_nodes=4)
+        assert g.num_nodes == 4
+        assert g.num_edges == 0
+
+    def test_symmetric(self):
+        g = from_edge_list([0], [1], num_nodes=2, symmetric=True)
+        assert g.num_edges == 2
+        assert g.neighbors(1).tolist() == [0]
+
+    def test_drop_self_loops(self):
+        g = from_edge_list([0, 1], [0, 0], num_nodes=2, drop_self_loops=True)
+        assert g.num_edges == 1
+
+    def test_dedupe_keeps_min_weight(self):
+        g = from_edge_list(
+            [0, 0, 0], [1, 1, 2], weights=[5.0, 2.0, 9.0], num_nodes=3, dedupe=True
+        )
+        assert g.num_edges == 2
+        pos = g.neighbors(0).tolist().index(1)
+        assert g.edge_weights_of(0)[pos] == 2.0
+
+    def test_dedupe_without_weights(self):
+        g = from_edge_list([0, 0, 0], [1, 1, 1], num_nodes=2, dedupe=True)
+        assert g.num_edges == 1
+
+    def test_weights_length_mismatch(self):
+        with pytest.raises(GraphError, match="weights"):
+            from_edge_list([0], [1], weights=[1.0, 2.0])
+
+    def test_unsorted_input_sorted_in_csr(self):
+        g = from_edge_list([2, 0, 1], [0, 1, 2], num_nodes=3)
+        assert g.neighbors(0).tolist() == [1]
+        assert g.neighbors(2).tolist() == [0]
+
+    def test_symmetric_duplicates_weights(self):
+        g = from_edge_list([0], [1], weights=[3.0], num_nodes=2, symmetric=True)
+        assert g.edge_weights_of(1).tolist() == [3.0]
+
+
+class TestFromCoo:
+    def test_pairs(self):
+        g = from_coo([(0, 1), (1, 2)], num_nodes=3)
+        assert g.num_edges == 2
+
+    def test_empty(self):
+        g = from_coo([], num_nodes=2)
+        assert g.num_edges == 0
+
+    def test_bad_shape(self):
+        with pytest.raises(GraphError):
+            from_coo([(0, 1, 2)])
+
+
+class TestNetworkxRoundtrip:
+    def test_digraph_roundtrip(self, tiny_graph):
+        nxg = to_networkx(tiny_graph)
+        assert nxg.number_of_nodes() == tiny_graph.num_nodes
+        assert nxg.number_of_edges() == tiny_graph.num_edges
+        back = from_networkx(nxg)
+        assert back == tiny_graph
+
+    def test_weighted_roundtrip(self, tiny_weighted):
+        nxg = to_networkx(tiny_weighted)
+        back = from_networkx(nxg, weight_attr="weight")
+        assert np.allclose(back.weights, tiny_weighted.weights)
+
+    def test_undirected_becomes_symmetric(self):
+        import networkx as nx
+
+        nxg = nx.path_graph(4)
+        g = from_networkx(nxg)
+        assert g.num_edges == 6  # 3 undirected edges -> 6 arcs

@@ -1,0 +1,242 @@
+"""Tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    attach_uniform_weights,
+    balanced_tree,
+    chain_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    power_law_graph,
+    regular_outdegree_graph,
+    rmat_graph,
+    road_network,
+    sample_power_law_degrees,
+    star_graph,
+)
+from repro.graph.properties import bfs_levels, is_symmetric, pseudo_diameter
+
+
+class TestDeterministicGraphs:
+    def test_chain_structure(self):
+        g = chain_graph(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 8  # 4 undirected edges
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_chain_single_node(self):
+        assert chain_graph(1).num_edges == 0
+
+    def test_star_structure(self):
+        g = star_graph(10)
+        deg = g.out_degrees
+        assert deg[0] == 9
+        assert np.all(deg[1:] == 1)
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_edges == 20
+        assert np.all(g.out_degrees == 4)
+
+    def test_balanced_tree_levels(self):
+        g = balanced_tree(2, 3)
+        assert g.num_nodes == 15
+        levels = bfs_levels(g, 0)
+        assert levels.max() == 3
+        assert (levels == 3).sum() == 8  # leaves
+
+    def test_balanced_tree_branching_one(self):
+        g = balanced_tree(1, 4)
+        assert g.num_nodes == 5  # degenerate chain
+
+    def test_grid_dimensions(self):
+        g = grid_graph(4, 3)
+        assert g.num_nodes == 12
+        # 2*(W-1)*H + 2*W*(H-1) directed arcs
+        assert g.num_edges == 2 * 3 * 3 + 2 * 4 * 2
+
+
+class TestRoadNetwork:
+    def test_connected(self):
+        g = road_network(500, seed=0)
+        assert (bfs_levels(g, 0) >= 0).all()
+
+    def test_symmetric(self):
+        g = road_network(300, seed=1)
+        assert is_symmetric(g)
+
+    def test_sparse_low_degree(self):
+        g = road_network(2000, seed=2)
+        assert g.avg_out_degree < 4.0
+        assert g.out_degrees.max() <= 12
+
+    def test_large_diameter(self):
+        g = road_network(2000, seed=3)
+        # Road networks have diameter ~ O(sqrt(n)) or worse.
+        assert pseudo_diameter(g, seed=0) > 20
+
+    def test_deterministic(self):
+        assert road_network(400, seed=9) == road_network(400, seed=9)
+
+
+class TestRegularOutdegree:
+    def test_modal_fraction(self):
+        g = regular_outdegree_graph(5000, modal_degree=10, modal_fraction=0.7, seed=0)
+        deg = g.out_degrees
+        # Dedupe can shave a few edges; allow slack around 70 %.
+        frac_modal = float((deg >= 9).sum()) / deg.size
+        assert 0.6 < frac_modal < 0.85
+
+    def test_max_degree_bounded(self):
+        g = regular_outdegree_graph(1000, modal_degree=10, seed=1)
+        assert g.out_degrees.max() <= 10
+
+    def test_avg_degree(self):
+        g = regular_outdegree_graph(5000, modal_degree=10, modal_fraction=0.7, seed=2)
+        assert 7.0 < g.avg_out_degree < 9.5
+
+
+class TestPowerLaw:
+    def test_degree_sampler_bounds(self):
+        rng = np.random.default_rng(0)
+        deg = sample_power_law_degrees(
+            10_000, alpha=2.0, min_degree=1, max_degree=100, rng=rng
+        )
+        assert deg.min() >= 1
+        assert deg.max() <= 100
+
+    def test_degree_sampler_heavy_tail(self):
+        rng = np.random.default_rng(0)
+        deg = sample_power_law_degrees(
+            50_000, alpha=2.0, min_degree=1, max_degree=1000, rng=rng
+        )
+        # Heavy tail: the max should far exceed the mean.
+        assert deg.max() > 10 * deg.mean()
+
+    def test_sampler_rejects_bad_range(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(GraphError):
+            sample_power_law_degrees(10, alpha=2.0, min_degree=5, max_degree=2, rng=rng)
+
+    def test_graph_respects_max_degree(self):
+        g = power_law_graph(2000, alpha=2.0, max_degree=50, seed=3)
+        assert g.out_degrees.max() <= 50
+
+    def test_symmetric_option(self):
+        g = power_law_graph(500, alpha=2.0, max_degree=30, symmetric=True, seed=4)
+        assert is_symmetric(g)
+
+    def test_skewed_indegree(self):
+        g = power_law_graph(3000, alpha=2.0, max_degree=50, in_degree_skew=1.0, seed=5)
+        indeg = g.reverse().out_degrees
+        assert indeg.max() > 5 * max(1.0, indeg.mean())
+
+    def test_deterministic(self):
+        a = power_law_graph(300, alpha=2.0, max_degree=40, seed=6)
+        b = power_law_graph(300, alpha=2.0, max_degree=40, seed=6)
+        assert a == b
+
+
+class TestRmat:
+    def test_node_count_power_of_two(self):
+        g = rmat_graph(8, edge_factor=4, seed=0)
+        assert g.num_nodes == 256
+
+    def test_explicit_num_nodes(self):
+        g = rmat_graph(10, edge_factor=4, seed=1, num_nodes=700)
+        assert g.num_nodes == 700
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(12, edge_factor=8, seed=2)
+        deg = g.out_degrees
+        assert deg.max() > 5 * max(1.0, deg.mean())
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat_graph(6, a=0.9, b=0.2, c=0.2, seed=0)
+
+    def test_rejects_huge_scale(self):
+        with pytest.raises(GraphError):
+            rmat_graph(31)
+
+
+class TestWattsStrogatz:
+    def test_ring_lattice_unrewired(self):
+        from repro.graph.generators import watts_strogatz_graph
+
+        g = watts_strogatz_graph(100, k=4, rewire_prob=0.0, seed=0)
+        assert np.all(g.out_degrees == 4)
+        assert is_symmetric(g)
+
+    def test_rewiring_collapses_diameter(self):
+        from repro.graph.generators import watts_strogatz_graph
+
+        regular = watts_strogatz_graph(2000, k=4, rewire_prob=0.0, seed=1)
+        small_world = watts_strogatz_graph(2000, k=4, rewire_prob=0.1, seed=1)
+        assert pseudo_diameter(small_world, seed=0) < 0.5 * pseudo_diameter(
+            regular, seed=0
+        )
+
+    def test_connected_at_low_rewiring(self):
+        from repro.graph.generators import watts_strogatz_graph
+
+        g = watts_strogatz_graph(500, k=6, rewire_prob=0.05, seed=2)
+        assert (bfs_levels(g, 0) >= 0).mean() > 0.99
+
+    def test_rejects_odd_k(self):
+        from repro.graph.generators import watts_strogatz_graph
+
+        with pytest.raises(GraphError, match="even"):
+            watts_strogatz_graph(10, k=3)
+
+    def test_rejects_k_too_large(self):
+        from repro.graph.generators import watts_strogatz_graph
+
+        with pytest.raises(GraphError):
+            watts_strogatz_graph(4, k=4)
+
+    def test_deterministic(self):
+        from repro.graph.generators import watts_strogatz_graph
+
+        a = watts_strogatz_graph(300, k=4, rewire_prob=0.2, seed=3)
+        b = watts_strogatz_graph(300, k=4, rewire_prob=0.2, seed=3)
+        assert a == b
+
+
+class TestErdosRenyi:
+    def test_edge_count_close(self):
+        g = erdos_renyi_graph(1000, 5000, seed=0)
+        # dedupe/self-loop removal shaves a small fraction
+        assert 4500 <= g.num_edges <= 5000
+
+    def test_no_self_loops(self):
+        g = erdos_renyi_graph(50, 500, seed=1)
+        src = np.repeat(np.arange(50), g.out_degrees)
+        assert not np.any(src == g.col_indices)
+
+
+class TestAttachWeights:
+    def test_range(self, random_graph):
+        g = attach_uniform_weights(random_graph, low=2, high=9, seed=0)
+        assert g.weights.min() >= 2
+        assert g.weights.max() <= 9
+
+    def test_integer_weights(self, random_graph):
+        g = attach_uniform_weights(random_graph, integer=True, seed=0)
+        assert np.all(g.weights == np.round(g.weights))
+
+    def test_float_weights(self, random_graph):
+        g = attach_uniform_weights(random_graph, integer=False, seed=0)
+        assert not np.all(g.weights == np.round(g.weights))
+
+    def test_rejects_bad_range(self, random_graph):
+        with pytest.raises(GraphError):
+            attach_uniform_weights(random_graph, low=5, high=1)
+
+    def test_preserves_structure(self, random_graph):
+        g = attach_uniform_weights(random_graph, seed=0)
+        assert np.array_equal(g.col_indices, random_graph.col_indices)

@@ -1,0 +1,229 @@
+"""Tests for repro.graph.io (DIMACS / SNAP / Matrix Market)."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.generators import attach_uniform_weights, erdos_renyi_graph
+from repro.graph.io import (
+    load_graph,
+    read_dimacs,
+    read_matrix_market,
+    read_metis,
+    read_snap_edgelist,
+    write_dimacs,
+    write_matrix_market,
+    write_snap_edgelist,
+)
+
+
+@pytest.fixture
+def weighted_graph():
+    return attach_uniform_weights(erdos_renyi_graph(40, 150, seed=3), seed=4)
+
+
+class TestDimacs:
+    def test_roundtrip(self, weighted_graph, tmp_path):
+        path = tmp_path / "g.gr"
+        write_dimacs(weighted_graph, path)
+        back = read_dimacs(path)
+        assert back.num_nodes == weighted_graph.num_nodes
+        assert back.num_edges == weighted_graph.num_edges
+        assert np.allclose(back.weights, weighted_graph.weights)
+
+    def test_parse_reference_format(self, tmp_path):
+        path = tmp_path / "ref.gr"
+        path.write_text("c comment\np sp 3 2\na 1 2 7\na 2 3 4\n")
+        g = read_dimacs(path)
+        assert g.num_nodes == 3
+        assert g.neighbors(0).tolist() == [1]
+        assert g.edge_weights_of(0).tolist() == [7.0]
+
+    def test_unweighted_arcs_default_one(self, tmp_path):
+        path = tmp_path / "u.gr"
+        path.write_text("p sp 2 1\na 1 2\n")
+        assert read_dimacs(path).edge_weights_of(0).tolist() == [1.0]
+
+    def test_missing_problem_line(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("a 1 2 3\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(path)
+
+    def test_arc_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 2 5\na 1 2 3\n")
+        with pytest.raises(GraphFormatError, match="declares"):
+            read_dimacs(path)
+
+    def test_node_id_out_of_range(self, tmp_path):
+        path = tmp_path / "bad.gr"
+        path.write_text("p sp 2 1\na 1 9 3\n")
+        with pytest.raises(GraphFormatError, match="out of range"):
+            read_dimacs(path)
+
+    def test_gzip_support(self, weighted_graph, tmp_path):
+        path = tmp_path / "g.gr.gz"
+        write_dimacs(weighted_graph, path)
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("c")
+        assert read_dimacs(path).num_edges == weighted_graph.num_edges
+
+
+class TestSnap:
+    def test_roundtrip(self, tmp_path):
+        g = erdos_renyi_graph(30, 100, seed=5)
+        path = tmp_path / "g.txt"
+        write_snap_edgelist(g, path)
+        back = read_snap_edgelist(path, num_nodes=30)
+        assert back == g
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# Directed graph\n# Nodes: 3\n0\t1\n1\t2\n")
+        g = read_snap_edgelist(path)
+        assert g.num_edges == 2
+
+    def test_bad_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            read_snap_edgelist(path)
+
+    def test_non_integer(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            read_snap_edgelist(path)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, weighted_graph, tmp_path):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(weighted_graph, path)
+        back = read_matrix_market(path)
+        assert back.num_edges == weighted_graph.num_edges
+        assert np.allclose(back.weights, weighted_graph.weights)
+
+    def test_pattern_matrix(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n2 3\n")
+        g = read_matrix_market(path)
+        assert g.num_edges == 2
+        assert not g.has_weights
+
+    def test_symmetric_matrix(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 2 1.5\n2 3 2.5\n"
+        )
+        g = read_matrix_market(path)
+        assert g.num_edges == 4
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a matrix\n1 1 0\n")
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)
+
+    def test_entry_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern general\n3 3 5\n1 2\n")
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(path)
+
+
+class TestMetis:
+    def test_parse_reference_format(self, tmp_path):
+        # The 7-node example from the METIS manual (unweighted).
+        path = tmp_path / "g.graph"
+        path.write_text(
+            "7 11\n5 3 2\n1 3 4\n5 4 2 1\n2 3 6 7\n1 3 6\n5 4 7\n6 4\n"
+        )
+        g = read_metis(path)
+        assert g.num_nodes == 7
+        assert g.num_edges == 22  # 11 undirected edges -> 22 arcs
+        assert sorted(g.neighbors(0).tolist()) == [1, 2, 4]
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("% a comment\n2 1\n2\n1\n")
+        assert read_metis(path).num_edges == 2
+
+    def test_edge_weights(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 1 001\n2 7\n1 7\n")
+        g = read_metis(path)
+        assert g.has_weights
+        assert g.edge_weights_of(0).tolist() == [7.0]
+
+    def test_roundtrip(self, tmp_path):
+        from repro.graph.generators import watts_strogatz_graph
+        from repro.graph.io import write_metis
+
+        g = watts_strogatz_graph(50, k=4, rewire_prob=0.1, seed=6)
+        path = tmp_path / "ws.graph"
+        write_metis(g, path)
+        assert read_metis(path) == g
+
+    def test_weighted_roundtrip(self, tmp_path):
+        from repro.graph.generators import attach_uniform_weights, chain_graph
+        from repro.graph.io import write_metis
+
+        # Symmetric integer weights survive the roundtrip.
+        g = chain_graph(10).with_weights([3.0] * 18)
+        path = tmp_path / "c.graph"
+        write_metis(g, path)
+        back = read_metis(path)
+        assert np.allclose(back.weights, g.weights)
+
+    def test_write_rejects_directed(self, tmp_path, tiny_graph):
+        from repro.graph.io import write_metis
+
+        with pytest.raises(GraphFormatError, match="undirected"):
+            write_metis(tiny_graph, tmp_path / "d.graph")
+
+    def test_vertex_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("3 1\n2\n1\n")  # header says 3 vertices, 2 lines
+        with pytest.raises(GraphFormatError, match="vertices"):
+            read_metis(path)
+
+    def test_neighbor_out_of_range(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("2 1\n5\n1\n")
+        with pytest.raises(GraphFormatError, match="out of range"):
+            read_metis(path)
+
+    def test_unsupported_vertex_weights(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("2 1 011\n1 2\n1 1\n")
+        with pytest.raises(GraphFormatError, match="unsupported"):
+            read_metis(path)
+
+    def test_load_graph_dispatch(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 1\n2\n1\n")
+        assert load_graph(path).num_nodes == 2
+
+
+class TestLoadGraph:
+    def test_dispatch_by_extension(self, weighted_graph, tmp_path):
+        gr = tmp_path / "a.gr"
+        write_dimacs(weighted_graph, gr)
+        assert load_graph(gr).num_edges == weighted_graph.num_edges
+
+        mtx = tmp_path / "a.mtx"
+        write_matrix_market(weighted_graph, mtx)
+        assert load_graph(mtx).num_edges == weighted_graph.num_edges
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="cannot infer"):
+            load_graph(tmp_path / "graph.xyz")
+
+    def test_name_from_stem(self, weighted_graph, tmp_path):
+        path = tmp_path / "colorado.gr"
+        write_dimacs(weighted_graph, path)
+        assert load_graph(path).name == "colorado"

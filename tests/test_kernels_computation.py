@@ -1,0 +1,159 @@
+"""Tests for repro.kernels.computation (functional step semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.graph.generators import attach_uniform_weights, chain_graph, star_graph
+from repro.gpusim.device import TESLA_C2070
+from repro.kernels.computation import (
+    INF,
+    OrderedSsspState,
+    UNSET_LEVEL,
+    bfs_step,
+    sssp_ordered_step,
+    sssp_step,
+)
+from repro.kernels.findmin import findmin
+from repro.kernels.variants import Variant, WorksetRepr
+from repro.kernels.workset import Workset
+
+
+def fresh_levels(n, source):
+    levels = np.full(n, UNSET_LEVEL, dtype=np.int64)
+    levels[source] = 0
+    return levels
+
+
+def fresh_dist(n, source):
+    dist = np.full(n, INF, dtype=np.float64)
+    dist[source] = 0.0
+    return dist
+
+
+UTBM = Variant.parse("U_T_BM")
+OTBM = Variant.parse("O_T_BM")
+
+
+class TestBfsStep:
+    def test_one_step_expands_frontier(self, tiny_graph):
+        levels = fresh_levels(5, 0)
+        ws = Workset.from_update_ids(np.array([0]), WorksetRepr.BITMAP)
+        step = bfs_step(tiny_graph, ws, levels, UTBM, 192, TESLA_C2070)
+        assert step.updated.tolist() == [1, 2]
+        assert levels[1] == 1 and levels[2] == 1
+
+    def test_no_rediscovery(self, tiny_graph):
+        levels = fresh_levels(5, 0)
+        ws = Workset.from_update_ids(np.array([0]), WorksetRepr.BITMAP)
+        step = bfs_step(tiny_graph, ws, levels, UTBM, 192, TESLA_C2070)
+        ws2 = Workset.from_update_ids(step.updated, WorksetRepr.BITMAP)
+        step2 = bfs_step(tiny_graph, ws2, levels, UTBM, 192, TESLA_C2070)
+        # 1->2 does not re-add node 2 (level would not improve).
+        assert 2 not in step2.updated.tolist()
+        assert step2.updated.tolist() == [3, 4]
+
+    def test_ordered_first_touch_only(self, tiny_graph):
+        levels = fresh_levels(5, 0)
+        ws = Workset.from_update_ids(np.array([0]), WorksetRepr.BITMAP)
+        step = bfs_step(tiny_graph, ws, levels, OTBM, 192, TESLA_C2070)
+        assert step.updated.tolist() == [1, 2]
+
+    def test_empty_workset_rejected(self, tiny_graph):
+        levels = fresh_levels(5, 0)
+        ws = Workset.from_update_ids(np.array([]), WorksetRepr.BITMAP)
+        with pytest.raises(KernelError):
+            bfs_step(tiny_graph, ws, levels, UTBM, 192, TESLA_C2070)
+
+    def test_edges_scanned_counts_frontier_degrees(self, star_64):
+        levels = fresh_levels(64, 0)
+        ws = Workset.from_update_ids(np.array([0]), WorksetRepr.QUEUE)
+        step = bfs_step(star_64, ws, levels, UTBM, 192, TESLA_C2070)
+        assert step.edges_scanned == 63
+        assert step.updated.size == 63
+
+
+class TestSsspStep:
+    def test_relaxation(self, tiny_weighted):
+        dist = fresh_dist(5, 0)
+        ws = Workset.from_update_ids(np.array([0]), WorksetRepr.QUEUE)
+        step = sssp_step(tiny_weighted, ws, dist, UTBM, 192, TESLA_C2070)
+        assert dist[1] == 1.0 and dist[2] == 4.0
+        assert step.updated.tolist() == [1, 2]
+
+    def test_improvement_only(self, tiny_weighted):
+        dist = fresh_dist(5, 0)
+        dist[1], dist[2] = 1.0, 3.0  # 2 already better than via 0 (4.0)
+        ws = Workset.from_update_ids(np.array([0]), WorksetRepr.QUEUE)
+        step = sssp_step(tiny_weighted, ws, dist, UTBM, 192, TESLA_C2070)
+        assert step.updated.size == 0
+
+    def test_multiple_candidates_take_min(self):
+        # two paths into node 2: 0->2 (10) and 1->2 (1); frontier {0,1}
+        g = attach_uniform_weights(chain_graph(3), seed=0)
+        g = g.with_weights([5.0, 5.0, 1.0, 1.0])  # 0-1 (5), 1-2 (1)
+        dist = fresh_dist(3, 0)
+        dist[1] = 5.0
+        ws = Workset.from_update_ids(np.array([0, 1]), WorksetRepr.QUEUE)
+        sssp_step(g, ws, dist, UTBM, 192, TESLA_C2070)
+        assert dist[2] == 6.0
+
+    def test_requires_weights(self, tiny_graph):
+        dist = fresh_dist(5, 0)
+        ws = Workset.from_update_ids(np.array([0]), WorksetRepr.QUEUE)
+        with pytest.raises(KernelError):
+            sssp_step(tiny_graph, ws, dist, UTBM, 192, TESLA_C2070)
+
+
+class TestOrderedSssp:
+    def test_settles_min_first(self, tiny_weighted):
+        state = OrderedSsspState.initial(5, 0, dedupe=True)
+        step = sssp_ordered_step(
+            tiny_weighted, state, findmin(state.ws_keys), OTBM, 192, TESLA_C2070
+        )
+        assert state.dist[0] == 0.0
+        assert step.settled == 1
+        # neighbors of 0 inserted with their candidate keys
+        assert set(state.ws_nodes.tolist()) == {1, 2}
+
+    def test_full_run_matches_dijkstra(self, tiny_weighted):
+        from repro.cpu import cpu_dijkstra
+
+        state = OrderedSsspState.initial(5, 0, dedupe=True)
+        for _ in range(100):
+            if state.workset_size == 0:
+                break
+            sssp_ordered_step(
+                tiny_weighted, state, findmin(state.ws_keys), OTBM, 192, TESLA_C2070
+            )
+        oracle = cpu_dijkstra(tiny_weighted, 0, method="heap")
+        assert np.allclose(state.dist, oracle.distances)
+
+    def test_queue_multiset_grows(self, star_64):
+        """Queue (dedupe=False) keeps duplicate pairs; bitmap dedupes."""
+        g = attach_uniform_weights(star_64, seed=1)
+        q_state = OrderedSsspState.initial(64, 1, dedupe=False)  # leaf source
+        b_state = OrderedSsspState.initial(64, 1, dedupe=True)
+        for state in (q_state, b_state):
+            variant = OTBM
+            for _ in range(3):
+                if state.workset_size == 0:
+                    break
+                sssp_ordered_step(
+                    g, state, findmin(state.ws_keys), variant, 192, TESLA_C2070
+                )
+        # hub expansion inserts one pair per leaf either way, but the
+        # bitmap state can never exceed n entries.
+        assert b_state.workset_size <= 64
+
+    def test_stale_pairs_dropped(self, tiny_weighted):
+        state = OrderedSsspState.initial(5, 0, dedupe=False)
+        # Manually inject a stale pair for an already-settled node.
+        state.dist[1] = 0.5
+        state.ws_nodes = np.array([1], dtype=np.int64)
+        state.ws_keys = np.array([2.0], dtype=np.float64)
+        step = sssp_ordered_step(
+            tiny_weighted, state, 2.0, OTBM, 192, TESLA_C2070
+        )
+        assert step.settled == 0
+        assert state.dist[1] == 0.5  # untouched

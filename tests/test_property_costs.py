@@ -1,0 +1,182 @@
+"""Property-based tests on the cost model: prices must behave like
+physical quantities (non-negative, monotone in work, additive where the
+hardware is additive)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.device import TESLA_C2070
+from repro.gpusim.kernel import CostModel, KernelTally
+from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.transfer import transfer_seconds
+from repro.kernels import costs as kcosts
+from repro.kernels.mapping import ComputationShape, computation_tally
+from repro.kernels.variants import Mapping, WorksetRepr
+from repro.kernels.workset import workset_gen_tallies
+
+MODEL = CostModel(TESLA_C2070)
+
+
+@st.composite
+def tallies(draw):
+    blocks = draw(st.integers(1, 10_000))
+    tpb = draw(st.sampled_from([32, 64, 128, 192, 256]))
+    issue = draw(st.floats(0, 1e8, allow_nan=False))
+    mem = draw(st.floats(0, 1e7, allow_nan=False))
+    atomics = draw(st.floats(0, 1e6, allow_nan=False))
+    return KernelTally(
+        name="t",
+        launch=LaunchConfig(blocks, tpb),
+        issue_cycles=issue,
+        useful_lane_cycles=issue,
+        max_block_cycles=min(issue, 1e5),
+        mem_transactions=mem,
+        atomics_same_address=atomics,
+        active_threads=blocks * tpb // 2,
+    )
+
+
+class TestCostModelProperties:
+    @given(tallies())
+    @settings(max_examples=80, deadline=None)
+    def test_price_positive_finite(self, tally):
+        cost = MODEL.price(tally)
+        assert cost.seconds > 0
+        assert np.isfinite(cost.seconds)
+        assert cost.issue_seconds >= 0
+        assert cost.memory_seconds >= 0
+        assert cost.atomic_seconds >= 0
+
+    @given(tallies(), st.floats(1.5, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_issue(self, tally, factor):
+        base = MODEL.price(tally).seconds
+        import dataclasses
+
+        more = dataclasses.replace(tally, issue_cycles=tally.issue_cycles * factor)
+        assert MODEL.price(more).seconds >= base - 1e-15
+
+    @given(tallies(), st.floats(1.5, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_memory(self, tally, factor):
+        import dataclasses
+
+        base = MODEL.price(tally).seconds
+        more = dataclasses.replace(
+            tally, mem_transactions=tally.mem_transactions * factor
+        )
+        assert MODEL.price(more).seconds >= base - 1e-15
+
+    @given(tallies(), st.floats(1000, 1e6))
+    @settings(max_examples=60, deadline=None)
+    def test_atomics_strictly_additive(self, tally, extra):
+        import dataclasses
+
+        base = MODEL.price(tally).seconds
+        more = dataclasses.replace(
+            tally, atomics_same_address=tally.atomics_same_address + extra
+        )
+        assert MODEL.price(more).seconds > base
+
+
+@st.composite
+def frontier_shapes(draw):
+    n = draw(st.integers(64, 50_000))
+    size = draw(st.integers(1, min(n, 2_000)))
+    max_deg = draw(st.integers(1, 200))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    active = np.sort(rng.choice(n, size=size, replace=False)).astype(np.int64)
+    degrees = rng.integers(0, max_deg + 1, size=size).astype(np.int64)
+    return ComputationShape(
+        name="p",
+        num_nodes=n,
+        active_ids=active,
+        degrees=degrees,
+        edge_cost=kcosts.C_EDGE,
+        improved=int(degrees.sum() // 2),
+        updated_count=max(1, size // 2),
+    )
+
+
+class TestTallyProperties:
+    @given(frontier_shapes(), st.sampled_from(list(Mapping)),
+           st.sampled_from(list(WorksetRepr)))
+    @settings(max_examples=60, deadline=None)
+    def test_tally_fields_consistent(self, shape, mapping, workset):
+        tpb = 192 if mapping is not Mapping.BLOCK else 64
+        tally = computation_tally(shape, mapping, workset, tpb, TESLA_C2070)
+        assert tally.issue_cycles > 0
+        assert tally.mem_transactions >= 0
+        assert tally.max_block_cycles <= tally.issue_cycles + 1e-9
+        assert 0 <= tally.simt_efficiency <= 1
+        assert tally.active_threads == shape.active_ids.size
+        MODEL.price(tally)  # must not raise
+
+    @given(frontier_shapes())
+    @settings(max_examples=40, deadline=None)
+    def test_bitmap_launches_dominate_queue(self, shape):
+        """The bitmap computation launches all n threads and checks every
+        flag; the queue launches only the working set.  (Their *issue*
+        costs are not strictly ordered — repacking actives into queue
+        order can split a warp's heavy lanes across two warps — but the
+        launch footprint and the flag-check work are.)"""
+        bm = computation_tally(shape, Mapping.THREAD, WorksetRepr.BITMAP, 192, TESLA_C2070)
+        qu = computation_tally(shape, Mapping.THREAD, WorksetRepr.QUEUE, 192, TESLA_C2070)
+        assert bm.launch.total_threads >= qu.launch.total_threads
+        assert bm.useful_lane_cycles >= qu.useful_lane_cycles - 1e-9
+        # Both execute the same real work.
+        assert bm.active_threads == qu.active_threads
+
+    @given(frontier_shapes())
+    @settings(max_examples=40, deadline=None)
+    def test_warp_mapping_issue_at_most_thread_divergence(self, shape):
+        """Virtual-warp mapping eliminates inter-element divergence, so
+        its issue cost is bounded by thread mapping's on the same
+        frontier (up to the per-element round quantization)."""
+        t = computation_tally(shape, Mapping.THREAD, WorksetRepr.QUEUE, 192, TESLA_C2070)
+        w = computation_tally(shape, Mapping.WARP, WorksetRepr.QUEUE, 192, TESLA_C2070)
+        # Warp mapping issues one instruction bundle per 32 neighbors per
+        # element; thread mapping issues the warp-max per 32 elements.
+        # Warp can only exceed thread by the rounding slack.
+        slack = shape.active_ids.size * (kcosts.C_EDGE + kcosts.C_CHECK + kcosts.C_NODE)
+        assert w.issue_cycles <= t.issue_cycles + slack
+
+
+class TestWorksetGenProperties:
+    @given(st.integers(1, 200_000), st.floats(0, 1))
+    @settings(max_examples=60, deadline=None)
+    def test_gen_monotone_in_updates(self, n, frac):
+        u = int(n * frac)
+        lo = sum(
+            MODEL.price(t).seconds
+            for t in workset_gen_tallies(n, 0, WorksetRepr.QUEUE, TESLA_C2070)
+        )
+        hi = sum(
+            MODEL.price(t).seconds
+            for t in workset_gen_tallies(n, u, WorksetRepr.QUEUE, TESLA_C2070)
+        )
+        assert hi >= lo - 1e-15
+
+    @given(st.integers(1, 100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_bitmap_gen_independent_of_updates(self, n):
+        a = sum(
+            MODEL.price(t).seconds
+            for t in workset_gen_tallies(n, 0, WorksetRepr.BITMAP, TESLA_C2070)
+        )
+        b = sum(
+            MODEL.price(t).seconds
+            for t in workset_gen_tallies(n, n, WorksetRepr.BITMAP, TESLA_C2070)
+        )
+        # No atomics: the update count only adds the emit instruction.
+        assert b <= a * 2
+
+
+class TestTransferProperties:
+    @given(st.integers(0, 10**10), st.integers(0, 10**10))
+    @settings(max_examples=60, deadline=None)
+    def test_superadditive_due_to_latency(self, a, b):
+        """Splitting a transfer pays the latency twice."""
+        together = transfer_seconds(a + b, TESLA_C2070)
+        split = transfer_seconds(a, TESLA_C2070) + transfer_seconds(b, TESLA_C2070)
+        assert split >= together - 1e-12

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.builder import from_edge_list
+from repro.graph.properties import _ragged_gather_indices, bfs_levels, is_symmetric
+
+
+# -- strategies --------------------------------------------------------
+
+@st.composite
+def edge_lists(draw, max_nodes=30, max_edges=120):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    return n, src, dst
+
+
+@st.composite
+def segment_bounds(draw):
+    k = draw(st.integers(min_value=0, max_value=20))
+    starts, ends = [], []
+    cursor = 0
+    for _ in range(k):
+        cursor += draw(st.integers(0, 5))
+        start = cursor
+        cursor += draw(st.integers(0, 5))
+        starts.append(start)
+        ends.append(cursor)
+    return np.array(starts, dtype=np.int64), np.array(ends, dtype=np.int64)
+
+
+# -- properties --------------------------------------------------------
+
+class TestCsrInvariants:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_csr_preserves_edge_multiset(self, data):
+        n, src, dst = data
+        g = from_edge_list(src, dst, num_nodes=n)
+        rebuilt = sorted(
+            zip(
+                np.repeat(np.arange(n), g.out_degrees).tolist(),
+                g.col_indices.tolist(),
+            )
+        )
+        assert rebuilt == sorted(zip(src, dst))
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_offsets_well_formed(self, data):
+        n, src, dst = data
+        g = from_edge_list(src, dst, num_nodes=n)
+        offs = g.row_offsets
+        assert offs[0] == 0
+        assert offs[-1] == len(src)
+        assert np.all(np.diff(offs) >= 0)
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric_flag_produces_symmetric_graph(self, data):
+        n, src, dst = data
+        g = from_edge_list(src, dst, num_nodes=n, symmetric=True, dedupe=True)
+        assert is_symmetric(g)
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_reverse_is_involution(self, data):
+        n, src, dst = data
+        g = from_edge_list(src, dst, num_nodes=n)
+        assert g.reverse().reverse() == g
+
+
+class TestRaggedGatherProperty:
+    @given(segment_bounds())
+    @settings(max_examples=80, deadline=None)
+    def test_matches_naive_concatenation(self, bounds):
+        starts, ends = bounds
+        expected = (
+            np.concatenate([np.arange(s, e) for s, e in zip(starts, ends)])
+            if starts.size
+            else np.empty(0, dtype=np.int64)
+        )
+        got = _ragged_gather_indices(starts, ends)
+        assert got.tolist() == expected.tolist()
+
+
+class TestBfsProperties:
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_levels_are_valid_distances(self, data):
+        """Every edge u->v with u reached implies level[v] <= level[u]+1,
+        and every reached non-source node has a parent at level-1."""
+        n, src, dst = data
+        g = from_edge_list(src, dst, num_nodes=n)
+        levels = bfs_levels(g, 0)
+        assert levels[0] == 0
+        for u, v in zip(src, dst):
+            if levels[u] >= 0:
+                assert 0 <= levels[v] <= levels[u] + 1
+        for v in range(n):
+            if levels[v] > 0:
+                preds = [u for u, w in zip(src, dst) if w == v]
+                assert min(levels[u] for u in preds if levels[u] >= 0) == levels[v] - 1

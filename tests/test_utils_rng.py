@@ -1,0 +1,59 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(42).integers(0, 1000, size=10)
+        b = make_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 10**9, size=8)
+        b = make_rng(2).integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        rng = make_rng(ss)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert len(spawn_rngs(0, 0)) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(123, 2)
+        assert not np.array_equal(
+            a.integers(0, 10**9, size=16), b.integers(0, 10**9, size=16)
+        )
+
+    def test_deterministic_from_seed(self):
+        a1, a2 = spawn_rngs(9, 2)
+        b1, b2 = spawn_rngs(9, 2)
+        assert np.array_equal(a1.integers(0, 100, 5), b1.integers(0, 100, 5))
+        assert np.array_equal(a2.integers(0, 100, 5), b2.integers(0, 100, 5))
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        children = spawn_rngs(gen, 3)
+        assert len(children) == 3

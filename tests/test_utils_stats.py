@@ -1,0 +1,96 @@
+"""Tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    Histogram,
+    degree_histogram_bins,
+    geometric_mean,
+    histogram,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.minimum == 1
+        assert s.maximum == 5
+        assert s.mean == 3
+        assert s.median == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s.minimum == s.maximum == s.mean == s.median == 7.0
+        assert s.std == 0.0
+
+    def test_percentiles_ordered(self):
+        s = summarize(np.arange(1000))
+        assert s.median <= s.p90 <= s.p99 <= s.maximum
+
+    def test_as_dict_keys(self):
+        d = summarize([1, 2]).as_dict()
+        assert set(d) == {"count", "min", "max", "mean", "std", "median", "p90", "p99"}
+
+
+class TestDegreeHistogramBins:
+    def test_geometric_growth(self):
+        edges = degree_histogram_bins(100)
+        assert edges[0] == 0
+        assert edges[-1] == 101
+        widths = np.diff(edges)
+        assert np.all(widths > 0)
+
+    def test_zero_max_degree(self):
+        edges = degree_histogram_bins(0)
+        assert len(edges) >= 2
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            degree_histogram_bins(-1)
+
+    def test_covers_max(self):
+        for max_deg in [1, 5, 33, 1188]:
+            edges = degree_histogram_bins(max_deg)
+            assert edges[-1] == max_deg + 1
+
+
+class TestHistogram:
+    def test_counts_sum_to_total(self):
+        values = [0, 1, 1, 2, 5, 9]
+        h = histogram(values, [0, 1, 2, 10])
+        assert h.total == len(values)
+
+    def test_fractions_sum_to_one(self):
+        h = histogram([1, 2, 3, 4], [0, 2, 5])
+        assert abs(sum(h.fractions) - 1.0) < 1e-12
+
+    def test_empty_histogram_fractions(self):
+        h = Histogram(edges=(0.0, 1.0), counts=(0,))
+        assert h.fractions == (0.0,)
+
+    def test_bin_labels_unit_width(self):
+        h = Histogram(edges=(0.0, 1.0, 2.0, 4.0), counts=(1, 2, 3))
+        assert h.bin_labels() == ("0", "1", "2-3")
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_all_equal(self):
+        assert geometric_mean([3, 3, 3]) == pytest.approx(3.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,81 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import Table, format_seconds, format_si
+
+
+class TestFormatSi:
+    def test_millions(self):
+        assert format_si(34_500_000) == "34.5M"
+
+    def test_thousands(self):
+        assert format_si(1057) == "1.1K"
+
+    def test_billions(self):
+        assert format_si(2_500_000_000) == "2.5G"
+
+    def test_small_integer(self):
+        assert format_si(73) == "73"
+
+    def test_negative(self):
+        assert format_si(-1_000_000) == "-1.0M"
+
+    def test_fraction(self):
+        assert format_si(0.5) == "0.5"
+
+
+class TestFormatSeconds:
+    def test_zero(self):
+        assert format_seconds(0) == "0s"
+
+    def test_nanoseconds(self):
+        assert format_seconds(5e-9) == "5.0ns"
+
+    def test_microseconds(self):
+        assert format_seconds(42e-6) == "42.0us"
+
+    def test_milliseconds(self):
+        assert format_seconds(3.5e-3) == "3.50ms"
+
+    def test_seconds(self):
+        assert format_seconds(1.25) == "1.250s"
+
+    def test_negative(self):
+        assert format_seconds(-1e-3).startswith("-")
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        t = Table(["net", "nodes"], title="datasets")
+        t.add_row(["co-road", 435666])
+        out = t.render()
+        assert "co-road" in out
+        assert "435666" in out
+        assert "datasets" in out
+
+    def test_row_length_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row([3.14159])
+        assert "3.14" in t.render()
+
+    def test_nan_rendered_as_dash(self):
+        t = Table(["x"])
+        t.add_row([float("nan")])
+        assert "-" in t.render().splitlines()[-1]
+
+    def test_alignment_consistent(self):
+        t = Table(["col"])
+        t.add_row(["short"])
+        t.add_row(["much longer cell"])
+        lines = t.render().splitlines()
+        assert len(lines[-1]) == len(lines[-2])
