@@ -12,6 +12,7 @@ full size — it is small in the original too.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict, Optional, Tuple
 
@@ -96,11 +97,23 @@ def cpu_baseline_sssp(key: str, scale: Optional[float] = None) -> CpuSsspResult:
     return _CPU_CACHE[cache_key]
 
 
-def write_report(name: str, content: str) -> str:
-    """Write a bench report under ``benchmarks/results`` and echo it."""
+def write_report(name: str, content: str, data: Optional[dict] = None) -> str:
+    """Write a bench report under ``benchmarks/results`` and echo it.
+
+    Besides the human-readable ``<name>.txt``, a machine-readable
+    ``<name>.json`` is always written so perf trajectories can be
+    populated from runs: pass structured rows via *data*; without it the
+    JSON carries the report text verbatim.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(content if content.endswith("\n") else content + "\n")
-    print(f"\n{content}\n[report written to {path}]")
+    payload = {"name": name}
+    payload.update(data if data is not None else {"text": content})
+    json_path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    print(f"\n{content}\n[report written to {path} (+ .json)]")
     return path

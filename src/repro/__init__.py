@@ -50,6 +50,13 @@ from repro.kernels import (
     run_sssp,
     unordered_variants,
 )
+from repro.reliability import (
+    FaultPlan,
+    GuardConfig,
+    ResilientResult,
+    resilient_bfs,
+    resilient_sssp,
+)
 
 __all__ = [
     "__version__",
@@ -76,4 +83,9 @@ __all__ = [
     "DeviceSpec",
     "TESLA_C2070",
     "GTX_580",
+    "FaultPlan",
+    "GuardConfig",
+    "ResilientResult",
+    "resilient_bfs",
+    "resilient_sssp",
 ]

@@ -9,9 +9,14 @@
     python -m repro sssp --dataset amazon --scale 0.05 --mode U_T_BM
     python -m repro compare --dataset citeseer --algorithm sssp
     python -m repro sweep-t3 --dataset google --scale 0.25
+    python -m repro reliability --dataset google --scale 0.05 \
+        --fault-plan '{"seed": 7, "launch_failure_rate": 0.1}'
 
 ``--file`` loads a real DIMACS / SNAP / MatrixMarket graph instead of a
 synthetic analogue.
+
+Exit codes: 0 success, 1 verification mismatch, 2 a :class:`ReproError`
+(printed as one line on stderr), 130 keyboard interrupt.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import numpy as np
 
 from repro._version import __version__
 from repro.core import RuntimeConfig, adaptive_bfs, adaptive_sssp, run_static
+from repro.errors import ReproError
 from repro.core.tuning import sweep_t3, tune_t3
 from repro.cpu import cpu_bfs, cpu_dijkstra
 from repro.graph.datasets import DATASETS, dataset_keys, make_dataset
@@ -45,6 +51,21 @@ __all__ = ["main", "build_parser"]
 # ----------------------------------------------------------------------
 # Argument plumbing
 # ----------------------------------------------------------------------
+
+def _add_reliability_args(parser: argparse.ArgumentParser):
+    parser.add_argument("--fault-plan", default=None, metavar="JSON",
+                        help="fault-injection plan: inline JSON or a file path "
+                        "(keys: seed, launch_failure_rate, memory_fault_rate, "
+                        "latency_spike_rate, latency_spike_factor, max_faults)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="consecutive no-progress failures before degrading "
+                        "to the CPU baseline (default: exhaust the ladder)")
+    parser.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock deadline for the whole guarded query")
+    parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                        help="checkpoint every N iterations (default: cost-aware "
+                        "policy bounded by a 2%% overhead budget)")
+
 
 def _add_workload_args(parser: argparse.ArgumentParser, *, weighted_default=False):
     group = parser.add_mutually_exclusive_group(required=True)
@@ -141,6 +162,8 @@ def cmd_characterize(args) -> int:
 
 def _run_traversal(args, algorithm: str) -> int:
     weighted = algorithm == "sssp"
+    if args.mode == "resilient":
+        return _run_resilient(args, algorithm)
     graph, source, device = _resolve_workload(args, weighted=weighted)
     config = RuntimeConfig(
         t3_fraction=args.t3,
@@ -197,6 +220,58 @@ def cmd_bfs(args) -> int:
 
 def cmd_sssp(args) -> int:
     return _run_traversal(args, "sssp")
+
+
+def _run_resilient(args, algorithm: str) -> int:
+    """Guarded execution: the reliability layer's CLI entry."""
+    from repro.reliability import (
+        GuardConfig,
+        load_fault_plan,
+        resilient_bfs,
+        resilient_sssp,
+    )
+
+    weighted = algorithm == "sssp"
+    graph, source, device = _resolve_workload(args, weighted=weighted)
+    plan = load_fault_plan(args.fault_plan) if args.fault_plan else None
+    guard = GuardConfig(
+        max_retries=args.max_retries,
+        deadline_s=args.deadline,
+        checkpoint_every=args.checkpoint_every,
+    )
+    runner = resilient_sssp if weighted else resilient_bfs
+    result = runner(graph, source, device=device, guard=guard, plan=plan)
+
+    cpu = cpu_dijkstra(graph, source) if weighted else cpu_bfs(graph, source)
+    oracle = cpu.distances if weighted else cpu.levels
+    ok = (
+        np.allclose(result.values, oracle)
+        if weighted
+        else np.array_equal(result.values, oracle)
+    )
+
+    table = Table(
+        ["metric", "value"],
+        title=f"guarded {algorithm.upper()} on {graph.name}",
+    )
+    table.add_row(["served by", result.stage])
+    table.add_row(["attempts", result.attempts])
+    table.add_row(["faults seen", result.num_faults])
+    for action, count in sorted(result.recovery_actions().items()):
+        table.add_row([f"  recovery: {action}", count])
+    table.add_row(["checkpoints saved", result.checkpoints_saved])
+    table.add_row(["checkpoint restores", result.restores])
+    table.add_row(["degraded to CPU", "yes" if result.degraded else "no"])
+    table.add_row(["simulated time (final attempt)", format_seconds(result.final_seconds)])
+    table.add_row(["replayed simulated time", format_seconds(result.replayed_seconds)])
+    table.add_row(["backoff wall-clock", format_seconds(result.backoff_seconds)])
+    table.add_row(["verified vs CPU oracle", "yes" if ok else "MISMATCH"])
+    print(table.render())
+    return 0 if ok else 1
+
+
+def cmd_reliability(args) -> int:
+    return _run_resilient(args, args.algorithm)
 
 
 def cmd_cc(args) -> int:
@@ -424,13 +499,15 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(algo, help=f"run {algo.upper()} on the simulated GPU")
         _add_workload_args(p)
         p.add_argument("--mode", default="adaptive",
-                       help="'adaptive' or a variant code like U_B_QU")
+                       help="'adaptive', 'resilient' (guarded execution) or a "
+                       "variant code like U_B_QU")
         p.add_argument("--t3", type=float, default=0.03, help="T3 fraction of |V|")
         p.add_argument("--sampling-interval", type=int, default=1)
         p.add_argument("--warp-mapping", action="store_true",
                        help="enable the virtual-warp extension")
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="write a chrome://tracing JSON of the traversal")
+        _add_reliability_args(p)
         p.set_defaults(func=fn)
 
     p = sub.add_parser("cc", help="connected components (extension algorithm)")
@@ -475,14 +552,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", choices=("bfs", "sssp"), default="sssp")
     p.set_defaults(func=cmd_oracle)
 
+    p = sub.add_parser(
+        "reliability",
+        help="guarded execution under a fault plan (retry / fallback / "
+        "checkpoint restore / CPU degradation)",
+    )
+    _add_workload_args(p)
+    p.add_argument("--algorithm", choices=("bfs", "sssp"), default="bfs")
+    _add_reliability_args(p)
+    p.set_defaults(func=cmd_reliability)
+
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library failures (:class:`ReproError`) are reported as one line on
+    stderr with exit code 2; a keyboard interrupt exits 130 — a service
+    wrapper can discriminate "bad request / bad config" from crashes.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

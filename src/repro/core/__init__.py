@@ -35,7 +35,7 @@ from repro.core.runtime import (
     adaptive_sssp,
     run_static,
 )
-from repro.core.telemetry import Decision, DecisionTrace
+from repro.core.telemetry import RECOVERY_ACTIONS, Decision, DecisionTrace, FaultEvent
 from repro.core.tuning import (
     derive_t1,
     derive_t2,
@@ -71,6 +71,8 @@ __all__ = [
     "DecisionQuality",
     "Decision",
     "DecisionTrace",
+    "FaultEvent",
+    "RECOVERY_ACTIONS",
     "derive_t1",
     "derive_t2",
     "measure_t2_crossover",

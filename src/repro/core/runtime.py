@@ -75,8 +75,17 @@ def adaptive_bfs(
     config: Optional[RuntimeConfig] = None,
     device: DeviceSpec = TESLA_C2070,
     cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    watchdog=None,
+    checkpoint_keeper=None,
+    resume_from=None,
+    fault_hook=None,
 ) -> AdaptiveResult:
-    """BFS under the adaptive runtime."""
+    """BFS under the adaptive runtime.
+
+    The reliability keywords (*watchdog*, *checkpoint_keeper*,
+    *resume_from*, *fault_hook*) are pass-throughs to the traversal
+    frame, used by :mod:`repro.reliability`'s guarded runners."""
     policy = AdaptivePolicy(graph, config, device=device)
     result = traverse_bfs(
         graph,
@@ -85,6 +94,11 @@ def adaptive_bfs(
         device=device,
         cost_params=cost_params,
         queue_gen=policy.config.queue_gen,
+        max_iterations=max_iterations,
+        watchdog=watchdog,
+        checkpoint_keeper=checkpoint_keeper,
+        resume_from=resume_from,
+        fault_hook=fault_hook,
     )
     return AdaptiveResult(
         traversal=result, trace=policy.trace, thresholds=policy.thresholds
@@ -98,9 +112,14 @@ def adaptive_sssp(
     config: Optional[RuntimeConfig] = None,
     device: DeviceSpec = TESLA_C2070,
     cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    watchdog=None,
+    checkpoint_keeper=None,
+    resume_from=None,
+    fault_hook=None,
 ) -> AdaptiveResult:
     """SSSP under the adaptive runtime (unordered variants only,
-    Section VI.A)."""
+    Section VI.A).  Reliability keywords as in :func:`adaptive_bfs`."""
     policy = AdaptivePolicy(graph, config, device=device)
     result = traverse_sssp(
         graph,
@@ -109,6 +128,11 @@ def adaptive_sssp(
         device=device,
         cost_params=cost_params,
         queue_gen=policy.config.queue_gen,
+        max_iterations=max_iterations,
+        watchdog=watchdog,
+        checkpoint_keeper=checkpoint_keeper,
+        resume_from=resume_from,
+        fault_hook=fault_hook,
     )
     return AdaptiveResult(
         traversal=result, trace=policy.trace, thresholds=policy.thresholds
@@ -203,17 +227,27 @@ def run_static(
     *,
     device: DeviceSpec = TESLA_C2070,
     cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    watchdog=None,
+    checkpoint_keeper=None,
+    resume_from=None,
+    fault_hook=None,
 ) -> TraversalResult:
     """Run one static variant of *algorithm* (``"bfs"`` or ``"sssp"``)."""
     if isinstance(variant, str):
         variant = Variant.parse(variant)
     policy = StaticPolicy(variant)
+    kwargs = dict(
+        device=device,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
+        watchdog=watchdog,
+        checkpoint_keeper=checkpoint_keeper,
+        resume_from=resume_from,
+        fault_hook=fault_hook,
+    )
     if algorithm == "bfs":
-        return traverse_bfs(
-            graph, source, policy, device=device, cost_params=cost_params
-        )
+        return traverse_bfs(graph, source, policy, **kwargs)
     if algorithm == "sssp":
-        return traverse_sssp(
-            graph, source, policy, device=device, cost_params=cost_params
-        )
+        return traverse_sssp(graph, source, policy, **kwargs)
     raise ValueError(f"unknown algorithm {algorithm!r} (expected 'bfs' or 'sssp')")

@@ -16,8 +16,11 @@ __all__ = [
     "DeviceError",
     "LaunchError",
     "KernelError",
+    "NonConvergenceError",
     "WorksetError",
+    "MemoryFaultError",
     "RuntimeConfigError",
+    "FaultPlanError",
     "TuningError",
     "DatasetError",
 ]
@@ -47,12 +50,28 @@ class KernelError(ReproError):
     """A simulated kernel was invoked with inconsistent arguments."""
 
 
+class NonConvergenceError(KernelError):
+    """A traversal exhausted its iteration or wall-clock budget without
+    emptying the working set (the watchdog's verdict)."""
+
+
 class WorksetError(ReproError):
     """Working-set (bitmap / queue) misuse, e.g. capacity overflow."""
 
 
+class MemoryFaultError(DeviceError):
+    """Simulated device-memory corruption detected mid-traversal (the
+    analogue of an ECC double-bit error): the traversal state on the
+    device can no longer be trusted and must be restored."""
+
+
 class RuntimeConfigError(ReproError):
     """Invalid adaptive-runtime configuration (thresholds, policy, ...)."""
+
+
+class FaultPlanError(RuntimeConfigError):
+    """A declarative fault-injection plan is malformed (bad rates,
+    unparseable JSON, unknown fault kind)."""
 
 
 class TuningError(ReproError):

@@ -24,7 +24,7 @@ from typing import Optional
 
 from repro.errors import KernelError
 from repro.gpusim.device import DeviceSpec
-from repro.gpusim.launch import LaunchConfig
+from repro.gpusim.launch import LaunchConfig, current_fault_hook
 from repro.gpusim.memory import bandwidth_cycles
 from repro.gpusim.occupancy import occupancy
 from repro.gpusim.smscheduler import makespan_cycles
@@ -183,6 +183,11 @@ class CostModel:
             atomic_cycles += (hottest + hottest**0.5) * params.atomic_cycles_per_op
 
         total_cycles = max(issue_cycles, mem_cycles) + atomic_cycles
+        hook = current_fault_hook()
+        if hook is not None:
+            # Injected latency spike: the kernel's execution (not the fixed
+            # launch overhead) is dilated, as if the SMs stalled.
+            total_cycles *= max(1.0, hook.latency_multiplier(tally.name))
         to_s = device.cycles_to_seconds
         return KernelCost(
             name=tally.name,

@@ -4,16 +4,70 @@ A launch is a 1-D grid of thread-blocks (the paper's kernels are all
 1-D).  :func:`LaunchConfig.for_elements` computes the grid covering a
 given element count, the way host code computes
 ``(n + threads - 1) / threads`` blocks.
+
+This module is also the simulator's *fault-injection seam*: a
+:class:`GpuFaultHook` installed via :func:`install_fault_hook` is
+consulted on every launch validation (where it may raise
+:class:`~repro.errors.LaunchError`, the analogue of a transient
+``cudaErrorLaunchFailure``) and on every kernel pricing (where it may
+dilate the kernel's simulated time — a latency spike).  The hook is
+process-global but installation is expected to be scoped with
+``FaultInjector.installed()``; with no hook installed the checks cost
+one ``is None`` test.
 """
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
+from typing import Iterator, Optional
 
 from repro.errors import LaunchError
 from repro.gpusim.device import DeviceSpec
 
-__all__ = ["LaunchConfig"]
+__all__ = [
+    "LaunchConfig",
+    "GpuFaultHook",
+    "install_fault_hook",
+    "current_fault_hook",
+]
+
+
+class GpuFaultHook:
+    """Interface of a simulator-level fault injector.
+
+    Subclasses override either method; the defaults are fault-free.
+    """
+
+    def on_launch(self, config: "LaunchConfig") -> None:
+        """Called when a launch configuration is validated; may raise
+        :class:`LaunchError` to simulate a transient launch failure."""
+
+    def latency_multiplier(self, kernel_name: str) -> float:
+        """Simulated-time dilation factor for one kernel execution
+        (1.0 = no spike)."""
+        return 1.0
+
+
+_fault_hook: Optional[GpuFaultHook] = None
+
+
+@contextlib.contextmanager
+def install_fault_hook(hook: GpuFaultHook) -> Iterator[GpuFaultHook]:
+    """Install *hook* as the process-wide GPU fault hook for the scope
+    of the ``with`` block (nested installs restore the outer hook)."""
+    global _fault_hook
+    previous = _fault_hook
+    _fault_hook = hook
+    try:
+        yield hook
+    finally:
+        _fault_hook = previous
+
+
+def current_fault_hook() -> Optional[GpuFaultHook]:
+    """The installed fault hook, or ``None`` (the fault-free default)."""
+    return _fault_hook
 
 
 @dataclass(frozen=True)
@@ -59,6 +113,8 @@ class LaunchConfig:
                 f"{self.grid_blocks} blocks exceeds 2-D grid limit "
                 f"{device.max_grid_dim ** 2}"
             )
+        if _fault_hook is not None:
+            _fault_hook.on_launch(self)
         return self
 
     @classmethod

@@ -22,16 +22,28 @@ Each iteration also pays a 4-byte device-to-host readback of the
 working-set size: the ``while`` condition on line 4 is host code, and
 this synchronization is a real, per-iteration PCIe latency that
 dominates traversals with many near-empty iterations (road networks).
+
+Reliability seams (used by :mod:`repro.reliability`): the unordered
+frames accept a *watchdog* (iteration/deadline budgets, raising
+:class:`~repro.errors.NonConvergenceError`), a *checkpoint keeper*
+(iteration-granular state snapshots, priced as device-to-host copies),
+a *resume_from* checkpoint (continue a retried query from its last good
+iteration instead of restarting), and a *fault_hook* (per-iteration
+fault-injection callback).  All default to ``None`` and cost nothing
+when absent.  A resumed traversal's :class:`TraversalResult` carries
+the full iteration history (prior records come from the checkpoint) but
+its timeline covers only the work executed by this attempt — the
+guarded runner accounts for time across attempts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import KernelError
+from repro.errors import KernelError, NonConvergenceError
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import DeviceSpec, TESLA_C2070
 from repro.gpusim.kernel import CostModel, CostParams, KernelTally
@@ -48,6 +60,10 @@ from repro.kernels.computation import (
 from repro.kernels.findmin import findmin, findmin_tallies
 from repro.kernels.variants import Ordering, Variant, WorksetRepr
 from repro.kernels.workset import Workset, workset_gen_tallies
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.reliability.checkpoint import CheckpointKeeper, TraversalCheckpoint
+    from repro.reliability.watchdog import Watchdog
 
 __all__ = [
     "IterationRecord",
@@ -211,6 +227,35 @@ def _tpb_for(variant: Variant, graph: CSRGraph, device: DeviceSpec) -> int:
     return variant.threads_per_block(graph.avg_out_degree, device)
 
 
+def _restore_state(resume_from: "TraversalCheckpoint", algorithm: str, source: int):
+    """Private copies of a checkpoint's state, ready to resume from."""
+    if not resume_from.matches(algorithm, source):
+        raise KernelError(
+            f"checkpoint holds a {resume_from.algorithm!r} query from source "
+            f"{resume_from.source}; cannot resume {algorithm!r} from {source}"
+        )
+    return (
+        resume_from.values.copy(),
+        resume_from.frontier.copy(),
+        list(resume_from.records),
+        resume_from.next_iteration,
+    )
+
+
+def _offer_checkpoint(
+    keeper: Optional["CheckpointKeeper"],
+    timeline: Timeline,
+    device: DeviceSpec,
+    **state,
+) -> None:
+    """Let the keeper snapshot post-iteration state; price the copy."""
+    if keeper is None:
+        return
+    nbytes = keeper.offer(**state)
+    if nbytes:
+        timeline.add_transfer(record_transfer("d2h", nbytes, device))
+
+
 # ----------------------------------------------------------------------
 # BFS / unordered SSSP frame
 # ----------------------------------------------------------------------
@@ -224,6 +269,10 @@ def traverse_bfs(
     cost_params: Optional[CostParams] = None,
     max_iterations: Optional[int] = None,
     queue_gen: str = "atomic",
+    watchdog: Optional["Watchdog"] = None,
+    checkpoint_keeper: Optional["CheckpointKeeper"] = None,
+    resume_from: Optional["TraversalCheckpoint"] = None,
+    fault_hook=None,
 ) -> TraversalResult:
     """Run BFS from *source* under *policy*; ordered and unordered BFS
     share this level-synchronous frame (their step rule differs).
@@ -237,17 +286,32 @@ def traverse_bfs(
     timeline = Timeline()
     _initial_transfers(graph, timeline, device)
 
-    levels = np.full(graph.num_nodes, UNSET_LEVEL, dtype=np.int64)
-    levels[source] = 0
-    frontier = np.array([source], dtype=np.int64)
-    records: List[IterationRecord] = []
-    iteration = 0
+    if resume_from is not None:
+        levels, frontier, records, iteration = _restore_state(
+            resume_from, "bfs", source
+        )
+    else:
+        levels = np.full(graph.num_nodes, UNSET_LEVEL, dtype=np.int64)
+        levels[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        records = []
+        iteration = 0
     cap = max_iterations if max_iterations is not None else 4 * graph.num_nodes + 64
-    variant = policy.choose(0, 1)
+    elapsed_s = 0.0
+    variant = (
+        policy.choose(iteration, int(frontier.size)) if frontier.size else None
+    )
 
     while frontier.size:
         if iteration >= cap:
-            raise KernelError(f"BFS exceeded {cap} iterations (non-convergence)")
+            raise NonConvergenceError(
+                f"BFS exceeded its iteration budget of {cap} iterations "
+                "(non-convergence)"
+            )
+        if watchdog is not None:
+            watchdog.check(iteration, elapsed_s)
+        if fault_hook is not None:
+            fault_hook.on_iteration(iteration, levels, frontier)
         tpb = _tpb_for(variant, graph, device)
         workset = Workset.from_update_ids(frontier, variant.workset)
 
@@ -288,6 +352,20 @@ def traverse_bfs(
         )
         records.append(record)
         policy.notify(record)
+        elapsed_s += seconds
+        _offer_checkpoint(
+            checkpoint_keeper,
+            timeline,
+            device,
+            algorithm="bfs",
+            source=source,
+            iteration=iteration,
+            values=levels,
+            frontier=step.updated,
+            variant_code=next_variant.code,
+            records=records,
+            seconds=seconds,
+        )
         frontier = step.updated
         variant = next_variant
         iteration += 1
@@ -314,11 +392,17 @@ def traverse_sssp(
     cost_params: Optional[CostParams] = None,
     max_iterations: Optional[int] = None,
     queue_gen: str = "atomic",
+    watchdog: Optional["Watchdog"] = None,
+    checkpoint_keeper: Optional["CheckpointKeeper"] = None,
+    resume_from: Optional["TraversalCheckpoint"] = None,
+    fault_hook=None,
 ) -> TraversalResult:
     """Run SSSP from *source* under *policy*.
 
     Dispatches to the unordered (Bellman-Ford) or ordered (GPU Dijkstra
-    with findmin) frame based on the policy's variants.
+    with findmin) frame based on the policy's variants.  Checkpointing,
+    resume and fault hooks are supported by the unordered frame only
+    (the adaptive and guarded runtimes are unordered, Section VI.A).
     """
     graph._check_node(source)
     if graph.weights is None:
@@ -326,13 +410,18 @@ def traverse_sssp(
             f"SSSP requires edge weights; graph {graph.name!r} has none"
         )
     if _is_ordered(policy):
+        if checkpoint_keeper is not None or resume_from is not None or fault_hook is not None:
+            raise KernelError(
+                "checkpoint/resume and fault hooks are only supported by the "
+                "unordered SSSP frame"
+            )
         return _traverse_sssp_ordered(
             graph, source, policy, device, cost_params, max_iterations,
-            queue_gen,
+            queue_gen, watchdog,
         )
     return _traverse_sssp_unordered(
         graph, source, policy, device, cost_params, max_iterations,
-        queue_gen,
+        queue_gen, watchdog, checkpoint_keeper, resume_from, fault_hook,
     )
 
 
@@ -341,23 +430,40 @@ def _is_ordered(policy: VariantPolicy) -> bool:
 
 
 def _traverse_sssp_unordered(
-    graph, source, policy, device, cost_params, max_iterations, queue_gen="atomic"
+    graph, source, policy, device, cost_params, max_iterations,
+    queue_gen="atomic", watchdog=None, checkpoint_keeper=None,
+    resume_from=None, fault_hook=None,
 ) -> TraversalResult:
     model = CostModel(device, cost_params)
     timeline = Timeline()
     _initial_transfers(graph, timeline, device)
 
-    dist = np.full(graph.num_nodes, INF, dtype=np.float64)
-    dist[source] = 0.0
-    frontier = np.array([source], dtype=np.int64)
-    records: List[IterationRecord] = []
-    iteration = 0
+    if resume_from is not None:
+        dist, frontier, records, iteration = _restore_state(
+            resume_from, "sssp", source
+        )
+    else:
+        dist = np.full(graph.num_nodes, INF, dtype=np.float64)
+        dist[source] = 0.0
+        frontier = np.array([source], dtype=np.int64)
+        records = []
+        iteration = 0
     cap = max_iterations if max_iterations is not None else 16 * graph.num_nodes + 64
-    variant = policy.choose(0, 1)
+    elapsed_s = 0.0
+    variant = (
+        policy.choose(iteration, int(frontier.size)) if frontier.size else None
+    )
 
     while frontier.size:
         if iteration >= cap:
-            raise KernelError(f"SSSP exceeded {cap} iterations (non-convergence)")
+            raise NonConvergenceError(
+                f"SSSP exceeded its iteration budget of {cap} iterations "
+                "(non-convergence)"
+            )
+        if watchdog is not None:
+            watchdog.check(iteration, elapsed_s)
+        if fault_hook is not None:
+            fault_hook.on_iteration(iteration, dist, frontier)
         tpb = _tpb_for(variant, graph, device)
         workset = Workset.from_update_ids(frontier, variant.workset)
 
@@ -396,6 +502,20 @@ def _traverse_sssp_unordered(
         )
         records.append(record)
         policy.notify(record)
+        elapsed_s += seconds
+        _offer_checkpoint(
+            checkpoint_keeper,
+            timeline,
+            device,
+            algorithm="sssp",
+            source=source,
+            iteration=iteration,
+            values=dist,
+            frontier=step.updated,
+            variant_code=next_variant.code,
+            records=records,
+            seconds=seconds,
+        )
         frontier = step.updated
         variant = next_variant
         iteration += 1
@@ -413,7 +533,8 @@ def _traverse_sssp_unordered(
 
 
 def _traverse_sssp_ordered(
-    graph, source, policy, device, cost_params, max_iterations, queue_gen="atomic"
+    graph, source, policy, device, cost_params, max_iterations,
+    queue_gen="atomic", watchdog=None,
 ) -> TraversalResult:
     model = CostModel(device, cost_params)
     timeline = Timeline()
@@ -432,11 +553,15 @@ def _traverse_sssp_ordered(
     # iterations are bounded by the number of pair insertions <= m.
     cap = max_iterations if max_iterations is not None else 16 * graph.num_edges + 64
 
+    elapsed_s = 0.0
     while state.workset_size:
         if iteration >= cap:
-            raise KernelError(
-                f"ordered SSSP exceeded {cap} iterations (non-convergence)"
+            raise NonConvergenceError(
+                f"ordered SSSP exceeded its iteration budget of {cap} "
+                "iterations (non-convergence)"
             )
+        if watchdog is not None:
+            watchdog.check(iteration, elapsed_s)
         ws_size = state.workset_size
         variant = policy.choose(iteration, ws_size)
         tpb = _tpb_for(variant, graph, device)
@@ -478,6 +603,7 @@ def _traverse_sssp_ordered(
         )
         records.append(record)
         policy.notify(record)
+        elapsed_s += seconds
         iteration += 1
 
     _final_transfers(graph, timeline, device)

@@ -1,0 +1,162 @@
+"""Iteration-granular checkpointing of traversal state.
+
+A :class:`TraversalCheckpoint` is everything the traversal frame needs
+to resume a query from the end of a known-good iteration: the value
+array (levels/distances), the next frontier, the iteration index, and
+the per-iteration records accumulated so far.  Arrays are deep copies —
+a later memory fault corrupting the live traversal state cannot reach
+the checkpoint.
+
+The :class:`CheckpointKeeper` decides *when* to checkpoint and charges
+the simulated cost of doing so (a device-to-host copy of the state
+arrays).  Two policies:
+
+- ``every=N`` — fixed interval, used by tests and fault drills that
+  want tight recovery points;
+- cost-aware (the default) — checkpoint only once enough simulated
+  compute has accumulated since the last checkpoint that the copy stays
+  within an overhead *budget* (a simplified Young/Daly rule: with
+  checkpoint cost ``C`` and budget ``b``, checkpoint every ``C / b``
+  simulated seconds, so steady-state overhead is at most ``b``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.transfer import transfer_seconds
+
+__all__ = ["TraversalCheckpoint", "CheckpointKeeper"]
+
+
+@dataclass(frozen=True)
+class TraversalCheckpoint:
+    """Resumable traversal state as of the end of one iteration."""
+
+    #: which frame produced this ("bfs" or "sssp"; unordered frames only)
+    algorithm: str
+    source: int
+    #: the iteration the resumed traversal should execute next
+    next_iteration: int
+    #: levels / distances after the checkpointed iteration (private copy)
+    values: np.ndarray
+    #: the frontier the next iteration consumes (private copy)
+    frontier: np.ndarray
+    #: variant chosen for the next iteration (informational; the policy
+    #: re-decides on resume and agrees under deterministic configs)
+    variant_code: str
+    #: iteration records 0..next_iteration-1 (immutable snapshot)
+    records: Tuple
+
+    @property
+    def state_bytes(self) -> int:
+        """Device bytes a real runtime would copy out for this state."""
+        return int(self.values.nbytes + self.frontier.nbytes + 8)
+
+    def matches(self, algorithm: str, source: int) -> bool:
+        return self.algorithm == algorithm and self.source == source
+
+
+class CheckpointKeeper:
+    """Owns checkpoint policy and storage for one guarded query.
+
+    The traversal frame calls :meth:`offer` after every completed
+    iteration; the keeper snapshots the state when its policy says so
+    and returns the number of bytes to charge as a device-to-host
+    transfer (0 when it declined).
+    """
+
+    def __init__(
+        self,
+        *,
+        every: Optional[int] = None,
+        budget: float = 0.02,
+        device: Optional[DeviceSpec] = None,
+    ):
+        if every is not None and every < 1:
+            raise KernelError(f"checkpoint interval must be >= 1, got {every}")
+        if not 0.0 < budget <= 1.0:
+            raise KernelError(f"checkpoint budget must be in (0, 1], got {budget}")
+        self.every = every
+        self.budget = budget
+        self.device = device
+        self.latest: Optional[TraversalCheckpoint] = None
+        self.saves = 0
+        self.restores = 0
+        #: simulated seconds of traversal work since the last checkpoint
+        self._since_last_s = 0.0
+        #: simulated iteration seconds ever offered (across retries —
+        #: replayed iterations count again, so the guard can report the
+        #: compute cost of recovery)
+        self.work_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Policy
+    # ------------------------------------------------------------------
+
+    def _should_save(self, iteration: int, state_bytes: int) -> bool:
+        if self.every is not None:
+            return (iteration + 1) % self.every == 0
+        if self.device is None:
+            return False
+        cost_s = transfer_seconds(state_bytes, self.device)
+        return self._since_last_s >= cost_s / self.budget
+
+    # ------------------------------------------------------------------
+    # Frame interface
+    # ------------------------------------------------------------------
+
+    def offer(
+        self,
+        *,
+        algorithm: str,
+        source: int,
+        iteration: int,
+        values: np.ndarray,
+        frontier: np.ndarray,
+        variant_code: str,
+        records: Sequence,
+        seconds: float,
+    ) -> int:
+        """Consider checkpointing after *iteration* finished; return the
+        bytes to charge to the timeline (0 if no checkpoint was taken)."""
+        self._since_last_s += float(seconds)
+        self.work_seconds += float(seconds)
+        state_bytes = int(values.nbytes + frontier.nbytes + 8)
+        if not self._should_save(iteration, state_bytes):
+            return 0
+        self.latest = TraversalCheckpoint(
+            algorithm=algorithm,
+            source=source,
+            next_iteration=iteration + 1,
+            values=values.copy(),
+            frontier=frontier.copy(),
+            variant_code=variant_code,
+            records=tuple(records),
+        )
+        self.saves += 1
+        self._since_last_s = 0.0
+        return state_bytes
+
+    # ------------------------------------------------------------------
+    # Guard interface
+    # ------------------------------------------------------------------
+
+    def restore(self, algorithm: str, source: int) -> Optional[TraversalCheckpoint]:
+        """The checkpoint to resume from after a failure (None = restart
+        from scratch).  Counts the restore for telemetry."""
+        cp = self.latest
+        if cp is None:
+            return None
+        if not cp.matches(algorithm, source):
+            raise KernelError(
+                f"checkpoint for {cp.algorithm!r} source {cp.source} cannot "
+                f"resume a {algorithm!r} query from source {source}"
+            )
+        self.restores += 1
+        return cp

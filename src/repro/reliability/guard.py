@@ -1,0 +1,439 @@
+"""Guarded traversal execution: retry, fall back, degrade — but answer.
+
+``resilient_bfs`` / ``resilient_sssp`` wrap the adaptive runtime
+(:mod:`repro.core.runtime`) in a recovery ladder:
+
+1. **retry** — a transient failure (injected or genuine launch error)
+   re-runs the query, resuming from the last checkpoint, after an
+   exponential backoff with jitter;
+2. **checkpoint restore** — a memory fault invalidates the live state,
+   so the retry *must* restore the last known-good snapshot;
+3. **variant fallback** — repeated failures without forward progress
+   abandon the current implementation (the adaptive policy first, then
+   each unordered static variant in turn), the reliability counterpart
+   of the paper's performance-motivated variant switching;
+4. **CPU degradation** — when the simulated GPU cannot finish (ladder
+   exhausted, or the watchdog declares non-convergence), the query is
+   answered by the serial :mod:`repro.cpu` baseline.  Slow, but correct
+   and fault-free.
+
+Because every GPU variant and the CPU baseline compute identical
+levels/distances, the ladder preserves bit-identical answers no matter
+which rung served the query; only latency changes.  Every fault and
+the action that answered it is recorded as a
+:class:`~repro.core.telemetry.FaultEvent` in the result's trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.config import RuntimeConfig
+from repro.core.runtime import adaptive_bfs, adaptive_sssp, run_static
+from repro.core.telemetry import DecisionTrace, FaultEvent
+from repro.cpu import cpu_bfs, cpu_dijkstra
+from repro.errors import (
+    MemoryFaultError,
+    NonConvergenceError,
+    ReproError,
+    RuntimeConfigError,
+)
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.kernel import CostParams
+from repro.kernels.variants import unordered_variants
+from repro.reliability.checkpoint import CheckpointKeeper
+from repro.reliability.faults import FaultInjector, FaultPlan
+from repro.reliability.watchdog import Watchdog
+
+__all__ = ["GuardConfig", "ResilientResult", "resilient_bfs", "resilient_sssp"]
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Knobs of the guarded runner."""
+
+    #: consecutive no-progress failures tolerated before skipping the
+    #: rest of the ladder and degrading to the CPU (None = let the
+    #: ladder run its full course)
+    max_retries: Optional[int] = None
+    #: consecutive no-progress failures of one stage before falling back
+    #: to the next implementation
+    retries_per_stage: int = 3
+    #: exponential backoff between retries (host wall-clock seconds)
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 0.5
+    #: +/- fraction of each backoff randomized (decorrelates retry storms)
+    jitter: float = 0.25
+    #: real wall-clock deadline for the whole query (None = unbounded)
+    deadline_s: Optional[float] = None
+    #: iteration budget across the whole query, retries included
+    max_iterations: Optional[int] = None
+    #: answer from the serial CPU baseline as a last resort; with False
+    #: an exhausted ladder re-raises the final error
+    degrade_to_cpu: bool = True
+    #: checkpoint every N iterations (None = cost-aware policy)
+    checkpoint_every: Optional[int] = None
+    #: overhead budget of the cost-aware checkpoint policy
+    checkpoint_budget: float = 0.02
+    #: seed of the backoff-jitter stream
+    seed: int = 0
+    #: sleep function (tests and benches inject a no-op)
+    sleeper: Callable[[float], None] = time.sleep
+
+    def __post_init__(self):
+        if self.max_retries is not None and self.max_retries < 1:
+            raise RuntimeConfigError(
+                f"max_retries must be >= 1, got {self.max_retries}"
+            )
+        if self.retries_per_stage < 1:
+            raise RuntimeConfigError(
+                f"retries_per_stage must be >= 1, got {self.retries_per_stage}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise RuntimeConfigError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise RuntimeConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise RuntimeConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+
+
+@dataclass
+class ResilientResult:
+    """Outcome of a guarded query: the answer plus its recovery story."""
+
+    algorithm: str
+    source: int
+    #: levels / distances — bit-identical to a fault-free run
+    values: np.ndarray
+    #: decision trace of the winning attempt, fault events included
+    trace: DecisionTrace
+    #: ladder rung that produced the answer ("adaptive", a variant code,
+    #: or "cpu")
+    stage: str
+    #: total execution attempts (1 = no recovery needed)
+    attempts: int
+    #: True when the CPU baseline answered
+    degraded: bool
+    #: the winning attempt's full result (AdaptiveResult,
+    #: TraversalResult, or a CPU result object)
+    result: object
+    #: simulated seconds of the winning attempt (checkpoint copies
+    #: included); the number to compare against an unguarded run
+    final_seconds: float
+    #: simulated compute re-executed or wasted by failed attempts
+    replayed_seconds: float
+    #: host wall-clock spent in backoff sleeps
+    backoff_seconds: float
+    checkpoints_saved: int
+    restores: int
+    faults: List[FaultEvent] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.final_seconds
+
+    @property
+    def num_faults(self) -> int:
+        return len(self.faults)
+
+    def recovery_actions(self):
+        return self.trace.recovery_actions()
+
+
+def resilient_bfs(
+    graph: CSRGraph,
+    source: int,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    guard: Optional[GuardConfig] = None,
+    plan: Optional[FaultPlan] = None,
+) -> ResilientResult:
+    """BFS under the adaptive runtime with the full recovery ladder."""
+    return _resilient("bfs", graph, source, config, device, cost_params, guard, plan)
+
+
+def resilient_sssp(
+    graph: CSRGraph,
+    source: int,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    guard: Optional[GuardConfig] = None,
+    plan: Optional[FaultPlan] = None,
+) -> ResilientResult:
+    """SSSP under the adaptive runtime with the full recovery ladder."""
+    return _resilient("sssp", graph, source, config, device, cost_params, guard, plan)
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+_RAISING_KINDS = {"launch_failure", "memory_fault"}
+
+
+def _resilient(
+    algorithm: str,
+    graph: CSRGraph,
+    source: int,
+    config: Optional[RuntimeConfig],
+    device: DeviceSpec,
+    cost_params: Optional[CostParams],
+    guard: Optional[GuardConfig],
+    plan: Optional[FaultPlan],
+) -> ResilientResult:
+    guard = guard or GuardConfig()
+    injector = FaultInjector(plan) if plan is not None and not plan.is_empty else None
+    watchdog = Watchdog(
+        max_iterations=guard.max_iterations, deadline_s=guard.deadline_s
+    )
+    keeper = CheckpointKeeper(
+        every=guard.checkpoint_every,
+        budget=guard.checkpoint_budget,
+        device=device,
+    )
+    stages = ["adaptive"] + [v.code for v in unordered_variants()]
+    jitter_rng = np.random.default_rng(guard.seed)
+
+    events: List[FaultEvent] = []
+    attempts = 0
+    stage_idx = 0
+    stage_failures = 0
+    no_progress = 0
+    backoff_total = 0.0
+    last_marker = -1
+    last_error: Optional[ReproError] = None
+
+    while True:
+        attempts += 1
+        stage = stages[stage_idx]
+        resume = keeper.restore(algorithm, source) if keeper.latest is not None else None
+        try:
+            if injector is not None:
+                with injector.installed():
+                    outcome = _run_stage(
+                        algorithm, stage, graph, source, config, device,
+                        cost_params, watchdog, keeper, resume, injector,
+                    )
+            else:
+                outcome = _run_stage(
+                    algorithm, stage, graph, source, config, device,
+                    cost_params, watchdog, keeper, resume, None,
+                )
+        except NonConvergenceError as exc:
+            last_error = exc
+            _drain(injector, events, attempts, absorbed_only=True)
+            events.append(
+                FaultEvent(
+                    attempt=attempts,
+                    iteration=-1,
+                    kind="non_convergence",
+                    site="watchdog",
+                    action="cpu_degradation" if guard.degrade_to_cpu else "raised",
+                    detail=str(exc)[:120],
+                )
+            )
+            if not guard.degrade_to_cpu:
+                raise
+            return _degrade(
+                algorithm, graph, source, keeper, events, attempts,
+                backoff_total,
+            )
+        except ReproError as exc:
+            last_error = exc
+            marker = keeper.latest.next_iteration if keeper.latest is not None else -1
+            progressed = marker > last_marker
+            last_marker = marker
+            if progressed:
+                stage_failures = 0
+                no_progress = 0
+            stage_failures += 1
+            no_progress += 1
+
+            exhausted = (
+                guard.max_retries is not None and no_progress > guard.max_retries
+            )
+            fall_back = not exhausted and stage_failures >= guard.retries_per_stage
+            if fall_back:
+                stage_idx += 1
+                stage_failures = 0
+                if stage_idx >= len(stages):
+                    exhausted = True
+            if exhausted:
+                action = "cpu_degradation" if guard.degrade_to_cpu else "raised"
+            elif fall_back:
+                action = "variant_fallback"
+            elif isinstance(exc, MemoryFaultError) and keeper.latest is not None:
+                action = "checkpoint_restore"
+            else:
+                action = "retry"
+            detail = action
+            if action == "variant_fallback" and stage_idx < len(stages):
+                detail = f"fallback to {stages[stage_idx]}"
+            elif action == "checkpoint_restore":
+                detail = f"restored iteration {keeper.latest.next_iteration}"
+            tagged = _drain(
+                injector, events, attempts, last_action=action, last_detail=detail
+            )
+            if not tagged:
+                # The failure was not an injected fault — record it so the
+                # trace still explains the path taken.
+                events.append(
+                    FaultEvent(
+                        attempt=attempts,
+                        iteration=-1,
+                        kind="error",
+                        site=type(exc).__name__,
+                        action=action,
+                        detail=str(exc)[:120],
+                    )
+                )
+            if exhausted:
+                if not guard.degrade_to_cpu:
+                    raise
+                return _degrade(
+                    algorithm, graph, source, keeper, events, attempts,
+                    backoff_total,
+                )
+            backoff_total += _backoff(guard, no_progress, jitter_rng)
+            continue
+
+        # ---------------- success ----------------
+        _drain(injector, events, attempts, absorbed_only=True)
+        traversal = getattr(outcome, "traversal", outcome)
+        trace = getattr(outcome, "trace", None) or DecisionTrace()
+        for event in events:
+            trace.record_fault(event)
+        useful = sum(r.seconds for r in traversal.iterations)
+        replayed = max(0.0, keeper.work_seconds - useful)
+        watchdog.bank_simulated(traversal.total_seconds)
+        return ResilientResult(
+            algorithm=algorithm,
+            source=source,
+            values=traversal.values,
+            trace=trace,
+            stage=stage,
+            attempts=attempts,
+            degraded=False,
+            result=outcome,
+            final_seconds=traversal.total_seconds,
+            replayed_seconds=replayed,
+            backoff_seconds=backoff_total,
+            checkpoints_saved=keeper.saves,
+            restores=keeper.restores,
+            faults=list(trace.faults),
+        )
+
+
+def _run_stage(
+    algorithm, stage, graph, source, config, device, cost_params,
+    watchdog, keeper, resume, injector,
+):
+    kwargs = dict(
+        device=device,
+        cost_params=cost_params,
+        watchdog=watchdog,
+        checkpoint_keeper=keeper,
+        resume_from=resume,
+        fault_hook=injector,
+    )
+    if stage == "adaptive":
+        runner = adaptive_bfs if algorithm == "bfs" else adaptive_sssp
+        return runner(graph, source, config=config, **kwargs)
+    return run_static(graph, source, algorithm, stage, **kwargs)
+
+
+def _drain(
+    injector: Optional[FaultInjector],
+    events: List[FaultEvent],
+    attempt: int,
+    *,
+    absorbed_only: bool = False,
+    last_action: str = "retry",
+    last_detail: str = "",
+) -> bool:
+    """Convert the injector's pending faults into trace events.
+
+    Latency spikes never abort an attempt — they are "absorbed".  The
+    fault that raised (always the last pending one) is tagged with the
+    recovery action the guard chose.  Returns True when a raising fault
+    was tagged (i.e. the failure was injected, not genuine).
+    """
+    if injector is None:
+        return False
+    tagged = False
+    pending = injector.drain_pending()
+    for i, fault in enumerate(pending):
+        is_last = i == len(pending) - 1
+        if not absorbed_only and is_last and fault.kind in _RAISING_KINDS:
+            action, detail = last_action, last_detail or fault.detail
+            tagged = True
+        else:
+            action, detail = "absorbed", fault.detail
+        events.append(
+            FaultEvent(
+                attempt=attempt,
+                iteration=fault.iteration,
+                kind=fault.kind,
+                site=fault.site,
+                action=action,
+                detail=detail,
+            )
+        )
+    return tagged
+
+
+def _backoff(guard: GuardConfig, consecutive: int, rng: np.random.Generator) -> float:
+    if guard.backoff_base_s <= 0:
+        return 0.0
+    delay = min(
+        guard.backoff_max_s,
+        guard.backoff_base_s * guard.backoff_factor ** max(0, consecutive - 1),
+    )
+    if guard.jitter > 0:
+        delay *= float(rng.uniform(1.0 - guard.jitter, 1.0 + guard.jitter))
+    if delay > 0:
+        guard.sleeper(delay)
+    return delay
+
+
+def _degrade(
+    algorithm, graph, source, keeper, events, attempts, backoff_total
+) -> ResilientResult:
+    """Last rung: answer from the serial CPU baseline."""
+    if algorithm == "bfs":
+        cpu = cpu_bfs(graph, source)
+        values = cpu.levels
+    else:
+        cpu = cpu_dijkstra(graph, source)
+        values = cpu.distances
+    trace = DecisionTrace()
+    for event in events:
+        trace.record_fault(event)
+    return ResilientResult(
+        algorithm=algorithm,
+        source=source,
+        values=values,
+        trace=trace,
+        stage="cpu",
+        attempts=attempts,
+        degraded=True,
+        result=cpu,
+        final_seconds=cpu.seconds,
+        replayed_seconds=keeper.work_seconds,
+        backoff_seconds=backoff_total,
+        checkpoints_saved=keeper.saves,
+        restores=keeper.restores,
+        faults=list(trace.faults),
+    )

@@ -1,0 +1,91 @@
+"""Execution watchdog: iteration and wall-clock budgets.
+
+A production traversal service cannot let one query spin forever — a
+non-converging query (negative-weight-like pathologies, corrupted
+state that keeps re-activating nodes, adversarial inputs) must be cut
+off deterministically.  The :class:`Watchdog` is consulted by the
+traversal frame at the top of every iteration and raises
+:class:`~repro.errors.NonConvergenceError` naming the exhausted budget.
+
+Budgets:
+
+- ``max_iterations`` — iterations across the whole guarded query
+  (shared across retries: a retry resuming from iteration *k* has *k*
+  iterations already on the meter via the checkpointed records);
+- ``deadline_s`` — *real* wall-clock seconds for the whole query (the
+  service-level deadline);
+- ``simulated_deadline_s`` — simulated seconds budget, useful when the
+  simulated device is the thing being modelled.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import NonConvergenceError
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog:
+    """Enforces iteration / wall-clock budgets over one guarded query."""
+
+    def __init__(
+        self,
+        *,
+        max_iterations: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        simulated_deadline_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_iterations is not None and max_iterations < 1:
+            raise NonConvergenceError(
+                f"max_iterations budget must be >= 1, got {max_iterations}"
+            )
+        self.max_iterations = max_iterations
+        self.deadline_s = deadline_s
+        self.simulated_deadline_s = simulated_deadline_s
+        self._clock = clock
+        self._started_at = clock()
+        self._simulated_s = 0.0
+
+    @property
+    def elapsed_s(self) -> float:
+        """Real seconds since the watchdog was armed."""
+        return self._clock() - self._started_at
+
+    @property
+    def simulated_s(self) -> float:
+        return self._simulated_s
+
+    def check(self, iteration: int, simulated_seconds: float = 0.0) -> None:
+        """Called at the top of each traversal iteration.
+
+        *simulated_seconds* is the simulated time accumulated *this
+        attempt*; the watchdog adds it to time banked by prior attempts
+        via :meth:`bank_simulated`.
+        """
+        if self.max_iterations is not None and iteration >= self.max_iterations:
+            raise NonConvergenceError(
+                f"traversal exceeded its iteration budget of "
+                f"{self.max_iterations} iterations without convergence"
+            )
+        if self.deadline_s is not None and self.elapsed_s > self.deadline_s:
+            raise NonConvergenceError(
+                f"traversal exceeded its wall-clock deadline of "
+                f"{self.deadline_s} s (elapsed {self.elapsed_s:.3f} s)"
+            )
+        if (
+            self.simulated_deadline_s is not None
+            and self._simulated_s + simulated_seconds > self.simulated_deadline_s
+        ):
+            raise NonConvergenceError(
+                f"traversal exceeded its simulated-time budget of "
+                f"{self.simulated_deadline_s} s"
+            )
+
+    def bank_simulated(self, seconds: float) -> None:
+        """Credit simulated time spent by a finished (or failed) attempt
+        so the budget spans retries."""
+        self._simulated_s += max(0.0, float(seconds))

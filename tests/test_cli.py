@@ -176,3 +176,74 @@ class TestExtensionCommands:
         assert rc == 0
         doc = json.loads(path.read_text())
         assert doc["traceEvents"]
+
+
+class TestReliability:
+    PLAN = (
+        '{"seed": 3, "launch_failure_rate": 0.1, "memory_fault_rate": 0.05}'
+    )
+
+    def test_reliability_subcommand_fault_free(self, capsys):
+        rc = main(["reliability", "--dataset", "p2p", "--scale", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served by" in out
+        assert "MISMATCH" not in out
+
+    def test_reliability_with_fault_plan(self, capsys):
+        rc = main(
+            ["reliability", "--dataset", "p2p", "--scale", "0.1",
+             "--algorithm", "sssp", "--fault-plan", self.PLAN,
+             "--checkpoint-every", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults seen" in out
+        assert "MISMATCH" not in out
+
+    def test_resilient_mode_on_bfs(self, capsys):
+        rc = main(
+            ["bfs", "--dataset", "p2p", "--scale", "0.1",
+             "--mode", "resilient", "--fault-plan", self.PLAN]
+        )
+        assert rc == 0
+        assert "served by" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_repro_error_exits_2(self, capsys):
+        # source beyond the graph is a ReproError: one line on stderr,
+        # exit code 2
+        rc = main(
+            ["bfs", "--dataset", "p2p", "--scale", "0.05",
+             "--source", "99999999"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_bad_fault_plan_exits_2(self, capsys):
+        rc = main(
+            ["reliability", "--dataset", "p2p", "--scale", "0.05",
+             "--fault-plan", "{bad json"]
+        )
+        assert rc == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        import repro.cli as cli_mod
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        args = build_parser().parse_args(["datasets"])
+        args.func = boom
+
+        class FixedParser:
+            def parse_args(self, argv=None):
+                return args
+
+        monkeypatch.setattr(cli_mod, "build_parser", FixedParser)
+        assert cli_mod.main(["datasets"]) == 130
+        assert "interrupted" in capsys.readouterr().err
