@@ -97,20 +97,44 @@ def cpu_baseline_sssp(key: str, scale: Optional[float] = None) -> CpuSsspResult:
     return _CPU_CACHE[cache_key]
 
 
-def write_report(name: str, content: str, data: Optional[dict] = None) -> str:
+def write_report(
+    name: str,
+    content: str,
+    data: Optional[dict] = None,
+    *,
+    memory=None,
+) -> str:
     """Write a bench report under ``benchmarks/results`` and echo it.
 
     Besides the human-readable ``<name>.txt``, a machine-readable
     ``<name>.json`` is always written so perf trajectories can be
     populated from runs: pass structured rows via *data*; without it the
     JSON carries the report text verbatim.
+
+    Pass a :class:`~repro.gpusim.allocator.MemoryReport` (or a list of
+    them) via *memory* to append the device-memory accounting — peak,
+    current, per-category and spill totals — to both the text and the
+    JSON payload.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
+    if memory is not None:
+        reports = memory if isinstance(memory, (list, tuple)) else [memory]
+        lines = ["", "device memory:"]
+        for rep in reports:
+            lines.append(
+                f"  peak {rep.peak_bytes:,} / {rep.capacity_bytes:,} bytes "
+                f"({rep.peak_pressure:.0%}), current {rep.current_bytes:,}, "
+                f"spilled {rep.spilled_bytes:,} in {rep.spill_events} events, "
+                f"{rep.oom_events} OOM"
+            )
+        content = content.rstrip("\n") + "\n" + "\n".join(lines)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(content if content.endswith("\n") else content + "\n")
     payload = {"name": name}
     payload.update(data if data is not None else {"text": content})
+    if memory is not None:
+        payload["memory"] = [rep.to_dict() for rep in reports]
     json_path = os.path.join(RESULTS_DIR, f"{name}.json")
     with open(json_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True, default=str)

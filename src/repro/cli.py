@@ -34,12 +34,13 @@ from repro.core.tuning import sweep_t3, tune_t3
 from repro.cpu import cpu_bfs, cpu_dijkstra
 from repro.graph.datasets import DATASETS, dataset_keys, make_dataset
 from repro.graph.generators import attach_uniform_weights
-from repro.graph.io import load_graph
+from repro.graph.io import IngestLimits, IngestReport, load_graph
 from repro.graph.properties import (
     characterize,
     largest_out_component_node,
     out_degree_histogram,
 )
+from repro.gpusim.allocator import MemoryBudget
 from repro.gpusim.device import device_registry
 from repro.kernels import run_bfs, run_sssp, unordered_variants
 from repro.kernels.variants import extended_variants
@@ -78,6 +79,29 @@ def _add_workload_args(parser: argparse.ArgumentParser, *, weighted_default=Fals
                         help="source node (default: a well-connected node)")
     parser.add_argument("--device", choices=sorted(device_registry()),
                         default="c2070", help="simulated GPU")
+    parser.add_argument("--mem-budget", default=None, metavar="SIZE",
+                        help="device-memory budget (e.g. '256M', '1G'); every "
+                        "CSR array, working set and checkpoint copy is charged "
+                        "against it, and an overflow raises a DeviceOOMError "
+                        "(recovered by --mode resilient)")
+    io_group = parser.add_mutually_exclusive_group()
+    io_group.add_argument("--strict-io", action="store_true",
+                          help="strict ingestion for --file: self-loops, "
+                          "duplicate edges and count mismatches are errors")
+    io_group.add_argument("--lenient-io", action="store_true",
+                          help="lenient ingestion for --file: quarantine and "
+                          "repair self-loops / duplicates / dangling ids")
+    parser.add_argument("--max-edges", type=int, default=None, metavar="N",
+                        help="abort --file ingestion after N edges "
+                        "(IngestLimitError, exit code 2)")
+
+
+def _io_mode(args) -> Optional[str]:
+    if getattr(args, "strict_io", False):
+        return "strict"
+    if getattr(args, "lenient_io", False):
+        return "lenient"
+    return None
 
 
 def _resolve_workload(args, *, weighted: bool):
@@ -86,7 +110,24 @@ def _resolve_workload(args, *, weighted: bool):
             args.dataset, scale=args.scale, weighted=weighted, seed=args.seed
         )
     else:
-        graph = load_graph(args.file)
+        report = IngestReport()
+        limits = (
+            IngestLimits(max_edges=args.max_edges)
+            if getattr(args, "max_edges", None) is not None
+            else None
+        )
+        graph = load_graph(
+            args.file, mode=_io_mode(args), limits=limits, report=report
+        )
+        if report.repairs or report.notes:
+            summary = (
+                f"[ingest] {report.path}: repaired {report.repairs} edges "
+                f"(self-loops {report.self_loops_dropped}, duplicates "
+                f"{report.duplicates_collapsed}, dangling {report.dangling_dropped})"
+            )
+            print(summary)
+            for note in report.notes:
+                print(f"[ingest] note: {note}")
         if weighted and not graph.has_weights:
             graph = attach_uniform_weights(graph, seed=args.seed)
     source = (
@@ -96,6 +137,42 @@ def _resolve_workload(args, *, weighted: bool):
     )
     device = device_registry()[args.device]
     return graph, source, device
+
+
+def _make_memory(args, device):
+    """Build the device-memory budget requested by ``--mem-budget``."""
+    spec = getattr(args, "mem_budget", None)
+    if spec is None:
+        return None
+    return MemoryBudget(spec, device=device)
+
+
+def _fmt_bytes(nbytes: int) -> str:
+    if nbytes >= 2**30:
+        return f"{nbytes / 2**30:.2f} GiB"
+    if nbytes >= 2**20:
+        return f"{nbytes / 2**20:.2f} MiB"
+    if nbytes >= 2**10:
+        return f"{nbytes / 2**10:.1f} KiB"
+    return f"{nbytes} B"
+
+
+def _add_memory_rows(table, report) -> None:
+    """Append a MemoryReport's headline numbers to a result table."""
+    if report is None:
+        return
+    table.add_row(["memory budget", _fmt_bytes(report.capacity_bytes)])
+    table.add_row(
+        ["memory peak",
+         f"{_fmt_bytes(report.peak_bytes)} ({report.peak_pressure:.0%})"]
+    )
+    if report.spill_events:
+        table.add_row(
+            ["memory spilled",
+             f"{_fmt_bytes(report.spilled_bytes)} in {report.spill_events} events"]
+        )
+    if report.oom_events:
+        table.add_row(["OOM events", report.oom_events])
 
 
 # ----------------------------------------------------------------------
@@ -165,21 +242,29 @@ def _run_traversal(args, algorithm: str) -> int:
     if args.mode == "resilient":
         return _run_resilient(args, algorithm)
     graph, source, device = _resolve_workload(args, weighted=weighted)
+    memory = _make_memory(args, device)
     config = RuntimeConfig(
         t3_fraction=args.t3,
         sampling_interval=args.sampling_interval,
         use_warp_mapping=args.warp_mapping,
     )
+    mem_report = None
     if args.mode == "adaptive":
         runner = adaptive_sssp if weighted else adaptive_bfs
-        result = runner(graph, source, config=config, device=device)
+        result = runner(graph, source, config=config, device=device, memory=memory)
         traversal = result.traversal
+        mem_report = result.memory
         extra = (
             f"decisions: {result.trace.variants_chosen()}  "
             f"switches: {result.num_switches}"
         )
+        if result.trace.num_memory_forced:
+            extra += f"  memory-forced: {result.trace.num_memory_forced}"
     else:
-        traversal = run_static(graph, source, algorithm, args.mode, device=device)
+        traversal = run_static(
+            graph, source, algorithm, args.mode, device=device, memory=memory
+        )
+        mem_report = memory.report() if memory is not None else None
         extra = ""
 
     if args.trace:
@@ -207,6 +292,7 @@ def _run_traversal(args, algorithm: str) -> int:
     table.add_row(["simulated GPU time", format_seconds(traversal.total_seconds)])
     table.add_row(["serial CPU baseline", format_seconds(cpu.seconds)])
     table.add_row(["speedup", f"{cpu.seconds / traversal.total_seconds:.2f}x"])
+    _add_memory_rows(table, mem_report)
     table.add_row(["verified vs CPU oracle", "yes" if ok else "MISMATCH"])
     print(table.render())
     if extra:
@@ -238,6 +324,7 @@ def _run_resilient(args, algorithm: str) -> int:
         max_retries=args.max_retries,
         deadline_s=args.deadline,
         checkpoint_every=args.checkpoint_every,
+        mem_budget=getattr(args, "mem_budget", None),
     )
     runner = resilient_sssp if weighted else resilient_bfs
     result = runner(graph, source, device=device, guard=guard, plan=plan)
@@ -262,6 +349,9 @@ def _run_resilient(args, algorithm: str) -> int:
     table.add_row(["checkpoints saved", result.checkpoints_saved])
     table.add_row(["checkpoint restores", result.restores])
     table.add_row(["degraded to CPU", "yes" if result.degraded else "no"])
+    if result.oom_rung:
+        table.add_row(["OOM ladder rung", result.oom_rung])
+    _add_memory_rows(table, result.memory)
     table.add_row(["simulated time (final attempt)", format_seconds(result.final_seconds)])
     table.add_row(["replayed simulated time", format_seconds(result.replayed_seconds)])
     table.add_row(["backoff wall-clock", format_seconds(result.backoff_seconds)])

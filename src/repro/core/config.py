@@ -53,6 +53,13 @@ class RuntimeConfig:
     #: (Merrill-style prefix scan) or "hierarchical" (Luo-style
     #: shared-memory queues)
     queue_gen: str = "atomic"
+    #: pin the working-set representation ("bitmap" or "queue")
+    #: regardless of the decision maker's choice; the guard's OOM ladder
+    #: uses "bitmap" to cap the footprint at O(|V|/8)
+    force_workset: Optional[str] = None
+    #: device-memory pressure (used/capacity) above which the decision
+    #: maker switches to footprint-minimal choices
+    pressure_threshold: float = 0.85
 
     def __post_init__(self):
         if self.t1 is not None and self.t1 <= 0:
@@ -77,6 +84,15 @@ class RuntimeConfig:
             raise RuntimeConfigError(
                 f"queue_gen must be 'atomic', 'scan' or 'hierarchical', "
                 f"got {self.queue_gen!r}"
+            )
+        if self.force_workset not in (None, "bitmap", "queue"):
+            raise RuntimeConfigError(
+                f"force_workset must be None, 'bitmap' or 'queue', "
+                f"got {self.force_workset!r}"
+            )
+        if not 0.0 < self.pressure_threshold <= 1.0:
+            raise RuntimeConfigError(
+                f"pressure_threshold must be in (0, 1], got {self.pressure_threshold}"
             )
 
     def resolve_t1(self, device: DeviceSpec) -> float:

@@ -19,6 +19,7 @@ unordered versions of SSSP and BFS" (Section VI.A).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import RuntimeConfigError
 from repro.kernels.variants import Mapping, Ordering, Variant, WorksetRepr
@@ -57,11 +58,33 @@ class DecisionMaker:
     the mid/high-degree band splits in two: degrees in ``[t1_low, t1)``
     select the virtual-warp mapping, which parallelizes each element's
     neighborhood without dedicating a whole block to it.
+
+    Memory awareness (beyond Figure 11): when the caller reports device
+    memory pressure at or above ``pressure_threshold``, the decision
+    flips to footprint-minimal choices — the representation with fewer
+    device bytes (the fixed ``|V|/8`` bitmap unless the queue is
+    genuinely smaller) and thread mapping (whose 192-thread blocks hold
+    no per-block neighbor-staging buffers).  Verstraaten et al. and
+    Hong et al. both treat footprint as a first-class selection axis;
+    this is that axis grafted onto the paper's decision space.
     """
 
-    def __init__(self, thresholds: Thresholds, *, use_warp_mapping: bool = False):
+    def __init__(
+        self,
+        thresholds: Thresholds,
+        *,
+        use_warp_mapping: bool = False,
+        num_nodes: Optional[int] = None,
+        pressure_threshold: float = 0.85,
+    ):
         self.thresholds = thresholds
         self.use_warp_mapping = bool(use_warp_mapping)
+        self.num_nodes = num_nodes
+        if not 0.0 < pressure_threshold <= 1.0:
+            raise RuntimeConfigError(
+                f"pressure_threshold must be in (0, 1], got {pressure_threshold}"
+            )
+        self.pressure_threshold = float(pressure_threshold)
 
     def _mapping_for_degree(self, avg_out_degree: float) -> Mapping:
         t = self.thresholds
@@ -71,8 +94,25 @@ class DecisionMaker:
             return Mapping.WARP
         return Mapping.THREAD
 
-    def decide(self, workset_size: int, avg_out_degree: float) -> Variant:
-        """The Figure-11 region lookup."""
+    def _minimal_workset(self, workset_size: int) -> WorksetRepr:
+        """The representation with the smaller device footprint."""
+        if self.num_nodes is None:
+            return WorksetRepr.BITMAP
+        queue_bytes = 4 * workset_size
+        bitmap_bytes = (self.num_nodes + 7) // 8
+        return WorksetRepr.QUEUE if queue_bytes < bitmap_bytes else WorksetRepr.BITMAP
+
+    def under_pressure(self, memory_pressure: float) -> bool:
+        return memory_pressure >= self.pressure_threshold
+
+    def decide(
+        self,
+        workset_size: int,
+        avg_out_degree: float,
+        *,
+        memory_pressure: float = 0.0,
+    ) -> Variant:
+        """The Figure-11 region lookup, with a memory-pressure override."""
         t = self.thresholds
         if workset_size < t.t2:
             mapping = Mapping.BLOCK
@@ -82,13 +122,20 @@ class DecisionMaker:
             workset = (
                 WorksetRepr.QUEUE if workset_size < t.t3 else WorksetRepr.BITMAP
             )
+        if self.under_pressure(memory_pressure):
+            workset = self._minimal_workset(workset_size)
+            if mapping is Mapping.BLOCK:
+                mapping = Mapping.THREAD
         return Variant(Ordering.UNORDERED, mapping, workset)
 
-    def region(self, workset_size: int, avg_out_degree: float) -> str:
+    def region(
+        self, workset_size: int, avg_out_degree: float, *, memory_pressure: float = 0.0
+    ) -> str:
         """Human-readable region label (telemetry / debugging)."""
         t = self.thresholds
+        suffix = "/mem-pressure" if self.under_pressure(memory_pressure) else ""
         if workset_size < t.t2:
-            return "small-ws"
+            return "small-ws" + suffix
         size_part = "mid-ws" if workset_size < t.t3 else "large-ws"
         mapping = self._mapping_for_degree(avg_out_degree)
         degree_part = {
@@ -96,4 +143,4 @@ class DecisionMaker:
             Mapping.WARP: "mid-degree",
             Mapping.BLOCK: "high-degree",
         }[mapping]
-        return f"{size_part}/{degree_part}"
+        return f"{size_part}/{degree_part}{suffix}"

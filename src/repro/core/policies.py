@@ -15,11 +15,13 @@ from repro.core.decision import DecisionMaker, Thresholds
 from repro.core.inspector import GraphInspector
 from repro.core.telemetry import Decision, DecisionTrace
 from repro.graph.csr import CSRGraph
+from repro.gpusim.allocator import MemoryBudget
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.kernel import KernelTally
+from repro.gpusim.memory import workset_device_bytes
 from repro.gpusim.reduction import reduction_tallies
 from repro.kernels.frame import IterationRecord, StaticPolicy, VariantPolicy
-from repro.kernels.variants import Variant
+from repro.kernels.variants import Variant, WorksetRepr
 from repro.kernels.workset import workset_gen_tallies
 
 __all__ = ["AdaptivePolicy", "FixedPolicy"]
@@ -46,9 +48,11 @@ class AdaptivePolicy(VariantPolicy):
         config: Optional[RuntimeConfig] = None,
         *,
         device: DeviceSpec,
+        memory: Optional[MemoryBudget] = None,
     ):
         self.config = config or RuntimeConfig()
         self.device = device
+        self.memory = memory
         self.inspector = GraphInspector(
             graph,
             sampling_interval=self.config.sampling_interval,
@@ -63,7 +67,10 @@ class AdaptivePolicy(VariantPolicy):
             ),
         )
         self.decision_maker = DecisionMaker(
-            self.thresholds, use_warp_mapping=self.config.use_warp_mapping
+            self.thresholds,
+            use_warp_mapping=self.config.use_warp_mapping,
+            num_nodes=graph.num_nodes,
+            pressure_threshold=self.config.pressure_threshold,
         )
         self.trace = DecisionTrace()
         self.name = "adaptive"
@@ -80,7 +87,13 @@ class AdaptivePolicy(VariantPolicy):
         if self._current is not None and not self.inspector.should_sample(iteration):
             return self._current
         self.inspector.observe(iteration, workset_size)
-        variant = self.decision_maker.decide(workset_size, self._avg_degree)
+        pressure = self.memory.pressure if self.memory is not None else 0.0
+        unconstrained = self.decision_maker.decide(workset_size, self._avg_degree)
+        variant = self.decision_maker.decide(
+            workset_size, self._avg_degree, memory_pressure=pressure
+        )
+        variant = self._apply_memory_constraints(variant, workset_size)
+        forced = variant != unconstrained
         switched = self._current is not None and variant != self._current
         self.trace.record(
             Decision(
@@ -88,8 +101,12 @@ class AdaptivePolicy(VariantPolicy):
                 workset_size=workset_size,
                 avg_out_degree=self._avg_degree,
                 variant=variant.code,
-                region=self.decision_maker.region(workset_size, self._avg_degree),
+                region=self.decision_maker.region(
+                    workset_size, self._avg_degree, memory_pressure=pressure
+                ),
                 switched=switched,
+                memory_pressure=pressure,
+                forced_by_memory=forced,
             )
         )
         if (
@@ -111,6 +128,38 @@ class AdaptivePolicy(VariantPolicy):
                 )
             )
         self._current = variant
+        return variant
+
+    def _apply_memory_constraints(self, variant: Variant, workset_size: int) -> Variant:
+        """Footprint fit-check and configured representation pin.
+
+        A ``force_workset`` pin (the guard's OOM ladder sets ``"bitmap"``)
+        wins outright.  Otherwise, if the chosen representation does not
+        fit the budget's workset headroom but the alternative does, swap
+        to the one that fits — the decision maker optimizes time, the
+        budget decides feasibility.
+        """
+        if self.config.force_workset is not None:
+            pinned = {
+                "bitmap": WorksetRepr.BITMAP,
+                "queue": WorksetRepr.QUEUE,
+            }[self.config.force_workset]
+            if variant.workset is not pinned:
+                variant = Variant(variant.ordering, variant.mapping, pinned)
+            return variant
+        if self.memory is None:
+            return variant
+        headroom = self.memory.workset_headroom_bytes()
+        chosen = workset_device_bytes(variant.workset, workset_size, self._num_nodes)
+        if chosen <= headroom:
+            return variant
+        alt = (
+            WorksetRepr.BITMAP
+            if variant.workset is WorksetRepr.QUEUE
+            else WorksetRepr.QUEUE
+        )
+        if workset_device_bytes(alt, workset_size, self._num_nodes) <= headroom:
+            return Variant(variant.ordering, variant.mapping, alt)
         return variant
 
     def notify(self, record: IterationRecord) -> None:

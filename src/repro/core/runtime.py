@@ -17,6 +17,7 @@ from repro.core.decision import Thresholds
 from repro.core.policies import AdaptivePolicy
 from repro.core.telemetry import DecisionTrace
 from repro.graph.csr import CSRGraph
+from repro.gpusim.allocator import MemoryBudget, MemoryReport
 from repro.gpusim.device import DeviceSpec, TESLA_C2070
 from repro.gpusim.kernel import CostParams
 from repro.kernels.frame import (
@@ -45,6 +46,8 @@ class AdaptiveResult:
     traversal: TraversalResult
     trace: DecisionTrace
     thresholds: Thresholds
+    #: device-memory accounting snapshot (None when no budget attached)
+    memory: Optional[MemoryReport] = None
 
     # Convenience pass-throughs ----------------------------------------
 
@@ -80,13 +83,17 @@ def adaptive_bfs(
     checkpoint_keeper=None,
     resume_from=None,
     fault_hook=None,
+    memory: Optional[MemoryBudget] = None,
 ) -> AdaptiveResult:
     """BFS under the adaptive runtime.
 
     The reliability keywords (*watchdog*, *checkpoint_keeper*,
     *resume_from*, *fault_hook*) are pass-throughs to the traversal
-    frame, used by :mod:`repro.reliability`'s guarded runners."""
-    policy = AdaptivePolicy(graph, config, device=device)
+    frame, used by :mod:`repro.reliability`'s guarded runners.
+    *memory* attaches a device-memory budget: the policy folds its
+    pressure into variant decisions and the frame charges every
+    allocation against it."""
+    policy = AdaptivePolicy(graph, config, device=device, memory=memory)
     result = traverse_bfs(
         graph,
         source,
@@ -99,9 +106,13 @@ def adaptive_bfs(
         checkpoint_keeper=checkpoint_keeper,
         resume_from=resume_from,
         fault_hook=fault_hook,
+        memory=memory,
     )
     return AdaptiveResult(
-        traversal=result, trace=policy.trace, thresholds=policy.thresholds
+        traversal=result,
+        trace=policy.trace,
+        thresholds=policy.thresholds,
+        memory=memory.report() if memory is not None else None,
     )
 
 
@@ -117,10 +128,12 @@ def adaptive_sssp(
     checkpoint_keeper=None,
     resume_from=None,
     fault_hook=None,
+    memory: Optional[MemoryBudget] = None,
 ) -> AdaptiveResult:
     """SSSP under the adaptive runtime (unordered variants only,
-    Section VI.A).  Reliability keywords as in :func:`adaptive_bfs`."""
-    policy = AdaptivePolicy(graph, config, device=device)
+    Section VI.A).  Reliability and *memory* keywords as in
+    :func:`adaptive_bfs`."""
+    policy = AdaptivePolicy(graph, config, device=device, memory=memory)
     result = traverse_sssp(
         graph,
         source,
@@ -133,9 +146,13 @@ def adaptive_sssp(
         checkpoint_keeper=checkpoint_keeper,
         resume_from=resume_from,
         fault_hook=fault_hook,
+        memory=memory,
     )
     return AdaptiveResult(
-        traversal=result, trace=policy.trace, thresholds=policy.thresholds
+        traversal=result,
+        trace=policy.trace,
+        thresholds=policy.thresholds,
+        memory=memory.report() if memory is not None else None,
     )
 
 
@@ -232,6 +249,7 @@ def run_static(
     checkpoint_keeper=None,
     resume_from=None,
     fault_hook=None,
+    memory: Optional[MemoryBudget] = None,
 ) -> TraversalResult:
     """Run one static variant of *algorithm* (``"bfs"`` or ``"sssp"``)."""
     if isinstance(variant, str):
@@ -245,6 +263,7 @@ def run_static(
         checkpoint_keeper=checkpoint_keeper,
         resume_from=resume_from,
         fault_hook=fault_hook,
+        memory=memory,
     )
     if algorithm == "bfs":
         return traverse_bfs(graph, source, policy, **kwargs)

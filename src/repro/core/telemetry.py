@@ -16,12 +16,19 @@ from typing import Dict, List
 __all__ = ["Decision", "DecisionTrace", "FaultEvent", "RECOVERY_ACTIONS"]
 
 #: the guard's recovery ladder, in escalation order; "absorbed" marks
-#: faults that perturb timing only and need no recovery (latency spikes)
+#: faults that perturb timing only and need no recovery (latency
+#: spikes).  The three ``device_oom`` rungs (workset spill, forced
+#: bitmap representation, checkpoint relief) sit between retry and CPU
+#: degradation: each trades performance for footprint while keeping
+#: answers bit-identical.
 RECOVERY_ACTIONS = (
     "absorbed",
     "retry",
     "variant_fallback",
     "checkpoint_restore",
+    "workset_spill",
+    "force_bitmap",
+    "checkpoint_relief",
     "cpu_degradation",
 )
 
@@ -36,6 +43,12 @@ class Decision:
     variant: str
     region: str
     switched: bool
+    #: device-memory pressure (used/capacity) at decision time; 0.0
+    #: when no budget is attached
+    memory_pressure: float = 0.0
+    #: True when memory pressure or a footprint fit-check overrode the
+    #: performance-optimal choice
+    forced_by_memory: bool = False
 
 
 @dataclass(frozen=True)
@@ -96,3 +109,13 @@ class DecisionTrace:
 
     def switch_iterations(self) -> List[int]:
         return [d.iteration for d in self.decisions if d.switched]
+
+    @property
+    def num_memory_forced(self) -> int:
+        """Decisions where memory pressure overrode the optimal variant."""
+        return sum(1 for d in self.decisions if d.forced_by_memory)
+
+    @property
+    def peak_memory_pressure(self) -> float:
+        """Highest device-memory pressure seen at any decision point."""
+        return max((d.memory_pressure for d in self.decisions), default=0.0)

@@ -13,7 +13,9 @@ __all__ = [
     "ReproError",
     "GraphError",
     "GraphFormatError",
+    "IngestLimitError",
     "DeviceError",
+    "DeviceOOMError",
     "LaunchError",
     "KernelError",
     "NonConvergenceError",
@@ -38,8 +40,20 @@ class GraphFormatError(GraphError):
     """A graph file (DIMACS / SNAP / Matrix Market) could not be parsed."""
 
 
+class IngestLimitError(GraphError):
+    """A graph file exceeded a configured ingestion resource limit
+    (maximum vertices, edges, or bytes) and was refused at the door."""
+
+
 class DeviceError(ReproError):
     """Inconsistent or unsupported simulated-device specification."""
+
+
+class DeviceOOMError(DeviceError):
+    """An allocation request exceeded the simulated device's memory
+    budget.  Survivable: the guarded runner's OOM recovery ladder
+    (spill, force-bitmap, checkpoint relief, CPU fallback) turns this
+    into a slower-but-correct answer."""
 
 
 class LaunchError(ReproError):

@@ -25,6 +25,7 @@ structural quantities above; :class:`~repro.gpusim.kernel.CostModel`
 turns a tally into simulated seconds.
 """
 
+from repro.gpusim.allocator import MemoryBudget, MemoryReport, parse_mem_size
 from repro.gpusim.device import DeviceSpec, TESLA_C2070, GTX_580, device_registry
 from repro.gpusim.kernel import CostModel, CostParams, KernelTally
 from repro.gpusim.launch import LaunchConfig
@@ -45,6 +46,9 @@ __all__ = [
     "KernelTally",
     "CostModel",
     "CostParams",
+    "MemoryBudget",
+    "MemoryReport",
+    "parse_mem_size",
     "Timeline",
     "KernelRecord",
     "transfer_seconds",

@@ -20,6 +20,8 @@ __all__ = [
     "strided_transactions",
     "segment_stream_transactions",
     "bandwidth_cycles",
+    "traversal_state_bytes",
+    "workset_device_bytes",
 ]
 
 
@@ -85,3 +87,41 @@ def bandwidth_cycles(transactions: float, device: DeviceSpec) -> float:
     device's peak bandwidth (the bandwidth-bound lower limit)."""
     bytes_total = float(transactions) * device.transaction_bytes
     return bytes_total / device.bytes_per_cycle
+
+
+# ----------------------------------------------------------------------
+# Device footprints (used by the memory budget, repro.gpusim.allocator)
+# ----------------------------------------------------------------------
+
+def traversal_state_bytes(num_nodes: int) -> int:
+    """Resident traversal state: a 4-byte value (level/distance slot)
+    plus a 1-byte update flag per node.  Working sets and checkpoint
+    staging are charged separately — unlike these arrays, their
+    footprint varies per iteration."""
+    if num_nodes < 0:
+        raise ValueError(f"num_nodes must be >= 0, got {num_nodes}")
+    return 5 * int(num_nodes)
+
+
+def workset_device_bytes(
+    representation, workset_size: int, num_nodes: int, *, entry_bytes: int = 4
+) -> int:
+    """Device bytes one materialized working set occupies.
+
+    The bitmap is a fixed ``ceil(n / 8)`` regardless of how full it is;
+    a queue grows with the frontier at *entry_bytes* per element (4 for
+    plain node ids, 8 for the ordered frame's (node, key) pairs).  This
+    asymmetry is the paper's memory axis of variant selection: on large
+    frontiers the queue can dwarf the bitmap and decide whether the
+    traversal fits on the device at all.
+
+    *representation* is a :class:`~repro.kernels.variants.WorksetRepr`
+    or its string value (``"BM"`` / ``"QU"``); duck-typed here to keep
+    :mod:`repro.gpusim` free of kernel-layer imports.
+    """
+    code = getattr(representation, "value", representation)
+    if code in ("BM", "bitmap"):
+        return (int(num_nodes) + 7) // 8
+    if code in ("QU", "queue"):
+        return int(workset_size) * int(entry_bytes)
+    raise ValueError(f"unknown workset representation {representation!r}")

@@ -15,20 +15,26 @@ provides that representation plus everything needed to feed it:
 """
 
 from repro.graph.builder import (
+    BuildStats,
     from_coo,
     from_edge_list,
     from_networkx,
     to_networkx,
 )
 from repro.graph.csr import CSRGraph
+from repro.graph.io import IngestLimits, IngestReport, load_graph
 from repro.graph.properties import GraphCharacterization, characterize, out_degree_histogram
 
 __all__ = [
     "CSRGraph",
+    "BuildStats",
     "from_edge_list",
     "from_coo",
     "from_networkx",
     "to_networkx",
+    "IngestLimits",
+    "IngestReport",
+    "load_graph",
     "characterize",
     "GraphCharacterization",
     "out_degree_histogram",

@@ -8,6 +8,7 @@ analogues.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
 
 import numpy as np
@@ -16,11 +17,34 @@ from repro.errors import GraphError
 from repro.graph.csr import CSRGraph, INDEX_DTYPE, OFFSET_DTYPE, WEIGHT_DTYPE
 
 __all__ = [
+    "BuildStats",
     "from_edge_list",
     "from_coo",
     "from_networkx",
     "to_networkx",
 ]
+
+
+@dataclass
+class BuildStats:
+    """Counts of the edges :func:`from_edge_list` quarantined/repaired.
+
+    Filled in-place when passed as ``stats=``; the ingestion layer
+    (:mod:`repro.graph.io`) surfaces these in its
+    :class:`~repro.graph.io.IngestReport`.
+    """
+
+    self_loops_dropped: int = 0
+    duplicates_collapsed: int = 0
+    dangling_dropped: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.self_loops_dropped
+            + self.duplicates_collapsed
+            + self.dangling_dropped
+        )
 
 
 def from_edge_list(
@@ -33,6 +57,8 @@ def from_edge_list(
     dedupe: bool = False,
     drop_self_loops: bool = False,
     symmetric: bool = False,
+    drop_dangling: bool = False,
+    stats: Optional[BuildStats] = None,
 ) -> CSRGraph:
     """Build a CSR graph from parallel source/target arrays.
 
@@ -53,6 +79,13 @@ def from_edge_list(
         Also insert the reverse of every edge (same weight), producing an
         undirected graph in directed representation — how the paper treats
         the road and co-citation networks.
+    drop_dangling:
+        With an explicit *num_nodes*, quarantine edges whose endpoint ids
+        fall outside ``[0, num_nodes)`` instead of raising (lenient
+        ingestion's repair path).
+    stats:
+        Optional :class:`BuildStats` filled in-place with how many edges
+        each repair removed.
     """
     src = np.asarray(sources, dtype=np.int64).ravel()
     dst = np.asarray(targets, dtype=np.int64).ravel()
@@ -73,8 +106,18 @@ def from_edge_list(
         if w is not None:
             w = np.concatenate([w, w])
 
+    if drop_dangling and num_nodes is not None and src.size:
+        keep = (src >= 0) & (src < num_nodes) & (dst >= 0) & (dst < num_nodes)
+        if stats is not None:
+            stats.dangling_dropped += int(src.size - keep.sum())
+        src, dst = src[keep], dst[keep]
+        if w is not None:
+            w = w[keep]
+
     if drop_self_loops and src.size:
         keep = src != dst
+        if stats is not None:
+            stats.self_loops_dropped += int(src.size - keep.sum())
         src, dst = src[keep], dst[keep]
         if w is not None:
             w = w[keep]
@@ -106,6 +149,8 @@ def from_edge_list(
             w = w[order]
         first = np.ones(src.size, dtype=bool)
         first[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+        if stats is not None:
+            stats.duplicates_collapsed += int(src.size - first.sum())
         src, dst = src[first], dst[first]
         if w is not None:
             w = w[first]

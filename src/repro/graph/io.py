@@ -5,22 +5,42 @@ The paper's datasets come from the 9th/10th DIMACS implementation
 challenges and the Stanford SNAP collection; users who have those files
 can load them here and run every experiment on the real data.  Writers
 are provided so synthetic analogues can be exported and diffed.
+
+Every reader supports three ingestion modes:
+
+- ``mode=None`` (legacy) — each reader's historical behavior;
+- ``mode="strict"`` — any structural anomaly (self-loop, duplicate
+  edge, out-of-range id, declared/parsed count mismatch) raises
+  :class:`~repro.errors.GraphFormatError` naming the file and line;
+- ``mode="lenient"`` — anomalies are quarantined and repaired
+  (self-loops dropped, duplicates collapsed to the minimum weight,
+  dangling ids removed) with the tallies recorded in an
+  :class:`IngestReport`.
+
+Independent of mode, weights must be finite and non-negative, and
+per-file resource ceilings (:class:`IngestLimits`) abort oversized
+inputs early with :class:`~repro.errors.IngestLimitError`.
 """
 
 from __future__ import annotations
 
 import gzip
 import os
-from typing import List, Optional, TextIO, Union
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, TextIO, Tuple, Union
 
 import numpy as np
 
-from repro.errors import GraphFormatError
-from repro.graph.builder import from_edge_list
+from repro.errors import GraphFormatError, IngestLimitError
+from repro.graph.builder import BuildStats, from_edge_list
 from repro.graph.csr import CSRGraph
 from repro.graph.transforms import edge_arrays
+from repro.utils.validation import check_finite
 
 __all__ = [
+    "IngestLimits",
+    "IngestReport",
     "read_dimacs",
     "write_dimacs",
     "read_snap_edgelist",
@@ -34,27 +54,259 @@ __all__ = [
 
 PathLike = Union[str, os.PathLike]
 
+_MODES = (None, "strict", "lenient")
+
+#: SNAP files carry their sizes in a comment: '# Nodes: N Edges: M'
+_SNAP_HEADER = re.compile(r"Nodes:\s*(\d+)\s+Edges:\s*(\d+)")
+
 
 def _open_text(path: PathLike, mode: str = "rt") -> TextIO:
-    """Open *path* as text, transparently handling ``.gz``."""
+    """Open *path* as text, transparently handling ``.gz``.
+
+    ``gzip.open`` defaults to the locale's preferred encoding in text
+    mode, so UTF-8 is pinned explicitly — a graph file written on one
+    machine must parse identically on every other.
+    """
     if str(path).endswith(".gz"):
-        return gzip.open(path, mode)  # type: ignore[return-value]
+        return gzip.open(path, mode, encoding="utf-8")  # type: ignore[return-value]
     return open(path, mode, encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# Ingestion hardening: limits, reports, and the shared per-read state
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class IngestLimits:
+    """Per-file resource ceilings enforced *during* parsing, so a
+    pathological file aborts within one line of crossing a limit
+    instead of after materializing millions of Python objects."""
+
+    max_nodes: Optional[int] = None
+    max_edges: Optional[int] = None
+    max_bytes: Optional[int] = None
+
+    def __post_init__(self):
+        for fname in ("max_nodes", "max_edges", "max_bytes"):
+            value = getattr(self, fname)
+            if value is not None and int(value) < 1:
+                raise GraphFormatError(f"{fname} must be >= 1, got {value!r}")
+
+
+@dataclass
+class IngestReport:
+    """What one reader invocation saw, checked, and repaired.
+
+    Pass an instance as ``report=`` to any reader to have it filled
+    in-place; the CLI surfaces these tallies next to its result tables.
+    """
+
+    path: str = ""
+    mode: Optional[str] = None
+    parsed_edges: int = 0
+    declared_edges: Optional[int] = None
+    self_loops_dropped: int = 0
+    duplicates_collapsed: int = 0
+    dangling_dropped: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def repairs(self) -> int:
+        """Total edges quarantined by lenient-mode repair."""
+        return (
+            self.self_loops_dropped
+            + self.duplicates_collapsed
+            + self.dangling_dropped
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "mode": self.mode,
+            "parsed_edges": self.parsed_edges,
+            "declared_edges": self.declared_edges,
+            "self_loops_dropped": self.self_loops_dropped,
+            "duplicates_collapsed": self.duplicates_collapsed,
+            "dangling_dropped": self.dangling_dropped,
+            "repairs": self.repairs,
+            "notes": list(self.notes),
+        }
+
+
+class _Ingest:
+    """Shared hardening state for one reader invocation."""
+
+    def __init__(
+        self,
+        path: PathLike,
+        mode: Optional[str],
+        limits: Optional[IngestLimits],
+        report: Optional[IngestReport],
+    ):
+        if mode not in _MODES:
+            raise GraphFormatError(
+                f"ingestion mode must be None, 'strict' or 'lenient', got {mode!r}"
+            )
+        self.path = str(path)
+        self.mode = mode
+        self.limits = limits
+        self.report = report if report is not None else IngestReport()
+        self.report.path = self.path
+        self.report.mode = mode
+        self.stats = BuildStats()
+        self._bytes = 0
+        self._edges = 0
+        self._seen: Optional[Set[Tuple[int, int]]] = (
+            set() if mode == "strict" else None
+        )
+
+    @property
+    def strict(self) -> bool:
+        return self.mode == "strict"
+
+    @property
+    def lenient(self) -> bool:
+        return self.mode == "lenient"
+
+    def line(self, raw: str, lineno: int) -> None:
+        """Charge one raw line against the byte ceiling."""
+        if self.limits is None or self.limits.max_bytes is None:
+            return
+        self._bytes += len(raw)
+        if self._bytes > self.limits.max_bytes:
+            raise IngestLimitError(
+                f"{self.path}:{lineno}: input exceeds the "
+                f"{self.limits.max_bytes:,}-byte ingestion limit"
+            )
+
+    def nodes(self, n: int, lineno: int) -> None:
+        """Check a declared node count against the ceiling."""
+        if (
+            self.limits is not None
+            and self.limits.max_nodes is not None
+            and n > self.limits.max_nodes
+        ):
+            raise IngestLimitError(
+                f"{self.path}:{lineno}: declares {n:,} nodes, over the "
+                f"ingestion limit of {self.limits.max_nodes:,}"
+            )
+
+    def edge(self, u: int, v: int, lineno: int) -> bool:
+        """Account one parsed edge; returns False when lenient mode
+        quarantines it (caller skips the append)."""
+        self._edges += 1
+        self.report.parsed_edges = self._edges
+        if (
+            self.limits is not None
+            and self.limits.max_edges is not None
+            and self._edges > self.limits.max_edges
+        ):
+            raise IngestLimitError(
+                f"{self.path}:{lineno}: more than {self.limits.max_edges:,} "
+                "edges (ingestion limit)"
+            )
+        if u == v:
+            if self.strict:
+                raise GraphFormatError(
+                    f"{self.path}:{lineno}: self-loop at node {u} (strict mode)"
+                )
+            if self.lenient:
+                self.stats.self_loops_dropped += 1
+                return False
+        if self._seen is not None:
+            if (u, v) in self._seen:
+                raise GraphFormatError(
+                    f"{self.path}:{lineno}: duplicate edge {u} -> {v} (strict mode)"
+                )
+            self._seen.add((u, v))
+        return True
+
+    def dangling(self, lineno: int, line: str) -> bool:
+        """Out-of-range endpoint: quarantine in lenient mode (returns
+        True), raise otherwise."""
+        if self.lenient:
+            # Still a parsed line — count it so a file whose only flaw
+            # is dangling ids is not also flagged as truncated.
+            self._edges += 1
+            self.report.parsed_edges = self._edges
+            self.stats.dangling_dropped += 1
+            return True
+        raise GraphFormatError(
+            f"{self.path}:{lineno}: node id out of range in {line!r}"
+        )
+
+    def weight(self, token: str, lineno: int) -> float:
+        """Parse one weight token; NaN, infinities and negatives are
+        rejected in every mode (they silently corrupt SSSP otherwise)."""
+        try:
+            w = check_finite("edge weight", float(token))
+        except (TypeError, ValueError) as exc:
+            raise GraphFormatError(
+                f"{self.path}:{lineno}: bad edge weight {token!r} ({exc})"
+            ) from exc
+        if w < 0:
+            raise GraphFormatError(
+                f"{self.path}:{lineno}: negative edge weight {token!r}"
+            )
+        return w
+
+    def verify_count(self, declared: Optional[int], found: int) -> None:
+        """Compare the file's declared edge count with what was parsed."""
+        if declared is not None:
+            self.report.declared_edges = declared
+        if declared is None or found == declared:
+            return
+        message = (
+            f"{self.path}: declares {declared} edges but file has {found} "
+            "(truncated or corrupt)"
+        )
+        if self.lenient:
+            self.report.notes.append(message)
+            return
+        raise GraphFormatError(message)
+
+    def build_kwargs(self, **legacy) -> dict:
+        """``from_edge_list`` keywords for this mode, layered over the
+        reader's legacy defaults."""
+        kwargs = dict(legacy)
+        if self.lenient:
+            kwargs.update(
+                dedupe=True,
+                drop_self_loops=True,
+                drop_dangling=True,
+                stats=self.stats,
+            )
+        return kwargs
+
+    def finalize(self) -> None:
+        """Fold the builder's repair tallies into the report."""
+        self.report.self_loops_dropped = self.stats.self_loops_dropped
+        self.report.duplicates_collapsed = self.stats.duplicates_collapsed
+        self.report.dangling_dropped = self.stats.dangling_dropped
 
 
 # ----------------------------------------------------------------------
 # DIMACS shortest-path challenge format (.gr): 'p sp N M', 'a u v w'
 # ----------------------------------------------------------------------
 
-def read_dimacs(path: PathLike, *, name: Optional[str] = None) -> CSRGraph:
+def read_dimacs(
+    path: PathLike,
+    *,
+    name: Optional[str] = None,
+    mode: Optional[str] = None,
+    limits: Optional[IngestLimits] = None,
+    report: Optional[IngestReport] = None,
+) -> CSRGraph:
     """Read a 9th-DIMACS ``.gr`` file (1-based ids, weighted arcs)."""
+    ing = _Ingest(path, mode, limits, report)
     n = m = None
     srcs: List[int] = []
     dsts: List[int] = []
     wts: List[float] = []
     with _open_text(path) as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
+        for lineno, raw in enumerate(fh, 1):
+            ing.line(raw, lineno)
+            line = raw.strip()
             if not line or line.startswith("c"):
                 continue
             parts = line.split()
@@ -64,6 +316,7 @@ def read_dimacs(path: PathLike, *, name: Optional[str] = None) -> CSRGraph:
                         f"{path}:{lineno}: bad problem line {line!r}"
                     )
                 n, m = int(parts[2]), int(parts[3])
+                ing.nodes(n, lineno)
             elif parts[0] == "a" or parts[0] == "e":
                 if n is None:
                     raise GraphFormatError(
@@ -71,27 +324,37 @@ def read_dimacs(path: PathLike, *, name: Optional[str] = None) -> CSRGraph:
                     )
                 if len(parts) not in (3, 4):
                     raise GraphFormatError(f"{path}:{lineno}: bad arc {line!r}")
-                u, v = int(parts[1]), int(parts[2])
-                if not (1 <= u <= n and 1 <= v <= n):
+                try:
+                    u, v = int(parts[1]), int(parts[2])
+                except ValueError as exc:
                     raise GraphFormatError(
-                        f"{path}:{lineno}: node id out of range in {line!r}"
-                    )
+                        f"{path}:{lineno}: non-integer node id in {line!r}"
+                    ) from exc
+                w = ing.weight(parts[3], lineno) if len(parts) == 4 else 1.0
+                in_range = 1 <= u <= n and 1 <= v <= n
+                if not in_range:
+                    if ing.dangling(lineno, line):
+                        continue
+                if not ing.edge(u, v, lineno):
+                    continue
                 srcs.append(u - 1)
                 dsts.append(v - 1)
-                wts.append(float(parts[3]) if len(parts) == 4 else 1.0)
+                wts.append(w)
             else:
                 raise GraphFormatError(
                     f"{path}:{lineno}: unknown record type {parts[0]!r}"
                 )
     if n is None:
         raise GraphFormatError(f"{path}: missing problem line")
-    if m is not None and len(srcs) != m:
-        raise GraphFormatError(
-            f"{path}: problem line declares {m} arcs but file has {len(srcs)}"
-        )
-    return from_edge_list(
-        srcs, dsts, wts, num_nodes=n, name=name or _stem(path)
+    ing.verify_count(m, ing.report.parsed_edges if mode is not None else len(srcs))
+    graph = from_edge_list(
+        srcs,
+        dsts,
+        wts,
+        **ing.build_kwargs(num_nodes=n, name=name or _stem(path)),
     )
+    ing.finalize()
+    return graph
 
 
 def write_dimacs(graph: CSRGraph, path: PathLike) -> None:
@@ -115,29 +378,60 @@ def _fmt_weight(w: float) -> str:
 # ----------------------------------------------------------------------
 
 def read_snap_edgelist(
-    path: PathLike, *, name: Optional[str] = None, num_nodes: Optional[int] = None
+    path: PathLike,
+    *,
+    name: Optional[str] = None,
+    num_nodes: Optional[int] = None,
+    mode: Optional[str] = None,
+    limits: Optional[IngestLimits] = None,
+    report: Optional[IngestReport] = None,
 ) -> CSRGraph:
-    """Read a SNAP-style whitespace-separated edge list (0-based ids)."""
+    """Read a SNAP-style whitespace-separated edge list (0-based ids).
+
+    When the conventional ``# Nodes: N Edges: M`` comment is present,
+    the parsed edge count is verified against ``M`` (a mismatch means a
+    truncated download — the most common corruption in practice).
+    """
+    ing = _Ingest(path, mode, limits, report)
+    declared_m: Optional[int] = None
     srcs: List[int] = []
     dsts: List[int] = []
     with _open_text(path) as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
+        for lineno, raw in enumerate(fh, 1):
+            ing.line(raw, lineno)
+            line = raw.strip()
             if not line or line.startswith("#") or line.startswith("%"):
+                header = _SNAP_HEADER.search(line)
+                if header is not None and declared_m is None:
+                    ing.nodes(int(header.group(1)), lineno)
+                    declared_m = int(header.group(2))
                 continue
             parts = line.split()
             if len(parts) < 2:
                 raise GraphFormatError(f"{path}:{lineno}: bad edge line {line!r}")
             try:
-                srcs.append(int(parts[0]))
-                dsts.append(int(parts[1]))
+                u, v = int(parts[0]), int(parts[1])
             except ValueError as exc:
                 raise GraphFormatError(
                     f"{path}:{lineno}: non-integer node id in {line!r}"
                 ) from exc
-    return from_edge_list(
-        srcs, dsts, num_nodes=num_nodes, name=name or _stem(path), dedupe=True
+            if u < 0 or v < 0:
+                if ing.dangling(lineno, line):
+                    continue
+            if not ing.edge(u, v, lineno):
+                continue
+            srcs.append(u)
+            dsts.append(v)
+    ing.verify_count(declared_m, ing.report.parsed_edges if mode is not None else len(srcs))
+    graph = from_edge_list(
+        srcs,
+        dsts,
+        **ing.build_kwargs(
+            num_nodes=num_nodes, name=name or _stem(path), dedupe=True
+        ),
     )
+    ing.finalize()
+    return graph
 
 
 def write_snap_edgelist(graph: CSRGraph, path: PathLike) -> None:
@@ -153,8 +447,16 @@ def write_snap_edgelist(graph: CSRGraph, path: PathLike) -> None:
 # Matrix Market coordinate format (pattern or real, general or symmetric)
 # ----------------------------------------------------------------------
 
-def read_matrix_market(path: PathLike, *, name: Optional[str] = None) -> CSRGraph:
+def read_matrix_market(
+    path: PathLike,
+    *,
+    name: Optional[str] = None,
+    mode: Optional[str] = None,
+    limits: Optional[IngestLimits] = None,
+    report: Optional[IngestReport] = None,
+) -> CSRGraph:
     """Read an ``.mtx`` coordinate file as a graph (rows -> cols edges)."""
+    ing = _Ingest(path, mode, limits, report)
     with _open_text(path) as fh:
         header = fh.readline()
         if not header.startswith("%%MatrixMarket"):
@@ -162,9 +464,9 @@ def read_matrix_market(path: PathLike, *, name: Optional[str] = None) -> CSRGrap
         tokens = header.split()
         if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
             raise GraphFormatError(f"{path}: unsupported header {header!r}")
-        field, symmetry = tokens[3], tokens[4]
-        if field not in ("pattern", "real", "integer"):
-            raise GraphFormatError(f"{path}: unsupported field {field!r}")
+        field_kind, symmetry = tokens[3], tokens[4]
+        if field_kind not in ("pattern", "real", "integer"):
+            raise GraphFormatError(f"{path}: unsupported field {field_kind!r}")
         if symmetry not in ("general", "symmetric"):
             raise GraphFormatError(f"{path}: unsupported symmetry {symmetry!r}")
         line = fh.readline()
@@ -174,41 +476,57 @@ def read_matrix_market(path: PathLike, *, name: Optional[str] = None) -> CSRGrap
             rows, cols, entries = (int(x) for x in line.split())
         except ValueError as exc:
             raise GraphFormatError(f"{path}: bad size line {line!r}") from exc
+        ing.nodes(max(rows, cols), 2)
         srcs: List[int] = []
         dsts: List[int] = []
         wts: List[float] = []
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
+        for lineno, raw in enumerate(fh, 1):
+            ing.line(raw, lineno)
+            line = raw.strip()
             if not line or line.startswith("%"):
                 continue
             parts = line.split()
-            u, v = int(parts[0]) - 1, int(parts[1]) - 1
+            try:
+                u, v = int(parts[0]) - 1, int(parts[1]) - 1
+            except (ValueError, IndexError) as exc:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: bad coordinate line {line!r}"
+                ) from exc
+            w = None
+            if field_kind != "pattern":
+                w = ing.weight(parts[2], lineno) if len(parts) > 2 else 1.0
+            if not (0 <= u < rows and 0 <= v < cols):
+                if ing.dangling(lineno, line):
+                    continue
+            if not ing.edge(u + 1, v + 1, lineno):
+                continue
             srcs.append(u)
             dsts.append(v)
-            if field != "pattern":
-                wts.append(float(parts[2]) if len(parts) > 2 else 1.0)
-    if len(srcs) != entries:
-        raise GraphFormatError(
-            f"{path}: declared {entries} entries, found {len(srcs)}"
-        )
-    weights = wts if field != "pattern" else None
-    return from_edge_list(
+            if field_kind != "pattern":
+                wts.append(w)
+    ing.verify_count(entries, ing.report.parsed_edges if mode is not None else len(srcs))
+    weights = wts if field_kind != "pattern" else None
+    graph = from_edge_list(
         srcs,
         dsts,
         weights,
-        num_nodes=max(rows, cols),
-        name=name or _stem(path),
-        symmetric=(symmetry == "symmetric"),
-        dedupe=True,
+        **ing.build_kwargs(
+            num_nodes=max(rows, cols),
+            name=name or _stem(path),
+            symmetric=(symmetry == "symmetric"),
+            dedupe=True,
+        ),
     )
+    ing.finalize()
+    return graph
 
 
 def write_matrix_market(graph: CSRGraph, path: PathLike) -> None:
     """Write *graph* as a general coordinate ``.mtx`` file."""
     src, dst, w = edge_arrays(graph)
-    field = "real" if w is not None else "pattern"
+    field_kind = "real" if w is not None else "pattern"
     with _open_text(path, "wt") as fh:
-        fh.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        fh.write(f"%%MatrixMarket matrix coordinate {field_kind} general\n")
         n = graph.num_nodes
         fh.write(f"{n} {n} {graph.num_edges}\n")
         if w is not None:
@@ -225,8 +543,16 @@ def write_matrix_market(graph: CSRGraph, path: PathLike) -> None:
 # the 1-based neighbors of node i (optionally weighted).
 # ----------------------------------------------------------------------
 
-def read_metis(path: PathLike, *, name: Optional[str] = None) -> CSRGraph:
+def read_metis(
+    path: PathLike,
+    *,
+    name: Optional[str] = None,
+    mode: Optional[str] = None,
+    limits: Optional[IngestLimits] = None,
+    report: Optional[IngestReport] = None,
+) -> CSRGraph:
     """Read a METIS graph file (undirected; both arc directions emitted)."""
+    ing = _Ingest(path, mode, limits, report)
     srcs: List[int] = []
     dsts: List[int] = []
     wts: List[float] = []
@@ -234,15 +560,19 @@ def read_metis(path: PathLike, *, name: Optional[str] = None) -> CSRGraph:
     has_edge_weights = False
     node = 0
     with _open_text(path) as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line or line.startswith("%"):
+        for lineno, raw in enumerate(fh, 1):
+            ing.line(raw, lineno)
+            line = raw.strip()
+            if line.startswith("%"):
                 continue
             parts = line.split()
             if n is None:
+                if not line:
+                    continue
                 if len(parts) < 2:
                     raise GraphFormatError(f"{path}:{lineno}: bad header {line!r}")
                 n, m = int(parts[0]), int(parts[1])
+                ing.nodes(n, lineno)
                 fmt = parts[2] if len(parts) > 2 else "0"
                 # fmt is up to 3 digits: vertex sizes, vertex weights,
                 # edge weights (we support edge weights only).
@@ -266,32 +596,43 @@ def read_metis(path: PathLike, *, name: Optional[str] = None) -> CSRGraph:
                 )
             for i in range(0, len(parts), step):
                 neighbor = int(parts[i])
+                w = ing.weight(parts[i + 1], lineno) if has_edge_weights else None
                 if not 1 <= neighbor <= n:
-                    raise GraphFormatError(
-                        f"{path}:{lineno}: neighbor {neighbor} out of range"
-                    )
+                    if ing.dangling(lineno, line):
+                        continue
+                if not ing.edge(node, neighbor, lineno):
+                    continue
                 srcs.append(node - 1)
                 dsts.append(neighbor - 1)
                 if has_edge_weights:
-                    wts.append(float(parts[i + 1]))
+                    wts.append(w)
     if n is None:
         raise GraphFormatError(f"{path}: empty METIS file")
     if node != n:
         raise GraphFormatError(
             f"{path}: header declares {n} vertices, found {node} adjacency lines"
         )
-    if m is not None and len(srcs) != 2 * m and len(srcs) != m:
-        raise GraphFormatError(
-            f"{path}: header declares {m} edges, found {len(srcs)} arcs "
+    arcs = ing.report.parsed_edges if mode is not None else len(srcs)
+    if m is not None and arcs != 2 * m and arcs != m:
+        # METIS headers count undirected edges; each appears as two arcs
+        # (or one, for files listing each direction explicitly).
+        message = (
+            f"{path}: header declares {m} edges, found {arcs} arcs "
             f"(expected {m} or {2 * m})"
         )
-    return from_edge_list(
+        if ing.lenient:
+            ing.report.notes.append(message)
+        else:
+            raise GraphFormatError(message)
+    ing.report.declared_edges = m
+    graph = from_edge_list(
         srcs,
         dsts,
         wts if has_edge_weights else None,
-        num_nodes=n,
-        name=name or _stem(path),
+        **ing.build_kwargs(num_nodes=n, name=name or _stem(path)),
     )
+    ing.finalize()
+    return graph
 
 
 def write_metis(graph: CSRGraph, path: PathLike) -> None:
@@ -326,7 +667,11 @@ def write_metis(graph: CSRGraph, path: PathLike) -> None:
 
 def load_graph(path: PathLike, **kwargs) -> CSRGraph:
     """Dispatch on file extension: ``.gr`` DIMACS, ``.mtx`` Matrix Market,
-    ``.txt``/``.edges``/``.el`` SNAP edge list (``.gz`` variants allowed)."""
+    ``.txt``/``.edges``/``.el`` SNAP edge list (``.gz`` variants allowed).
+
+    Keyword arguments — including ``mode``, ``limits`` and ``report`` —
+    are forwarded to the format's reader.
+    """
     base = str(path)
     if base.endswith(".gz"):
         base = base[:-3]

@@ -47,6 +47,7 @@ from repro.errors import KernelError, NonConvergenceError
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import DeviceSpec, TESLA_C2070
 from repro.gpusim.kernel import CostModel, CostParams, KernelTally
+from repro.gpusim.memory import traversal_state_bytes
 from repro.gpusim.timeline import Timeline
 from repro.gpusim.transfer import record_transfer
 from repro.kernels.computation import (
@@ -62,6 +63,7 @@ from repro.kernels.variants import Ordering, Variant, WorksetRepr
 from repro.kernels.workset import Workset, workset_gen_tallies
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpusim.allocator import MemoryBudget
     from repro.reliability.checkpoint import CheckpointKeeper, TraversalCheckpoint
     from repro.reliability.watchdog import Watchdog
 
@@ -198,10 +200,35 @@ class StaticPolicy(VariantPolicy):
 # Shared frame pieces
 # ----------------------------------------------------------------------
 
-def _initial_transfers(graph: CSRGraph, timeline: Timeline, device: DeviceSpec) -> None:
+def _initial_transfers(
+    graph: CSRGraph,
+    timeline: Timeline,
+    device: DeviceSpec,
+    memory: Optional["MemoryBudget"] = None,
+) -> None:
     n = graph.num_nodes
-    # Graph arrays + state array (4 B/node) + update flags (1 B/node)
-    # + queue capacity (4 B/node) + bitmap (1 bit/node).
+    if memory is not None:
+        # Budgeted path: the CSR arrays and traversal state are charged
+        # as resident (never-spillable) allocations; the per-iteration
+        # working set is charged separately by the loop.  An overflow
+        # raises DeviceOOMError — survivable by the guard's OOM ladder,
+        # unlike the hard KernelError below.
+        memory.allocate(
+            graph.device_bytes(), "graph", label=f"CSR arrays of {graph.name!r}"
+        )
+        memory.allocate(
+            traversal_state_bytes(n), "state", label="traversal state arrays"
+        )
+        # Same initial h2d payload as the legacy path below (state init
+        # includes zeroing the workset capacity), so a budget is
+        # time-neutral until it actually intervenes.
+        total_bytes = graph.device_bytes() + 4 * n + n + 4 * n + n // 8
+        timeline.add_transfer(record_transfer("h2d", total_bytes, device))
+        timeline.add_host_seconds(n * HOST_INIT_PER_NODE_S)
+        return
+    # Legacy (unbudgeted) capacity check: graph arrays + state array
+    # (4 B/node) + update flags (1 B/node) + queue capacity (4 B/node)
+    # + bitmap (1 bit/node).
     state_bytes = 4 * n + n + 4 * n + n // 8
     total_bytes = graph.device_bytes() + state_bytes
     if total_bytes > device.global_mem_bytes:
@@ -246,14 +273,48 @@ def _offer_checkpoint(
     keeper: Optional["CheckpointKeeper"],
     timeline: Timeline,
     device: DeviceSpec,
+    memory: Optional["MemoryBudget"] = None,
     **state,
 ) -> None:
     """Let the keeper snapshot post-iteration state; price the copy."""
     if keeper is None:
         return
     nbytes = keeper.offer(**state)
-    if nbytes:
-        timeline.add_transfer(record_transfer("d2h", nbytes, device))
+    if not nbytes:
+        return
+    if memory is not None:
+        # The staging buffer lives on the device only for the copy's
+        # duration; under spill mode the part that does not fit stages
+        # from host memory directly and costs nothing extra (the d2h
+        # copy below moves every byte off-device regardless).
+        with memory.transient(nbytes, "checkpoint", label="checkpoint staging"):
+            timeline.add_transfer(record_transfer("d2h", nbytes, device))
+        return
+    timeline.add_transfer(record_transfer("d2h", nbytes, device))
+
+
+def _charge_workset(
+    memory: Optional["MemoryBudget"],
+    variant: Variant,
+    workset_size: int,
+    graph: CSRGraph,
+    timeline: Timeline,
+    device: DeviceSpec,
+    *,
+    entry_bytes: int = 4,
+) -> None:
+    """Charge this iteration's materialized working set against the
+    budget.  In spill mode the overflow lives in host memory: the frame
+    prices it as one write-out plus one read-back over PCIe (the
+    generation kernel emits it, the computation kernel consumes it)."""
+    if memory is None:
+        return
+    spilled = memory.charge_workset(
+        variant.workset, workset_size, graph.num_nodes, entry_bytes=entry_bytes
+    )
+    if spilled:
+        timeline.add_transfer(record_transfer("d2h", spilled, device))
+        timeline.add_transfer(record_transfer("h2d", spilled, device))
 
 
 # ----------------------------------------------------------------------
@@ -273,6 +334,7 @@ def traverse_bfs(
     checkpoint_keeper: Optional["CheckpointKeeper"] = None,
     resume_from: Optional["TraversalCheckpoint"] = None,
     fault_hook=None,
+    memory: Optional["MemoryBudget"] = None,
 ) -> TraversalResult:
     """Run BFS from *source* under *policy*; ordered and unordered BFS
     share this level-synchronous frame (their step rule differs).
@@ -280,11 +342,17 @@ def traverse_bfs(
     *queue_gen* selects the queue-generation scheme: ``"atomic"``
     (the paper's baseline), ``"scan"`` (Merrill-style prefix scan) or
     ``"hierarchical"`` (Luo-style shared-memory queues) — Section
-    V.C's orthogonal optimizations."""
+    V.C's orthogonal optimizations.
+
+    *memory* attaches a :class:`~repro.gpusim.MemoryBudget`: the CSR
+    arrays, traversal state, per-iteration working sets and checkpoint
+    staging copies are charged against it, raising
+    :class:`~repro.errors.DeviceOOMError` on overflow (or pricing the
+    spilled bytes as PCIe traffic in spill mode)."""
     graph._check_node(source)
     model = CostModel(device, cost_params)
     timeline = Timeline()
-    _initial_transfers(graph, timeline, device)
+    _initial_transfers(graph, timeline, device, memory)
 
     if resume_from is not None:
         levels, frontier, records, iteration = _restore_state(
@@ -314,6 +382,7 @@ def traverse_bfs(
             fault_hook.on_iteration(iteration, levels, frontier)
         tpb = _tpb_for(variant, graph, device)
         workset = Workset.from_update_ids(frontier, variant.workset)
+        _charge_workset(memory, variant, workset.size, graph, timeline, device)
 
         step = bfs_step(graph, workset, levels, variant, tpb, device)
         comp_cost = model.price(step.tally)
@@ -357,6 +426,7 @@ def traverse_bfs(
             checkpoint_keeper,
             timeline,
             device,
+            memory,
             algorithm="bfs",
             source=source,
             iteration=iteration,
@@ -370,6 +440,8 @@ def traverse_bfs(
         variant = next_variant
         iteration += 1
 
+    if memory is not None:
+        memory.release_workset()
     _final_transfers(graph, timeline, device)
     algo = "bfs_ordered" if _is_ordered(policy) else "bfs"
     return TraversalResult(
@@ -396,6 +468,7 @@ def traverse_sssp(
     checkpoint_keeper: Optional["CheckpointKeeper"] = None,
     resume_from: Optional["TraversalCheckpoint"] = None,
     fault_hook=None,
+    memory: Optional["MemoryBudget"] = None,
 ) -> TraversalResult:
     """Run SSSP from *source* under *policy*.
 
@@ -403,6 +476,7 @@ def traverse_sssp(
     with findmin) frame based on the policy's variants.  Checkpointing,
     resume and fault hooks are supported by the unordered frame only
     (the adaptive and guarded runtimes are unordered, Section VI.A).
+    *memory* attaches a device-memory budget as in :func:`traverse_bfs`.
     """
     graph._check_node(source)
     if graph.weights is None:
@@ -417,11 +491,12 @@ def traverse_sssp(
             )
         return _traverse_sssp_ordered(
             graph, source, policy, device, cost_params, max_iterations,
-            queue_gen, watchdog,
+            queue_gen, watchdog, memory,
         )
     return _traverse_sssp_unordered(
         graph, source, policy, device, cost_params, max_iterations,
         queue_gen, watchdog, checkpoint_keeper, resume_from, fault_hook,
+        memory,
     )
 
 
@@ -432,11 +507,11 @@ def _is_ordered(policy: VariantPolicy) -> bool:
 def _traverse_sssp_unordered(
     graph, source, policy, device, cost_params, max_iterations,
     queue_gen="atomic", watchdog=None, checkpoint_keeper=None,
-    resume_from=None, fault_hook=None,
+    resume_from=None, fault_hook=None, memory=None,
 ) -> TraversalResult:
     model = CostModel(device, cost_params)
     timeline = Timeline()
-    _initial_transfers(graph, timeline, device)
+    _initial_transfers(graph, timeline, device, memory)
 
     if resume_from is not None:
         dist, frontier, records, iteration = _restore_state(
@@ -466,6 +541,7 @@ def _traverse_sssp_unordered(
             fault_hook.on_iteration(iteration, dist, frontier)
         tpb = _tpb_for(variant, graph, device)
         workset = Workset.from_update_ids(frontier, variant.workset)
+        _charge_workset(memory, variant, workset.size, graph, timeline, device)
 
         step = sssp_step(graph, workset, dist, variant, tpb, device)
         comp_cost = model.price(step.tally)
@@ -507,6 +583,7 @@ def _traverse_sssp_unordered(
             checkpoint_keeper,
             timeline,
             device,
+            memory,
             algorithm="sssp",
             source=source,
             iteration=iteration,
@@ -520,6 +597,8 @@ def _traverse_sssp_unordered(
         variant = next_variant
         iteration += 1
 
+    if memory is not None:
+        memory.release_workset()
     _final_transfers(graph, timeline, device)
     return TraversalResult(
         algorithm="sssp",
@@ -534,11 +613,11 @@ def _traverse_sssp_unordered(
 
 def _traverse_sssp_ordered(
     graph, source, policy, device, cost_params, max_iterations,
-    queue_gen="atomic", watchdog=None,
+    queue_gen="atomic", watchdog=None, memory=None,
 ) -> TraversalResult:
     model = CostModel(device, cost_params)
     timeline = Timeline()
-    _initial_transfers(graph, timeline, device)
+    _initial_transfers(graph, timeline, device, memory)
 
     # The working-set structure depends on the representation: a queue
     # holds the (node, key) pair multiset verbatim; a bitmap dedupes via
@@ -565,6 +644,10 @@ def _traverse_sssp_ordered(
         ws_size = state.workset_size
         variant = policy.choose(iteration, ws_size)
         tpb = _tpb_for(variant, graph, device)
+        # Ordered queues hold (node, key) pairs: 8 B per element.
+        _charge_workset(
+            memory, variant, ws_size, graph, timeline, device, entry_bytes=8
+        )
 
         # findmin reduction over the working-set keys.
         min_key = findmin(state.ws_keys)
@@ -606,6 +689,8 @@ def _traverse_sssp_ordered(
         elapsed_s += seconds
         iteration += 1
 
+    if memory is not None:
+        memory.release_workset()
     _final_transfers(graph, timeline, device)
     return TraversalResult(
         algorithm="sssp_ordered",

@@ -17,8 +17,22 @@
    answered by the serial :mod:`repro.cpu` baseline.  Slow, but correct
    and fault-free.
 
+Orthogonal to the failure ladder, a **device-OOM ladder** answers
+:class:`~repro.errors.DeviceOOMError` when a memory budget
+(``GuardConfig.mem_budget``) is attached.  Each OOM escalates one rung,
+trading performance for footprint while keeping answers bit-identical:
+
+1. **workset spill** — re-run with spill mode on: working sets and
+   checkpoint staging that do not fit overflow to host memory, priced
+   as extra PCIe traffic;
+2. **force bitmap** — additionally pin the working-set representation
+   to the bitmap, capping the footprint at ``O(|V|/8)``;
+3. **checkpoint relief** — additionally stop taking new checkpoints
+   (existing snapshots remain valid for restores);
+4. **CPU degradation** — the host always has room.
+
 Because every GPU variant and the CPU baseline compute identical
-levels/distances, the ladder preserves bit-identical answers no matter
+levels/distances, both ladders preserve bit-identical answers no matter
 which rung served the query; only latency changes.  Every fault and
 the action that answered it is recorded as a
 :class:`~repro.core.telemetry.FaultEvent` in the result's trace.
@@ -37,15 +51,17 @@ from repro.core.runtime import adaptive_bfs, adaptive_sssp, run_static
 from repro.core.telemetry import DecisionTrace, FaultEvent
 from repro.cpu import cpu_bfs, cpu_dijkstra
 from repro.errors import (
+    DeviceOOMError,
     MemoryFaultError,
     NonConvergenceError,
     ReproError,
     RuntimeConfigError,
 )
 from repro.graph.csr import CSRGraph
+from repro.gpusim.allocator import MemoryBudget, MemoryReport, parse_mem_size
 from repro.gpusim.device import DeviceSpec, TESLA_C2070
 from repro.gpusim.kernel import CostParams
-from repro.kernels.variants import unordered_variants
+from repro.kernels.variants import Variant, WorksetRepr, unordered_variants
 from repro.reliability.checkpoint import CheckpointKeeper
 from repro.reliability.faults import FaultInjector, FaultPlan
 from repro.reliability.watchdog import Watchdog
@@ -81,6 +97,11 @@ class GuardConfig:
     checkpoint_every: Optional[int] = None
     #: overhead budget of the cost-aware checkpoint policy
     checkpoint_budget: float = 0.02
+    #: device-memory budget for every GPU attempt (bytes, or a
+    #: human-readable size like ``"512M"``); ``None`` disables memory
+    #: accounting.  A :class:`~repro.errors.DeviceOOMError` escalates
+    #: the OOM ladder: spill -> force bitmap -> checkpoint relief -> CPU
+    mem_budget: Optional[object] = None
     #: seed of the backoff-jitter stream
     seed: int = 0
     #: sleep function (tests and benches inject a no-op)
@@ -103,6 +124,8 @@ class GuardConfig:
             )
         if not 0.0 <= self.jitter < 1.0:
             raise RuntimeConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.mem_budget is not None:
+            parse_mem_size(self.mem_budget)  # fail fast on nonsense sizes
 
 
 @dataclass
@@ -135,6 +158,11 @@ class ResilientResult:
     checkpoints_saved: int
     restores: int
     faults: List[FaultEvent] = field(default_factory=list)
+    #: device-memory accounting of the winning attempt (None without a
+    #: budget, or when the CPU answered)
+    memory: Optional[MemoryReport] = None
+    #: highest OOM-ladder rung reached (0 = memory never overflowed)
+    oom_rung: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -182,6 +210,9 @@ def resilient_sssp(
 
 _RAISING_KINDS = {"launch_failure", "memory_fault"}
 
+#: the OOM ladder's rungs, in escalation order (rung i -> action[i-1])
+_OOM_ACTIONS = ("workset_spill", "force_bitmap", "checkpoint_relief")
+
 
 def _resilient(
     algorithm: str,
@@ -211,6 +242,7 @@ def _resilient(
     stage_idx = 0
     stage_failures = 0
     no_progress = 0
+    oom_rung = 0
     backoff_total = 0.0
     last_marker = -1
     last_error: Optional[ReproError] = None
@@ -219,18 +251,63 @@ def _resilient(
         attempts += 1
         stage = stages[stage_idx]
         resume = keeper.restore(algorithm, source) if keeper.latest is not None else None
+        # OOM-ladder posture for this attempt: each budget is fresh (the
+        # previous attempt's charges died with it), spill mode from rung
+        # 1, bitmap pinning from rung 2, checkpoint relief from rung 3.
+        memory = None
+        if guard.mem_budget is not None:
+            memory = MemoryBudget(
+                guard.mem_budget, device=device, spill=oom_rung >= 1
+            )
+        run_config = config
+        force_bitmap = oom_rung >= 2
+        if force_bitmap:
+            run_config = (config or RuntimeConfig()).with_overrides(
+                force_workset="bitmap"
+            )
+        run_keeper = None if oom_rung >= 3 else keeper
         try:
             if injector is not None:
                 with injector.installed():
                     outcome = _run_stage(
-                        algorithm, stage, graph, source, config, device,
-                        cost_params, watchdog, keeper, resume, injector,
+                        algorithm, stage, graph, source, run_config, device,
+                        cost_params, watchdog, run_keeper, resume, injector,
+                        memory, force_bitmap,
                     )
             else:
                 outcome = _run_stage(
-                    algorithm, stage, graph, source, config, device,
-                    cost_params, watchdog, keeper, resume, None,
+                    algorithm, stage, graph, source, run_config, device,
+                    cost_params, watchdog, run_keeper, resume, None,
+                    memory, force_bitmap,
                 )
+        except DeviceOOMError as exc:
+            last_error = exc
+            oom_rung += 1
+            if oom_rung <= len(_OOM_ACTIONS):
+                action = _OOM_ACTIONS[oom_rung - 1]
+                detail = f"rung {oom_rung}: {str(exc)[:100]}"
+            else:
+                action = "cpu_degradation" if guard.degrade_to_cpu else "raised"
+                detail = f"OOM ladder exhausted: {str(exc)[:90]}"
+            _drain(injector, events, attempts, absorbed_only=True)
+            events.append(
+                FaultEvent(
+                    attempt=attempts,
+                    iteration=-1,
+                    kind="device_oom",
+                    site="allocator",
+                    action=action,
+                    detail=detail,
+                )
+            )
+            if oom_rung > len(_OOM_ACTIONS):
+                if not guard.degrade_to_cpu:
+                    raise
+                return _degrade(
+                    algorithm, graph, source, keeper, events, attempts,
+                    backoff_total, oom_rung=oom_rung,
+                )
+            continue
         except NonConvergenceError as exc:
             last_error = exc
             _drain(injector, events, attempts, absorbed_only=True)
@@ -333,12 +410,14 @@ def _resilient(
             checkpoints_saved=keeper.saves,
             restores=keeper.restores,
             faults=list(trace.faults),
+            memory=memory.report() if memory is not None else None,
+            oom_rung=oom_rung,
         )
 
 
 def _run_stage(
     algorithm, stage, graph, source, config, device, cost_params,
-    watchdog, keeper, resume, injector,
+    watchdog, keeper, resume, injector, memory=None, force_bitmap=False,
 ):
     kwargs = dict(
         device=device,
@@ -347,11 +426,16 @@ def _run_stage(
         checkpoint_keeper=keeper,
         resume_from=resume,
         fault_hook=injector,
+        memory=memory,
     )
     if stage == "adaptive":
         runner = adaptive_bfs if algorithm == "bfs" else adaptive_sssp
         return runner(graph, source, config=config, **kwargs)
-    return run_static(graph, source, algorithm, stage, **kwargs)
+    variant = Variant.parse(stage)
+    if force_bitmap and variant.workset is not WorksetRepr.BITMAP:
+        # The OOM ladder's bitmap pin applies to static stages too.
+        variant = Variant(variant.ordering, variant.mapping, WorksetRepr.BITMAP)
+    return run_static(graph, source, algorithm, variant, **kwargs)
 
 
 def _drain(
@@ -409,7 +493,8 @@ def _backoff(guard: GuardConfig, consecutive: int, rng: np.random.Generator) -> 
 
 
 def _degrade(
-    algorithm, graph, source, keeper, events, attempts, backoff_total
+    algorithm, graph, source, keeper, events, attempts, backoff_total,
+    oom_rung: int = 0,
 ) -> ResilientResult:
     """Last rung: answer from the serial CPU baseline."""
     if algorithm == "bfs":
@@ -436,4 +521,5 @@ def _degrade(
         checkpoints_saved=keeper.saves,
         restores=keeper.restores,
         faults=list(trace.faults),
+        oom_rung=oom_rung,
     )

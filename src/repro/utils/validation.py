@@ -6,6 +6,7 @@ the offending parameter, keeping call sites one line long.
 
 from __future__ import annotations
 
+import math
 import numbers
 from typing import Optional
 
@@ -15,6 +16,7 @@ __all__ = [
     "check_positive",
     "check_probability",
     "check_in_range",
+    "check_finite",
 ]
 
 
@@ -51,6 +53,16 @@ def check_probability(name: str, value) -> float:
         raise TypeError(f"{name} must be a number, got {type(value).__name__}")
     if not 0.0 <= value <= 1.0:
         raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return float(value)
+
+
+def check_finite(name: str, value) -> float:
+    """Validate that *value* is a finite real number (no NaN/inf) and
+    return it as ``float``."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
     return float(value)
 
 

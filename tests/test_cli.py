@@ -247,3 +247,91 @@ class TestExitCodes:
         monkeypatch.setattr(cli_mod, "build_parser", FixedParser)
         assert cli_mod.main(["datasets"]) == 130
         assert "interrupted" in capsys.readouterr().err
+
+
+class TestMemoryBudgetFlags:
+    def test_ample_budget_reports_memory(self, capsys):
+        rc = main(
+            ["bfs", "--dataset", "p2p", "--scale", "0.05",
+             "--mem-budget", "64M"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "memory budget" in out
+        assert "memory peak" in out
+        assert "MISMATCH" not in out
+
+    def test_oom_exits_2_with_one_line_stderr(self, capsys):
+        rc = main(
+            ["bfs", "--dataset", "p2p", "--scale", "0.05",
+             "--mem-budget", "1k"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "device memory budget exhausted" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_resilient_mode_recovers_from_oom(self, capsys):
+        from repro.graph.datasets import make_dataset
+        from repro.gpusim.memory import traversal_state_bytes
+
+        graph = make_dataset("p2p", scale=0.05, weighted=False, seed=1)
+        budget = graph.device_bytes() + traversal_state_bytes(graph.num_nodes) + 16
+        rc = main(
+            ["bfs", "--dataset", "p2p", "--scale", "0.05",
+             "--mode", "resilient", "--mem-budget", str(budget)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OOM ladder rung" in out
+        assert "workset_spill" in out
+        assert "MISMATCH" not in out
+
+    def test_bad_budget_spec_exits_2(self, capsys):
+        rc = main(
+            ["bfs", "--dataset", "p2p", "--scale", "0.05",
+             "--mem-budget", "lots"]
+        )
+        assert rc == 2
+        assert "memory size" in capsys.readouterr().err
+
+
+class TestIngestionFlags:
+    def _messy_file(self, tmp_path):
+        path = tmp_path / "messy.gr"
+        path.write_text(
+            "p sp 3 3\na 1 2 1\na 2 2 1\na 2 3 1\n", encoding="utf-8"
+        )
+        return str(path)
+
+    def test_strict_io_exits_2_naming_file_and_line(self, tmp_path, capsys):
+        rc = main(["bfs", "--file", self._messy_file(tmp_path),
+                   "--source", "0", "--strict-io"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "messy.gr:3" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_lenient_io_repairs_and_reports(self, tmp_path, capsys):
+        rc = main(["bfs", "--file", self._messy_file(tmp_path),
+                   "--source", "0", "--lenient-io"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[ingest]" in out
+        assert "self-loops 1" in out
+
+    def test_max_edges_exits_2(self, tmp_path, capsys):
+        rc = main(["bfs", "--file", self._messy_file(tmp_path),
+                   "--source", "0", "--max-edges", "1"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "more than 1 edges" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_strict_and_lenient_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["bfs", "--dataset", "p2p", "--strict-io", "--lenient-io"]
+            )

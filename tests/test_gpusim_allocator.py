@@ -1,0 +1,166 @@
+"""Tests for the device-memory budget (repro.gpusim.allocator)."""
+
+import pytest
+
+from repro.errors import DeviceError, DeviceOOMError
+from repro.gpusim.allocator import (
+    ALLOCATION_CATEGORIES,
+    MemoryBudget,
+    SPILLABLE_CATEGORIES,
+    parse_mem_size,
+)
+from repro.gpusim.device import TESLA_C2070
+from repro.gpusim.memory import workset_device_bytes
+from repro.kernels.variants import WorksetRepr
+
+
+class TestParseMemSize:
+    @pytest.mark.parametrize(
+        "spec, expected",
+        [
+            (4096, 4096),
+            ("4096", 4096),
+            ("1k", 1024),
+            ("512M", 512 * 1024**2),
+            ("512 MiB", 512 * 1024**2),
+            ("2g", 2 * 1024**3),
+            ("1.5GiB", int(1.5 * 1024**3)),
+            ("1T", 1024**4),
+            ("8B", 8),
+        ],
+    )
+    def test_accepts(self, spec, expected):
+        assert parse_mem_size(spec) == expected
+
+    @pytest.mark.parametrize("spec", ["", "fast", "-4", "12Q", "M", 0, -1, 1.5, True])
+    def test_rejects(self, spec):
+        with pytest.raises(DeviceError):
+            parse_mem_size(spec)
+
+
+class TestMemoryBudget:
+    def test_needs_capacity_or_device(self):
+        with pytest.raises(DeviceError):
+            MemoryBudget()
+
+    def test_defaults_to_device_capacity(self):
+        budget = MemoryBudget(device=TESLA_C2070)
+        assert budget.capacity_bytes == TESLA_C2070.global_mem_bytes
+
+    def test_allocate_free_roundtrip(self):
+        budget = MemoryBudget(1000)
+        assert budget.allocate(600, "graph") == 0
+        assert budget.current_bytes == 600
+        assert budget.pressure == 0.6
+        assert budget.headroom_bytes == 400
+        budget.free(600, "graph")
+        assert budget.current_bytes == 0
+        assert budget.peak_bytes == 600  # peak survives the free
+
+    def test_oom_raises_with_accounting_detail(self):
+        budget = MemoryBudget(100)
+        budget.allocate(80, "graph")
+        with pytest.raises(DeviceOOMError) as exc:
+            budget.allocate(40, "state", label="traversal state arrays")
+        msg = str(exc.value)
+        assert "traversal state arrays" in msg
+        assert "20" in msg and "100" in msg
+        assert budget.oom_events == 1
+        # the failed request must not be charged
+        assert budget.current_bytes == 80
+
+    def test_unknown_category_rejected(self):
+        budget = MemoryBudget(100)
+        with pytest.raises(DeviceError):
+            budget.allocate(10, "sorcery")
+
+    def test_over_free_rejected(self):
+        budget = MemoryBudget(100)
+        budget.allocate(10, "workset")
+        with pytest.raises(DeviceError):
+            budget.free(20, "workset")
+
+    def test_transient_frees_on_exit(self):
+        budget = MemoryBudget(100)
+        with budget.transient(60, "checkpoint") as spilled:
+            assert spilled == 0
+            assert budget.current_bytes == 60
+        assert budget.current_bytes == 0
+        assert budget.peak_bytes == 60
+
+    def test_transient_frees_on_error(self):
+        budget = MemoryBudget(100)
+        with pytest.raises(RuntimeError):
+            with budget.transient(60, "checkpoint"):
+                raise RuntimeError("boom")
+        assert budget.current_bytes == 0
+
+    def test_resident_categories_never_spill(self):
+        budget = MemoryBudget(100, spill=True)
+        for category in ("graph", "state"):
+            with pytest.raises(DeviceOOMError):
+                budget.allocate(200, category)
+        assert category not in SPILLABLE_CATEGORIES
+
+    def test_spill_mode_overflows_spillable_categories(self):
+        budget = MemoryBudget(100, spill=True)
+        spilled = budget.allocate(150, "workset")
+        assert spilled == 50
+        assert budget.current_bytes == 100  # device keeps what fits
+        assert budget.spilled_bytes == 50
+        assert budget.spill_events == 1
+
+
+class TestWorksetAccounting:
+    def test_charge_matches_device_bytes(self):
+        budget = MemoryBudget(10_000)
+        n = 1000
+        budget.charge_workset(WorksetRepr.BITMAP, 700, n)
+        assert budget.by_category["workset"] == workset_device_bytes(
+            WorksetRepr.BITMAP, 700, n
+        )
+
+    def test_recharge_replaces_previous_workset(self):
+        budget = MemoryBudget(10_000)
+        budget.charge_workset(WorksetRepr.QUEUE, 100, 1000)
+        budget.charge_workset(WorksetRepr.QUEUE, 50, 1000)
+        assert budget.by_category["workset"] == 50 * 4
+        budget.release_workset()
+        assert budget.by_category["workset"] == 0
+
+    def test_workset_headroom_includes_live_workset(self):
+        budget = MemoryBudget(1000)
+        budget.allocate(500, "graph")
+        budget.charge_workset(WorksetRepr.QUEUE, 100, 1000)  # 400 bytes
+        assert budget.headroom_bytes == 100
+        # the live workset is freed before its successor is charged
+        assert budget.workset_headroom_bytes() == 500
+
+    def test_ordered_queue_entry_bytes(self):
+        budget = MemoryBudget(10_000)
+        budget.charge_workset(WorksetRepr.QUEUE, 100, 1000, entry_bytes=8)
+        assert budget.by_category["workset"] == 800
+
+
+class TestReport:
+    def test_report_snapshot(self):
+        budget = MemoryBudget(1000, spill=True)
+        budget.allocate(400, "graph")
+        budget.charge_workset(WorksetRepr.QUEUE, 200, 1000)  # 800 -> spills 200
+        report = budget.report()
+        assert report.capacity_bytes == 1000
+        assert report.current_bytes == 1000
+        assert report.peak_bytes == 1000
+        assert report.peak_pressure == 1.0
+        assert report.spilled_bytes == 200
+        assert report.spill_events == 1
+        d = report.to_dict()
+        assert d["by_category"]["graph"] == 400
+        assert set(d["peak_by_category"]) == set(ALLOCATION_CATEGORIES)
+
+    def test_report_is_detached_snapshot(self):
+        budget = MemoryBudget(1000)
+        budget.allocate(100, "graph")
+        report = budget.report()
+        budget.allocate(100, "graph")
+        assert report.current_bytes == 100

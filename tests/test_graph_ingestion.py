@@ -1,0 +1,271 @@
+"""Hardened-ingestion tests: strict/lenient modes, resource limits, and
+property-based corruption round-trips over all four on-disk formats.
+
+The property tests follow the satellite's recipe: write a random graph,
+corrupt exactly one line, and assert the reader fails fast with a
+diagnostic instead of silently loading a different graph.
+"""
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphFormatError, IngestLimitError
+from repro.graph.builder import from_edge_list
+from repro.graph.io import (
+    IngestLimits,
+    IngestReport,
+    load_graph,
+    read_dimacs,
+    read_matrix_market,
+    read_metis,
+    read_snap_edgelist,
+    write_dimacs,
+    write_matrix_market,
+    write_metis,
+    write_snap_edgelist,
+)
+
+# -- strategies --------------------------------------------------------
+
+
+@st.composite
+def simple_graphs(draw, max_nodes=10, weighted=False):
+    """A small graph with unique, loop-free edges (writer-canonical)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pairs = draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda p: p[0] != p[1]
+            ),
+            min_size=1,
+            max_size=min(30, n * (n - 1)),
+        )
+    )
+    src = [u for u, _ in sorted(pairs)]
+    dst = [v for _, v in sorted(pairs)]
+    weights = None
+    if weighted:
+        weights = draw(
+            st.lists(
+                st.integers(1, 9), min_size=len(src), max_size=len(src)
+            )
+        )
+    return from_edge_list(src, dst, weights, num_nodes=n, name="prop")
+
+
+def _roundtrip(graph, writer, reader, suffix, corrupt=None, **read_kwargs):
+    """Write *graph*, optionally corrupt one line, then read it back."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "g" + suffix)
+        writer(graph, path)
+        if corrupt is not None:
+            with open(path, encoding="utf-8") as fh:
+                lines = fh.readlines()
+            lines = corrupt(lines)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.writelines(lines)
+        return reader(path, **read_kwargs)
+
+
+def _drop_last_line(lines):
+    return lines[:-1]
+
+
+FORMATS = [
+    (write_dimacs, read_dimacs, ".gr"),
+    (write_snap_edgelist, read_snap_edgelist, ".txt"),
+    (write_matrix_market, read_matrix_market, ".mtx"),
+]
+
+
+# -- properties --------------------------------------------------------
+
+
+class TestCorruptionRoundtrip:
+    @pytest.mark.parametrize("writer, reader, suffix", FORMATS)
+    @given(graph=simple_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_clean_roundtrip_preserves_topology(self, writer, reader, suffix, graph):
+        # SNAP edge lists cannot represent trailing isolated nodes
+        kwargs = (
+            {"num_nodes": graph.num_nodes}
+            if reader is read_snap_edgelist
+            else {}
+        )
+        back = _roundtrip(graph, writer, reader, suffix, **kwargs)
+        assert back.num_nodes == graph.num_nodes
+        assert np.array_equal(back.row_offsets, graph.row_offsets)
+        assert np.array_equal(back.col_indices, graph.col_indices)
+
+    @pytest.mark.parametrize("writer, reader, suffix", FORMATS)
+    @given(graph=simple_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_truncated_file_fails_fast(self, writer, reader, suffix, graph):
+        # Dropping the last edge line leaves the declared count stale:
+        # every reader must notice instead of loading a smaller graph.
+        with pytest.raises(GraphFormatError, match="truncated|adjacency"):
+            _roundtrip(graph, writer, reader, suffix, corrupt=_drop_last_line)
+
+    @pytest.mark.parametrize("writer, reader, suffix", FORMATS)
+    @given(graph=simple_graphs(), lineno=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_garbled_edge_line_names_location(
+        self, writer, reader, suffix, graph, lineno
+    ):
+        def garble(lines):
+            # pick an edge-bearing line (the last one is always an edge)
+            idx = len(lines) - 1 - (lineno % max(1, graph.num_edges))
+            lines[idx] = "z z z!\n"
+            return lines
+
+        with pytest.raises(GraphFormatError) as exc:
+            _roundtrip(graph, writer, reader, suffix, corrupt=garble)
+        assert ":" in str(exc.value)  # file:line diagnostic
+
+    @given(graph=simple_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_metis_roundtrip_and_truncation(self, graph):
+        # METIS is undirected: symmetrize (writer requires it).
+        src = np.repeat(np.arange(graph.num_nodes), graph.out_degrees)
+        sym = from_edge_list(
+            src,
+            graph.col_indices,
+            num_nodes=graph.num_nodes,
+            symmetric=True,
+            dedupe=True,
+            name="prop",
+        )
+        back = _roundtrip(sym, write_metis, read_metis, ".graph")
+        assert np.array_equal(back.row_offsets, sym.row_offsets)
+        assert np.array_equal(back.col_indices, sym.col_indices)
+        with pytest.raises(GraphFormatError):
+            _roundtrip(
+                sym, write_metis, read_metis, ".graph", corrupt=_drop_last_line
+            )
+
+    @given(graph=simple_graphs(weighted=True))
+    @settings(max_examples=25, deadline=None)
+    def test_nan_weight_rejected_in_every_mode(self, graph):
+        def poison(lines):
+            parts = lines[-1].split()
+            parts[-1] = "nan"
+            lines[-1] = " ".join(parts) + "\n"
+            return lines
+
+        for mode in (None, "strict", "lenient"):
+            with pytest.raises(GraphFormatError, match="weight"):
+                _roundtrip(
+                    graph, write_dimacs, read_dimacs, ".gr",
+                    corrupt=poison, mode=mode,
+                )
+
+
+# -- strict / lenient / limits ----------------------------------------
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return str(path)
+
+
+class TestStrictMode:
+    def test_self_loop_names_file_and_line(self, tmp_path):
+        path = _write(
+            tmp_path, "loop.gr",
+            "p sp 3 2\na 1 2 1\na 2 2 1\n",
+        )
+        with pytest.raises(GraphFormatError, match=r"loop\.gr:3: self-loop"):
+            read_dimacs(path, mode="strict")
+
+    def test_duplicate_edge_rejected(self, tmp_path):
+        path = _write(
+            tmp_path, "dup.txt",
+            "# Nodes: 3 Edges: 3\n0\t1\n0\t1\n1\t2\n",
+        )
+        with pytest.raises(GraphFormatError, match="duplicate edge"):
+            read_snap_edgelist(path, mode="strict")
+
+    def test_dangling_id_rejected(self, tmp_path):
+        path = _write(tmp_path, "dangle.gr", "p sp 2 1\na 1 5 1\n")
+        with pytest.raises(GraphFormatError, match="out of range"):
+            read_dimacs(path, mode="strict")
+
+    def test_clean_file_loads(self, tmp_path):
+        path = _write(tmp_path, "ok.gr", "p sp 3 2\na 1 2 1\na 2 3 2\n")
+        g = read_dimacs(path, mode="strict")
+        assert g.num_edges == 2
+
+
+class TestLenientMode:
+    def test_quarantines_and_reports(self, tmp_path):
+        path = _write(
+            tmp_path, "messy.gr",
+            "p sp 3 5\n"
+            "a 1 2 1\n"      # good
+            "a 2 2 1\n"      # self-loop
+            "a 1 2 1\n"      # duplicate
+            "a 1 9 1\n"      # dangling
+            "a 2 3 1\n",     # good
+        )
+        report = IngestReport()
+        g = read_dimacs(path, mode="lenient", report=report)
+        assert g.num_edges == 2
+        assert report.self_loops_dropped == 1
+        assert report.duplicates_collapsed == 1
+        assert report.dangling_dropped == 1
+        assert report.repairs == 3
+        assert report.parsed_edges == 5
+        assert report.notes == []
+
+    def test_count_mismatch_becomes_note(self, tmp_path):
+        path = _write(tmp_path, "short.gr", "p sp 3 4\na 1 2 1\na 2 3 1\n")
+        report = IngestReport()
+        g = read_dimacs(path, mode="lenient", report=report)
+        assert g.num_edges == 2
+        assert any("truncated" in note for note in report.notes)
+
+
+class TestIngestLimits:
+    def test_max_edges(self, tmp_path):
+        body = "".join(f"0\t{i}\n" for i in range(1, 21))
+        path = _write(tmp_path, "big.txt", body)
+        with pytest.raises(IngestLimitError, match="more than 5 edges"):
+            read_snap_edgelist(path, limits=IngestLimits(max_edges=5))
+
+    def test_max_nodes(self, tmp_path):
+        path = _write(tmp_path, "wide.gr", "p sp 100 1\na 1 2 1\n")
+        with pytest.raises(IngestLimitError, match="nodes"):
+            read_dimacs(path, limits=IngestLimits(max_nodes=10))
+
+    def test_max_bytes(self, tmp_path):
+        body = "# padding comment to blow the byte limit\n" * 50
+        path = _write(tmp_path, "fat.txt", body + "0\t1\n")
+        with pytest.raises(IngestLimitError, match="bytes"):
+            read_snap_edgelist(path, limits=IngestLimits(max_bytes=100))
+
+    def test_under_limits_loads(self, tmp_path):
+        path = _write(tmp_path, "ok.txt", "0\t1\n1\t2\n")
+        g = read_snap_edgelist(
+            path, limits=IngestLimits(max_nodes=10, max_edges=10)
+        )
+        assert g.num_edges == 2
+
+    def test_limits_validate(self):
+        with pytest.raises(Exception):
+            IngestLimits(max_edges=0)
+
+
+class TestLoadGraphForwarding:
+    def test_mode_and_limits_forwarded(self, tmp_path):
+        path = _write(tmp_path, "loop.gr", "p sp 3 2\na 1 2 1\na 2 2 1\n")
+        with pytest.raises(GraphFormatError, match="self-loop"):
+            load_graph(path, mode="strict")
+        report = IngestReport()
+        g = load_graph(path, mode="lenient", report=report)
+        assert g.num_edges == 1
+        assert report.repairs == 1

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.utils.validation import (
+    check_finite,
     check_in_range,
     check_nonnegative_int,
     check_positive,
@@ -84,3 +85,20 @@ class TestCheckInRange:
     def test_high_bound(self):
         with pytest.raises(ValueError):
             check_in_range("x", 2.0, high=1.0)
+
+
+class TestCheckFinite:
+    def test_accepts_real_numbers(self):
+        assert check_finite("w", 3) == 3.0
+        assert check_finite("w", -2.5) == -2.5
+        assert check_finite("w", 0.0) == 0.0
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite(self, value):
+        with pytest.raises(ValueError, match="must be finite"):
+            check_finite("w", value)
+
+    @pytest.mark.parametrize("value", ["1.0", None, True])
+    def test_rejects_non_numbers(self, value):
+        with pytest.raises(TypeError):
+            check_finite("w", value)
