@@ -18,11 +18,13 @@ import numpy as np
 from common import bench_workload, dataset_keys, write_report
 from repro.core import adaptive_bfs, adaptive_sssp, run_static
 from repro.kernels import unordered_variants
+from repro.obs import Observer, build_manifest
 from repro.utils.tables import Table
 
 
 def run_comparison(algorithm: str):
     rows = {}
+    manifests = []
     for key in dataset_keys():
         weighted = algorithm == "sssp"
         graph, source = bench_workload(key, weighted=weighted)
@@ -31,17 +33,26 @@ def run_comparison(algorithm: str):
             result = run_static(graph, source, algorithm, variant)
             statics[variant.code] = result.total_seconds
         runner = adaptive_sssp if weighted else adaptive_bfs
-        ad = runner(graph, source)
+        observer = Observer()
+        ad = runner(graph, source, observe=observer)
+        manifests.append(
+            build_manifest(
+                ad, graph=graph, algorithm=algorithm, mode="adaptive",
+                source=source, observer=observer,
+            )
+        )
         rows[key] = (statics, ad)
-    return rows
+    return rows, manifests
 
 
 def build_report():
     parts = []
     all_rows = {}
+    all_manifests = []
     for algorithm in ("bfs", "sssp"):
-        rows = run_comparison(algorithm)
+        rows, manifests = run_comparison(algorithm)
         all_rows[algorithm] = rows
+        all_manifests.extend(manifests)
         table = Table(
             [
                 "network",
@@ -71,12 +82,14 @@ def build_report():
                 ]
             )
         parts.append(table.render())
-    return "\n\n".join(parts), all_rows
+    return "\n\n".join(parts), all_rows, all_manifests
 
 
 def test_adaptive_vs_static(benchmark):
-    content, all_rows = benchmark.pedantic(build_report, rounds=1, iterations=1)
-    write_report("adaptive_vs_static", content)
+    content, all_rows, manifests = benchmark.pedantic(
+        build_report, rounds=1, iterations=1
+    )
+    write_report("adaptive_vs_static", content, manifest=manifests)
 
     for algorithm, rows in all_rows.items():
         ratios = []

@@ -103,6 +103,7 @@ def write_report(
     data: Optional[dict] = None,
     *,
     memory=None,
+    manifest=None,
 ) -> str:
     """Write a bench report under ``benchmarks/results`` and echo it.
 
@@ -115,6 +116,12 @@ def write_report(
     them) via *memory* to append the device-memory accounting — peak,
     current, per-category and spill totals — to both the text and the
     JSON payload.
+
+    Pass a :class:`~repro.obs.RunManifest` (or a list of them) via
+    *manifest* to write ``<name>.manifest.json`` next to the report —
+    the run's full machine-readable story (config, graph fingerprint,
+    decisions, metrics, memory, faults).  A list is written as a JSON
+    array of manifest documents.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     if memory is not None:
@@ -139,5 +146,17 @@ def write_report(
     with open(json_path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True, default=str)
         fh.write("\n")
-    print(f"\n{content}\n[report written to {path} (+ .json)]")
+    extra = " (+ .json)"
+    if manifest is not None:
+        manifests = (
+            manifest if isinstance(manifest, (list, tuple)) else [manifest]
+        )
+        docs = [m.to_dict() for m in manifests]
+        manifest_path = os.path.join(RESULTS_DIR, f"{name}.manifest.json")
+        with open(manifest_path, "w", encoding="utf-8") as fh:
+            json.dump(docs[0] if len(docs) == 1 else docs, fh,
+                      indent=2, sort_keys=True)
+            fh.write("\n")
+        extra = " (+ .json, .manifest.json)"
+    print(f"\n{content}\n[report written to {path}{extra}]")
     return path

@@ -50,6 +50,7 @@ from repro.kernels import (
     run_sssp,
     unordered_variants,
 )
+from repro.obs import Observer, RunManifest, build_manifest
 from repro.reliability import (
     FaultPlan,
     GuardConfig,
@@ -83,6 +84,9 @@ __all__ = [
     "DeviceSpec",
     "TESLA_C2070",
     "GTX_580",
+    "Observer",
+    "RunManifest",
+    "build_manifest",
     "FaultPlan",
     "GuardConfig",
     "ResilientResult",

@@ -11,6 +11,8 @@
     python -m repro sweep-t3 --dataset google --scale 0.25
     python -m repro reliability --dataset google --scale 0.05 \
         --fault-plan '{"seed": 7, "launch_failure_rate": 0.1}'
+    python -m repro profile examples/roadnet.snap.txt \
+        --out manifest.json --trace trace.json
 
 ``--file`` loads a real DIMACS / SNAP / MatrixMarket graph instead of a
 synthetic analogue.
@@ -545,6 +547,134 @@ def cmd_oracle(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """One traversal under full observability: metrics, spans, manifest."""
+    from repro.obs import Observer, build_manifest, export_combined_trace
+
+    if (args.graph_file is None) == (args.dataset is None):
+        print(
+            "repro profile: give a graph file or --dataset (exactly one)",
+            file=sys.stderr,
+        )
+        return 2
+    args.file = args.graph_file
+    weighted = args.algorithm == "sssp"
+    graph, source, device = _resolve_workload(args, weighted=weighted)
+    observer = Observer()
+    mode = args.mode
+    config = None
+    trace_obj = None
+
+    if mode == "resilient":
+        from repro.reliability import (
+            GuardConfig,
+            load_fault_plan,
+            resilient_bfs,
+            resilient_sssp,
+        )
+
+        plan = load_fault_plan(args.fault_plan) if args.fault_plan else None
+        guard = GuardConfig(mem_budget=getattr(args, "mem_budget", None))
+        runner = resilient_sssp if weighted else resilient_bfs
+        result = runner(
+            graph, source, device=device, guard=guard, plan=plan,
+            observe=observer,
+        )
+        values = result.values
+        mem_report = result.memory
+        trace_obj = result.trace
+        inner = getattr(result.result, "traversal", result.result)
+        traversal = inner if getattr(inner, "timeline", None) is not None else None
+    elif mode == "adaptive":
+        config = RuntimeConfig()
+        memory = _make_memory(args, device)
+        runner = adaptive_sssp if weighted else adaptive_bfs
+        result = runner(
+            graph, source, config=config, device=device, memory=memory,
+            observe=observer,
+        )
+        values = result.values
+        mem_report = result.memory
+        trace_obj = result.trace
+        traversal = result.traversal
+    else:
+        memory = _make_memory(args, device)
+        result = run_static(
+            graph, source, args.algorithm, mode, device=device,
+            memory=memory, observe=observer,
+        )
+        values = result.values
+        mem_report = memory.report() if memory is not None else None
+        traversal = result
+
+    manifest = build_manifest(
+        result,
+        graph=graph,
+        algorithm=args.algorithm,
+        mode=mode,
+        source=source,
+        device=device,
+        config=config,
+        observer=observer,
+    )
+    manifest.write(args.out)
+
+    if args.trace:
+        if traversal is not None:
+            export_combined_trace(
+                traversal.timeline, args.trace, trace=trace_obj,
+                observer=observer,
+            )
+        else:
+            print("[no simulated timeline to trace: CPU-degraded run]")
+
+    cpu = cpu_dijkstra(graph, source) if weighted else cpu_bfs(graph, source)
+    oracle = cpu.distances if weighted else cpu.levels
+    ok = (
+        np.allclose(values, oracle)
+        if weighted
+        else np.array_equal(values, oracle)
+    )
+
+    # Every number below is read back from the manifest, so the printed
+    # table and the JSON document cannot disagree.
+    summary = manifest.result
+    metrics = manifest.metrics
+
+    def metric_value(name: str, key: str = "value"):
+        return metrics.get(name, {}).get(key, 0)
+
+    table = Table(
+        ["metric", "value"],
+        title=f"profile: {args.algorithm.upper()} on {graph.name} ({mode})",
+    )
+    table.add_row(["graph digest", manifest.graph["digest"][:16]])
+    table.add_row(["source", manifest.source])
+    if "reached" in summary:
+        table.add_row(["reached nodes", f"{summary['reached']} / {graph.num_nodes}"])
+    if "iterations" in summary:
+        table.add_row(["iterations", summary["iterations"]])
+    if "total_seconds" in summary:
+        table.add_row(["simulated time", format_seconds(summary["total_seconds"])])
+    table.add_row(["kernel launches", metric_value("gpusim.kernel_launches")])
+    table.add_row(["simulated cycles", metric_value("gpusim.simulated_cycles")])
+    table.add_row(["edges scanned", metric_value("frame.edges_scanned")])
+    table.add_row(["decisions recorded", len(manifest.decisions)])
+    table.add_row(["fault events", len(manifest.faults)])
+    table.add_row(["profiler spans", len(manifest.spans)])
+    if manifest.reliability is not None:
+        table.add_row(["served by", manifest.reliability["stage"]])
+        table.add_row(["attempts", manifest.reliability["attempts"]])
+    _add_memory_rows(table, mem_report)
+    table.add_row(["verified vs CPU oracle", "yes" if ok else "MISMATCH"])
+    print(table.render())
+    print(f"[manifest written to {args.out}]")
+    if args.trace and traversal is not None:
+        print(f"[combined trace written to {args.trace} "
+              "(open in ui.perfetto.dev or chrome://tracing)]")
+    return 0 if ok else 1
+
+
 def cmd_sweep_t3(args) -> int:
     graph, source, device = _resolve_workload(args, weighted=True)
     fractions = [f / 100 for f in range(1, 14)]
@@ -630,6 +760,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--extended", action="store_true",
                    help="include the virtual-warp variants")
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "profile",
+        help="run one traversal under full observability and write a "
+        "RunManifest (plus an optional combined Perfetto trace)",
+        description="Run one traversal with an Observer installed and "
+        "write a RunManifest: a JSON document with the run's config, "
+        "graph fingerprint, decisions, metrics snapshot, memory peaks "
+        "and fault events.  The printed table is read back from the "
+        "manifest, so the two cannot disagree.",
+    )
+    p.add_argument("graph_file", nargs="?", default=None,
+                   help="graph file (DIMACS .gr / SNAP edge list / .mtx); "
+                   "alternative to --dataset")
+    p.add_argument("--dataset", choices=dataset_keys(),
+                   default=None, help="synthetic analogue")
+    p.add_argument("--algorithm", choices=("bfs", "sssp"), default="bfs")
+    p.add_argument("--mode", default="adaptive",
+                   help="'adaptive', 'resilient' or a variant code like U_B_QU")
+    p.add_argument("--out", default="manifest.json", metavar="FILE",
+                   help="manifest output path (default: manifest.json)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write the combined Perfetto/chrome-trace JSON: "
+                   "kernels, transfers, decisions, faults and profiler "
+                   "spans on one timeline")
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="dataset scale (fraction of paper size)")
+    p.add_argument("--seed", type=int, default=1, help="generator seed")
+    p.add_argument("--source", type=int, default=None,
+                   help="source node (default: a well-connected node)")
+    p.add_argument("--device", choices=sorted(device_registry()),
+                   default="c2070", help="simulated GPU")
+    p.add_argument("--mem-budget", default=None, metavar="SIZE",
+                   help="device-memory budget (e.g. '256M', '1G')")
+    p.add_argument("--fault-plan", default=None, metavar="JSON",
+                   help="fault-injection plan for --mode resilient "
+                   "(inline JSON or a file path)")
+    p.set_defaults(func=cmd_profile, strict_io=False, lenient_io=False,
+                   max_edges=None)
 
     p = sub.add_parser("sweep-t3", help="Figure-13-style T3 sensitivity sweep")
     _add_workload_args(p)

@@ -27,6 +27,7 @@ from repro.kernels.frame import (
     traverse_sssp,
 )
 from repro.kernels.variants import Variant
+from repro.obs.context import current_observer, observing
 
 __all__ = [
     "AdaptiveResult",
@@ -71,6 +72,21 @@ class AdaptiveResult:
         return self.traversal.variants_used()
 
 
+def _observed_traverse(span_name: str, run, trace: DecisionTrace):
+    """Run *run()* under the current observer's span (if any) and report
+    the trace's decision counts into its metrics registry afterwards."""
+    observer = current_observer()
+    if observer is None:
+        return run()
+    with observer.span(span_name):
+        result = run()
+    metrics = observer.metrics
+    metrics.counter("runtime.decisions").inc(trace.num_decisions)
+    metrics.counter("runtime.switches").inc(trace.num_switches)
+    metrics.counter("runtime.memory_forced").inc(trace.num_memory_forced)
+    return result
+
+
 def adaptive_bfs(
     graph: CSRGraph,
     source: int,
@@ -84,6 +100,7 @@ def adaptive_bfs(
     resume_from=None,
     fault_hook=None,
     memory: Optional[MemoryBudget] = None,
+    observe=None,
 ) -> AdaptiveResult:
     """BFS under the adaptive runtime.
 
@@ -92,22 +109,29 @@ def adaptive_bfs(
     frame, used by :mod:`repro.reliability`'s guarded runners.
     *memory* attaches a device-memory budget: the policy folds its
     pressure into variant decisions and the frame charges every
-    allocation against it."""
+    allocation against it.  *observe* installs a
+    :class:`~repro.obs.Observer` for the duration of the run, so every
+    instrumented layer reports metrics and spans into it."""
     policy = AdaptivePolicy(graph, config, device=device, memory=memory)
-    result = traverse_bfs(
-        graph,
-        source,
-        policy,
-        device=device,
-        cost_params=cost_params,
-        queue_gen=policy.config.queue_gen,
-        max_iterations=max_iterations,
-        watchdog=watchdog,
-        checkpoint_keeper=checkpoint_keeper,
-        resume_from=resume_from,
-        fault_hook=fault_hook,
-        memory=memory,
-    )
+    with observing(observe):
+        result = _observed_traverse(
+            "adaptive_bfs",
+            lambda: traverse_bfs(
+                graph,
+                source,
+                policy,
+                device=device,
+                cost_params=cost_params,
+                queue_gen=policy.config.queue_gen,
+                max_iterations=max_iterations,
+                watchdog=watchdog,
+                checkpoint_keeper=checkpoint_keeper,
+                resume_from=resume_from,
+                fault_hook=fault_hook,
+                memory=memory,
+            ),
+            policy.trace,
+        )
     return AdaptiveResult(
         traversal=result,
         trace=policy.trace,
@@ -129,25 +153,31 @@ def adaptive_sssp(
     resume_from=None,
     fault_hook=None,
     memory: Optional[MemoryBudget] = None,
+    observe=None,
 ) -> AdaptiveResult:
     """SSSP under the adaptive runtime (unordered variants only,
-    Section VI.A).  Reliability and *memory* keywords as in
+    Section VI.A).  Reliability, *memory* and *observe* keywords as in
     :func:`adaptive_bfs`."""
     policy = AdaptivePolicy(graph, config, device=device, memory=memory)
-    result = traverse_sssp(
-        graph,
-        source,
-        policy,
-        device=device,
-        cost_params=cost_params,
-        queue_gen=policy.config.queue_gen,
-        max_iterations=max_iterations,
-        watchdog=watchdog,
-        checkpoint_keeper=checkpoint_keeper,
-        resume_from=resume_from,
-        fault_hook=fault_hook,
-        memory=memory,
-    )
+    with observing(observe):
+        result = _observed_traverse(
+            "adaptive_sssp",
+            lambda: traverse_sssp(
+                graph,
+                source,
+                policy,
+                device=device,
+                cost_params=cost_params,
+                queue_gen=policy.config.queue_gen,
+                max_iterations=max_iterations,
+                watchdog=watchdog,
+                checkpoint_keeper=checkpoint_keeper,
+                resume_from=resume_from,
+                fault_hook=fault_hook,
+                memory=memory,
+            ),
+            policy.trace,
+        )
     return AdaptiveResult(
         traversal=result,
         trace=policy.trace,
@@ -250,8 +280,12 @@ def run_static(
     resume_from=None,
     fault_hook=None,
     memory: Optional[MemoryBudget] = None,
+    observe=None,
 ) -> TraversalResult:
-    """Run one static variant of *algorithm* (``"bfs"`` or ``"sssp"``)."""
+    """Run one static variant of *algorithm* (``"bfs"`` or ``"sssp"``).
+
+    *observe* installs an :class:`~repro.obs.Observer` for the run, as
+    in :func:`adaptive_bfs`."""
     if isinstance(variant, str):
         variant = Variant.parse(variant)
     policy = StaticPolicy(variant)
@@ -265,8 +299,14 @@ def run_static(
         fault_hook=fault_hook,
         memory=memory,
     )
-    if algorithm == "bfs":
-        return traverse_bfs(graph, source, policy, **kwargs)
-    if algorithm == "sssp":
-        return traverse_sssp(graph, source, policy, **kwargs)
-    raise ValueError(f"unknown algorithm {algorithm!r} (expected 'bfs' or 'sssp')")
+    if algorithm not in ("bfs", "sssp"):
+        raise ValueError(
+            f"unknown algorithm {algorithm!r} (expected 'bfs' or 'sssp')"
+        )
+    runner = traverse_bfs if algorithm == "bfs" else traverse_sssp
+    with observing(observe):
+        observer = current_observer()
+        if observer is None:
+            return runner(graph, source, policy, **kwargs)
+        with observer.span(f"static_{algorithm}", variant=variant.code):
+            return runner(graph, source, policy, **kwargs)

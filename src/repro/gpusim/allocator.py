@@ -27,6 +27,7 @@ from typing import Dict, Optional
 from repro.errors import DeviceError, DeviceOOMError
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.memory import workset_device_bytes
+from repro.obs.context import current_observer
 
 __all__ = [
     "ALLOCATION_CATEGORIES",
@@ -190,11 +191,14 @@ class MemoryBudget:
                 f"unknown allocation category {category!r}; "
                 f"expected one of {ALLOCATION_CATEGORIES}"
             )
+        observer = current_observer()
         spilled = 0
         placed = nbytes
         if nbytes > self.headroom_bytes:
             if not (self.spill and category in SPILLABLE_CATEGORIES):
                 self.oom_events += 1
+                if observer is not None:
+                    observer.metrics.counter("memory.oom_events").inc()
                 what = f" for {label}" if label else ""
                 raise DeviceOOMError(
                     f"device memory budget exhausted{what}: requested "
@@ -212,6 +216,12 @@ class MemoryBudget:
         self.peak_by_category[category] = max(
             self.peak_by_category[category], self.by_category[category]
         )
+        if observer is not None:
+            observer.metrics.gauge("memory.current_bytes").set(self.current_bytes)
+            observer.metrics.gauge("memory.peak_bytes").set(self.peak_bytes)
+            if spilled:
+                observer.metrics.counter("memory.spilled_bytes").inc(spilled)
+                observer.metrics.counter("memory.spill_events").inc()
         return spilled
 
     def free(self, nbytes: int, category: str = "other") -> None:
@@ -224,6 +234,9 @@ class MemoryBudget:
             )
         self.current_bytes -= nbytes
         self.by_category[category] -= nbytes
+        observer = current_observer()
+        if observer is not None:
+            observer.metrics.gauge("memory.current_bytes").set(self.current_bytes)
 
     @contextmanager
     def transient(self, nbytes: int, category: str = "other", *, label: str = ""):

@@ -28,6 +28,7 @@ from repro.gpusim.launch import LaunchConfig, current_fault_hook
 from repro.gpusim.memory import bandwidth_cycles
 from repro.gpusim.occupancy import occupancy
 from repro.gpusim.smscheduler import makespan_cycles
+from repro.obs.context import current_observer
 
 __all__ = ["KernelTally", "CostParams", "CostModel", "KernelCost"]
 
@@ -188,6 +189,12 @@ class CostModel:
             # Injected latency spike: the kernel's execution (not the fixed
             # launch overhead) is dilated, as if the SMs stalled.
             total_cycles *= max(1.0, hook.latency_multiplier(tally.name))
+        observer = current_observer()
+        if observer is not None:
+            observer.metrics.counter("gpusim.kernels_priced").inc()
+            observer.metrics.counter("gpusim.simulated_cycles").inc(
+                int(total_cycles)
+            )
         to_s = device.cycles_to_seconds
         return KernelCost(
             name=tally.name,

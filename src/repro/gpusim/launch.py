@@ -24,6 +24,7 @@ from typing import Iterator, Optional
 
 from repro.errors import LaunchError
 from repro.gpusim.device import DeviceSpec
+from repro.obs.context import current_observer
 
 __all__ = [
     "LaunchConfig",
@@ -115,6 +116,9 @@ class LaunchConfig:
             )
         if _fault_hook is not None:
             _fault_hook.on_launch(self)
+        observer = current_observer()
+        if observer is not None:
+            observer.metrics.counter("gpusim.kernel_launches").inc()
         return self
 
     @classmethod

@@ -15,10 +15,30 @@ from typing import List, Optional, Union
 
 from repro.gpusim.timeline import Timeline
 
-__all__ = ["timeline_to_trace_events", "export_chrome_trace"]
+__all__ = [
+    "timeline_to_trace_events",
+    "export_chrome_trace",
+    "iteration_start_times",
+]
 
 #: Chrome traces use microseconds
 _US = 1e6
+
+
+def iteration_start_times(timeline: Timeline) -> dict:
+    """Map each iteration number to its start on the simulated axis
+    (seconds), matching :func:`timeline_to_trace_events`' layout: the
+    opening host-to-device transfers first, then the kernel stream laid
+    end-to-end.  Used to place decision and fault markers from a
+    :class:`~repro.core.telemetry.DecisionTrace` on the same timeline
+    (:mod:`repro.obs.trace`)."""
+    cursor = sum(t.seconds for t in timeline.transfers if t.direction == "h2d")
+    starts = {}
+    for record in timeline.kernels:
+        if record.iteration not in starts:
+            starts[record.iteration] = cursor
+        cursor += record.cost.seconds
+    return starts
 
 
 def timeline_to_trace_events(
@@ -75,7 +95,10 @@ def timeline_to_trace_events(
                     "pid": 1,
                     "tid": 1,
                     "ts": cursor * _US,
-                    "s": "t",
+                    # Global scope: Perfetto draws the marker across every
+                    # track, not just this thread's row — iteration
+                    # boundaries delimit the whole traversal.
+                    "s": "g",
                 }
             )
             last_iteration = record.iteration

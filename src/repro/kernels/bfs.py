@@ -9,6 +9,7 @@ from repro.gpusim.device import DeviceSpec, TESLA_C2070
 from repro.gpusim.kernel import CostParams
 from repro.kernels.frame import StaticPolicy, TraversalResult, traverse_bfs
 from repro.kernels.variants import Variant, all_variants
+from repro.obs.context import observing
 
 __all__ = ["run_bfs", "run_bfs_all_variants"]
 
@@ -22,23 +23,27 @@ def run_bfs(
     cost_params: Optional[CostParams] = None,
     max_iterations: Optional[int] = None,
     queue_gen: str = "atomic",
+    observe=None,
 ) -> TraversalResult:
     """Run one static BFS variant on the simulated device.
 
     *variant* accepts a :class:`~repro.kernels.variants.Variant` or a
-    paper-style code like ``"U_B_QU"``.
+    paper-style code like ``"U_B_QU"``.  *observe* installs an
+    :class:`~repro.obs.Observer` for the run, collecting per-iteration
+    metrics and spans (see :mod:`repro.obs`).
     """
     if isinstance(variant, str):
         variant = Variant.parse(variant)
-    return traverse_bfs(
-        graph,
-        source,
-        StaticPolicy(variant),
-        device=device,
-        cost_params=cost_params,
-        max_iterations=max_iterations,
-        queue_gen=queue_gen,
-    )
+    with observing(observe):
+        return traverse_bfs(
+            graph,
+            source,
+            StaticPolicy(variant),
+            device=device,
+            cost_params=cost_params,
+            max_iterations=max_iterations,
+            queue_gen=queue_gen,
+        )
 
 
 def run_bfs_all_variants(

@@ -61,6 +61,7 @@ from repro.kernels.computation import (
 from repro.kernels.findmin import findmin, findmin_tallies
 from repro.kernels.variants import Ordering, Variant, WorksetRepr
 from repro.kernels.workset import Workset, workset_gen_tallies
+from repro.obs.context import current_observer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpusim.allocator import MemoryBudget
@@ -200,6 +201,27 @@ class StaticPolicy(VariantPolicy):
 # Shared frame pieces
 # ----------------------------------------------------------------------
 
+def _observe_iteration(observer, record: IterationRecord) -> None:
+    """Report one finished iteration into the current observer.
+
+    Called only when an observer is installed (:mod:`repro.obs`); the
+    span advance keeps the profiler's simulated clock aligned with the
+    kernel stream so spans and kernels merge onto one Perfetto axis.
+    """
+    metrics = observer.metrics
+    metrics.counter("frame.iterations").inc()
+    metrics.counter("frame.processed_nodes").inc(record.processed)
+    metrics.counter("frame.edges_scanned").inc(record.edges_scanned)
+    metrics.histogram("frame.workset_size").observe(record.workset_size)
+    observer.spans.add_span(
+        "iteration",
+        sim_seconds=record.seconds,
+        iteration=record.iteration,
+        variant=record.variant,
+        workset_size=record.workset_size,
+    )
+
+
 def _initial_transfers(
     graph: CSRGraph,
     timeline: Timeline,
@@ -282,6 +304,9 @@ def _offer_checkpoint(
     nbytes = keeper.offer(**state)
     if not nbytes:
         return
+    observer = current_observer()
+    if observer is not None:
+        observer.metrics.counter("frame.checkpoint_bytes").inc(nbytes)
     if memory is not None:
         # The staging buffer lives on the device only for the copy's
         # duration; under spill mode the part that does not fit stages
@@ -353,6 +378,11 @@ def traverse_bfs(
     model = CostModel(device, cost_params)
     timeline = Timeline()
     _initial_transfers(graph, timeline, device, memory)
+    observer = current_observer()
+    if observer is not None:
+        # Keep the profiler's simulated clock aligned with the Chrome
+        # trace layout, which lays the opening h2d copies before kernels.
+        observer.spans.advance_sim(timeline.transfer_seconds)
 
     if resume_from is not None:
         levels, frontier, records, iteration = _restore_state(
@@ -421,6 +451,8 @@ def traverse_bfs(
         )
         records.append(record)
         policy.notify(record)
+        if observer is not None:
+            _observe_iteration(observer, record)
         elapsed_s += seconds
         _offer_checkpoint(
             checkpoint_keeper,
@@ -512,6 +544,9 @@ def _traverse_sssp_unordered(
     model = CostModel(device, cost_params)
     timeline = Timeline()
     _initial_transfers(graph, timeline, device, memory)
+    observer = current_observer()
+    if observer is not None:
+        observer.spans.advance_sim(timeline.transfer_seconds)
 
     if resume_from is not None:
         dist, frontier, records, iteration = _restore_state(
@@ -578,6 +613,8 @@ def _traverse_sssp_unordered(
         )
         records.append(record)
         policy.notify(record)
+        if observer is not None:
+            _observe_iteration(observer, record)
         elapsed_s += seconds
         _offer_checkpoint(
             checkpoint_keeper,
@@ -618,6 +655,9 @@ def _traverse_sssp_ordered(
     model = CostModel(device, cost_params)
     timeline = Timeline()
     _initial_transfers(graph, timeline, device, memory)
+    observer = current_observer()
+    if observer is not None:
+        observer.spans.advance_sim(timeline.transfer_seconds)
 
     # The working-set structure depends on the representation: a queue
     # holds the (node, key) pair multiset verbatim; a bitmap dedupes via
@@ -686,6 +726,8 @@ def _traverse_sssp_ordered(
         )
         records.append(record)
         policy.notify(record)
+        if observer is not None:
+            _observe_iteration(observer, record)
         elapsed_s += seconds
         iteration += 1
 

@@ -9,6 +9,7 @@ from repro.gpusim.device import DeviceSpec, TESLA_C2070
 from repro.gpusim.kernel import CostParams
 from repro.kernels.frame import StaticPolicy, TraversalResult, traverse_sssp
 from repro.kernels.variants import Variant, all_variants
+from repro.obs.context import observing
 
 __all__ = ["run_sssp", "run_sssp_all_variants"]
 
@@ -22,23 +23,27 @@ def run_sssp(
     cost_params: Optional[CostParams] = None,
     max_iterations: Optional[int] = None,
     queue_gen: str = "atomic",
+    observe=None,
 ) -> TraversalResult:
     """Run one static SSSP variant on the simulated device.
 
     Ordered variants use the GPU-Dijkstra frame (findmin by parallel
     reduction); unordered ones the Bellman-Ford frame (Figure 5).
+    *observe* installs an :class:`~repro.obs.Observer` for the run,
+    collecting per-iteration metrics and spans (see :mod:`repro.obs`).
     """
     if isinstance(variant, str):
         variant = Variant.parse(variant)
-    return traverse_sssp(
-        graph,
-        source,
-        StaticPolicy(variant),
-        device=device,
-        cost_params=cost_params,
-        max_iterations=max_iterations,
-        queue_gen=queue_gen,
-    )
+    with observing(observe):
+        return traverse_sssp(
+            graph,
+            source,
+            StaticPolicy(variant),
+            device=device,
+            cost_params=cost_params,
+            max_iterations=max_iterations,
+            queue_gen=queue_gen,
+        )
 
 
 def run_sssp_all_variants(

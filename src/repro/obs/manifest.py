@@ -1,0 +1,265 @@
+"""Run manifests: one JSON document that explains one traversal.
+
+The paper's claim — the adaptive runtime picks the right variant per
+iteration — is only checkable if every run carries its own evidence.
+A :class:`RunManifest` is that evidence in one place: the configuration
+that ran, a fingerprint of the graph it ran on, every decision the
+runtime took, a metrics snapshot, memory peaks and fault events.  The
+``repro profile`` CLI subcommand writes one per run, and
+``benchmarks/common.write_report`` attaches them to bench results so
+every ``results/*.txt`` has a machine-readable sibling.
+
+The document is plain JSON: :meth:`RunManifest.to_dict` /
+:meth:`RunManifest.from_dict` round-trip losslessly (a property the
+test suite checks), so manifests can be diffed, archived and joined
+across runs without this library.
+
+>>> from repro.obs import RunManifest, build_manifest
+>>> from repro.core import adaptive_bfs
+>>> from repro.graph.generators import balanced_tree
+>>> graph = balanced_tree(2, 6)
+>>> result = adaptive_bfs(graph, 0)
+>>> manifest = build_manifest(result, graph=graph, algorithm="bfs",
+...                           mode="adaptive", source=0)
+>>> manifest.result["iterations"] == result.num_iterations
+True
+>>> RunManifest.from_dict(manifest.to_dict()) == manifest
+True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["MANIFEST_SCHEMA_VERSION", "RunManifest", "build_manifest"]
+
+#: bump when the document shape changes incompatibly
+MANIFEST_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """One traversal's full, machine-readable story.
+
+    Every field is already JSON-shaped (dicts, lists, scalars), so
+    serialization is trivially lossless.
+    """
+
+    #: document format version (:data:`MANIFEST_SCHEMA_VERSION`)
+    schema_version: int
+    #: "bfs" / "sssp" / "bfs_ordered" / ...
+    algorithm: str
+    #: "adaptive", a static variant code, or "resilient"
+    mode: str
+    #: source node of the traversal (-1 for source-free algorithms)
+    source: int
+    #: graph fingerprint: name, sizes, degree stats, content digest
+    graph: dict
+    #: simulated device: name, SMs, memory
+    device: dict
+    #: the :class:`~repro.core.RuntimeConfig` that ran, as a dict
+    config: dict
+    #: headline result numbers (iterations, simulated seconds, reached)
+    result: dict
+    #: every decision-maker invocation, in order
+    decisions: List[dict] = field(default_factory=list)
+    #: every fault event and its recovery action, in order
+    faults: List[dict] = field(default_factory=list)
+    #: metrics-registry snapshot (empty without an observer)
+    metrics: dict = field(default_factory=dict)
+    #: device-memory accounting (None without a budget)
+    memory: Optional[dict] = None
+    #: closed profiler spans (empty without an observer)
+    spans: List[dict] = field(default_factory=list)
+    #: recovery story of a guarded run (None for unguarded runs)
+    reliability: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_dict` output (lossless)."""
+        doc = dict(doc)
+        version = doc.get("schema_version")
+        if version != MANIFEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported manifest schema_version {version!r} "
+                f"(this build reads {MANIFEST_SCHEMA_VERSION})"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(f"unknown manifest fields: {sorted(unknown)}")
+        return cls(**doc)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: Union[str, os.PathLike]) -> str:
+        """Write the manifest as JSON; returns the path written."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+        return str(path)
+
+    @classmethod
+    def read(cls, path: Union[str, os.PathLike]) -> "RunManifest":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+def graph_fingerprint(graph: CSRGraph) -> dict:
+    """Identify a graph by shape *and* content.
+
+    The digest hashes the CSR arrays themselves (row offsets, column
+    indices, weights), so two runs claiming the same fingerprint really
+    traversed the same graph — scale, seed and repair differences all
+    change the digest.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(graph.row_offsets.tobytes())
+    h.update(graph.col_indices.tobytes())
+    if graph.weights is not None:
+        h.update(graph.weights.tobytes())
+    return {
+        "name": graph.name,
+        "num_nodes": int(graph.num_nodes),
+        "num_edges": int(graph.num_edges),
+        "avg_out_degree": float(round(graph.avg_out_degree, 6)),
+        "weighted": bool(graph.has_weights),
+        "digest": h.hexdigest(),
+    }
+
+
+def _device_dict(device) -> dict:
+    if device is None:
+        return {}
+    return {
+        "name": device.name,
+        "num_sms": int(device.num_sms),
+        "global_mem_bytes": int(device.global_mem_bytes),
+    }
+
+
+def _config_dict(config) -> dict:
+    if config is None:
+        return {}
+    out = {}
+    for key, value in dataclasses.asdict(config).items():
+        if callable(value):  # pragma: no cover - defensive
+            continue
+        out[key] = value
+    return out
+
+
+def _result_summary(traversal, values) -> dict:
+    summary = {}
+    if traversal is not None and getattr(traversal, "timeline", None) is not None:
+        timeline = traversal.timeline
+        summary.update(
+            {
+                "iterations": int(traversal.num_iterations),
+                "total_seconds": float(traversal.total_seconds),
+                "gpu_seconds": float(timeline.gpu_seconds),
+                "transfer_seconds": float(timeline.transfer_seconds),
+                "host_seconds": float(timeline.host_seconds),
+                "kernel_launches": int(timeline.num_launches),
+                "reached": int(traversal.reached),
+                "total_edges_scanned": int(traversal.total_edges_scanned),
+                "variants_used": {
+                    k: int(v) for k, v in traversal.variants_used().items()
+                },
+            }
+        )
+    elif values is not None:
+        summary["reached"] = int(len(values))
+    return summary
+
+
+def build_manifest(
+    result,
+    *,
+    graph: CSRGraph,
+    algorithm: str,
+    mode: str,
+    source: int,
+    device=None,
+    config=None,
+    observer=None,
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` from any runner's result.
+
+    *result* may be an :class:`~repro.core.runtime.AdaptiveResult`, a
+    plain :class:`~repro.kernels.frame.TraversalResult`, or a
+    :class:`~repro.reliability.ResilientResult`; decisions, faults,
+    memory and the recovery story are pulled from whichever parts the
+    result carries.  Pass the run's :class:`~repro.obs.Observer` to
+    embed its metrics snapshot and spans.
+    """
+    trace = getattr(result, "trace", None)
+    inner = getattr(result, "result", result)  # ResilientResult unwrap
+    traversal = getattr(inner, "traversal", inner)
+    if getattr(traversal, "timeline", None) is None:
+        traversal = None  # CPU-degraded: no simulated timeline
+
+    decisions = (
+        [dataclasses.asdict(d) for d in trace.decisions] if trace else []
+    )
+    faults = [dataclasses.asdict(f) for f in trace.faults] if trace else []
+
+    memory_report = getattr(result, "memory", None)
+    memory = memory_report.to_dict() if memory_report is not None else None
+
+    reliability = None
+    if hasattr(result, "stage") and hasattr(result, "attempts"):
+        reliability = {
+            "stage": result.stage,
+            "attempts": int(result.attempts),
+            "degraded": bool(result.degraded),
+            "oom_rung": int(result.oom_rung),
+            "checkpoints_saved": int(result.checkpoints_saved),
+            "restores": int(result.restores),
+            "replayed_seconds": float(result.replayed_seconds),
+            "backoff_seconds": float(result.backoff_seconds),
+        }
+
+    summary = _result_summary(traversal, getattr(result, "values", None))
+    if not summary and hasattr(result, "total_seconds"):
+        summary["total_seconds"] = float(result.total_seconds)
+
+    return RunManifest(
+        schema_version=MANIFEST_SCHEMA_VERSION,
+        algorithm=algorithm,
+        mode=mode,
+        source=int(source),
+        graph=graph_fingerprint(graph),
+        device=_device_dict(device),
+        config=_config_dict(config),
+        result=summary,
+        decisions=decisions,
+        faults=faults,
+        metrics=observer.metrics.snapshot() if observer is not None else {},
+        memory=memory,
+        spans=observer.spans.to_dicts() if observer is not None else [],
+        reliability=reliability,
+    )

@@ -1,0 +1,137 @@
+"""A zero-dependency span profiler with a wall-clock + simulated-time
+dual axis.
+
+A *span* is a named, nestable region of a run — ``inspect``, ``decide``,
+``iteration 7``, ``attempt 2``.  Each span records two durations:
+
+- **wall seconds** — real host time spent inside the region
+  (``time.perf_counter``), which is what the *reproduction* costs;
+- **simulated seconds** — how far the simulated-GPU clock advanced
+  while the region was open, which is what the *modeled traversal*
+  costs.
+
+The simulated clock does not tick on its own: instrumented code calls
+:meth:`SpanProfiler.advance_sim` as it accumulates priced kernel and
+transfer seconds (the traversal frame does this per iteration), and any
+span open at the time absorbs the advance.  Spans therefore lay
+end-to-end on the same simulated axis as the kernel stream, which is
+what lets :func:`repro.obs.trace.export_combined_trace` merge them into
+one Perfetto timeline.
+
+>>> profiler = SpanProfiler()
+>>> with profiler.span("query"):
+...     with profiler.span("iteration", iteration=0):
+...         profiler.advance_sim(0.25)
+>>> [(s.name, s.depth, s.sim_seconds) for s in profiler.spans]
+[('iteration', 1, 0.25), ('query', 0, 0.25)]
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+__all__ = ["SpanRecord", "SpanProfiler"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span: where it sat on both time axes, and its tags."""
+
+    name: str
+    #: nesting depth at open time (0 = top level)
+    depth: int
+    #: simulated-clock offset at open time, seconds
+    sim_start: float
+    #: simulated seconds absorbed while open
+    sim_seconds: float
+    #: wall-clock offset from profiler creation at open time, seconds
+    wall_start: float
+    #: wall seconds elapsed while open
+    wall_seconds: float
+    #: free-form tags supplied at open time
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "depth": self.depth,
+            "sim_start": self.sim_start,
+            "sim_seconds": self.sim_seconds,
+            "wall_start": self.wall_start,
+            "wall_seconds": self.wall_seconds,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanProfiler:
+    """Collects :class:`SpanRecord`\\ s; spans close in LIFO order.
+
+    Closed spans land in :attr:`spans` in *close* order (inner before
+    outer), each stamped with its open-time depth so renderers can
+    rebuild the nesting.
+    """
+
+    def __init__(self):
+        self.spans: List[SpanRecord] = []
+        self._epoch = time.perf_counter()
+        self._sim_cursor = 0.0
+        self._open: List[tuple] = []
+
+    @property
+    def sim_seconds(self) -> float:
+        """Current simulated-clock offset (sum of all advances)."""
+        return self._sim_cursor
+
+    def advance_sim(self, seconds: float) -> None:
+        """Advance the simulated clock; every open span absorbs it."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance simulated time by {seconds}")
+        self._sim_cursor += seconds
+
+    @contextlib.contextmanager
+    def span(self, name: str, **attrs) -> Iterator[None]:
+        """Open a nestable span named *name* for the ``with`` block."""
+        depth = len(self._open)
+        sim_start = self._sim_cursor
+        wall_start = time.perf_counter()
+        self._open.append((name, depth))
+        try:
+            yield
+        finally:
+            self._open.pop()
+            self.spans.append(
+                SpanRecord(
+                    name=name,
+                    depth=depth,
+                    sim_start=sim_start,
+                    sim_seconds=self._sim_cursor - sim_start,
+                    wall_start=wall_start - self._epoch,
+                    wall_seconds=time.perf_counter() - wall_start,
+                    attrs=attrs,
+                )
+            )
+
+    def add_span(self, name: str, *, sim_seconds: float = 0.0,
+                 wall_seconds: float = 0.0, **attrs) -> SpanRecord:
+        """Record an already-measured span and advance the simulated
+        clock by its *sim_seconds* — the hot-loop API the traversal
+        frame uses (one call per iteration, no context-manager cost)."""
+        record = SpanRecord(
+            name=name,
+            depth=len(self._open),
+            sim_start=self._sim_cursor,
+            sim_seconds=sim_seconds,
+            wall_start=time.perf_counter() - self._epoch - wall_seconds,
+            wall_seconds=wall_seconds,
+            attrs=attrs,
+        )
+        self.advance_sim(sim_seconds)
+        self.spans.append(record)
+        return record
+
+    def to_dicts(self) -> List[dict]:
+        """Every closed span as a plain dict, in close order."""
+        return [s.to_dict() for s in self.spans]

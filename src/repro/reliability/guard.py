@@ -62,6 +62,7 @@ from repro.gpusim.allocator import MemoryBudget, MemoryReport, parse_mem_size
 from repro.gpusim.device import DeviceSpec, TESLA_C2070
 from repro.gpusim.kernel import CostParams
 from repro.kernels.variants import Variant, WorksetRepr, unordered_variants
+from repro.obs.context import current_observer, observing
 from repro.reliability.checkpoint import CheckpointKeeper
 from repro.reliability.faults import FaultInjector, FaultPlan
 from repro.reliability.watchdog import Watchdog
@@ -185,9 +186,17 @@ def resilient_bfs(
     cost_params: Optional[CostParams] = None,
     guard: Optional[GuardConfig] = None,
     plan: Optional[FaultPlan] = None,
+    observe=None,
 ) -> ResilientResult:
-    """BFS under the adaptive runtime with the full recovery ladder."""
-    return _resilient("bfs", graph, source, config, device, cost_params, guard, plan)
+    """BFS under the adaptive runtime with the full recovery ladder.
+
+    *observe* installs an :class:`~repro.obs.Observer` for the run, so
+    guard metrics (attempts, faults, OOM rung, degradations) land in it
+    alongside the traversal's own metrics and spans."""
+    with observing(observe):
+        return _resilient(
+            "bfs", graph, source, config, device, cost_params, guard, plan
+        )
 
 
 def resilient_sssp(
@@ -199,9 +208,14 @@ def resilient_sssp(
     cost_params: Optional[CostParams] = None,
     guard: Optional[GuardConfig] = None,
     plan: Optional[FaultPlan] = None,
+    observe=None,
 ) -> ResilientResult:
-    """SSSP under the adaptive runtime with the full recovery ladder."""
-    return _resilient("sssp", graph, source, config, device, cost_params, guard, plan)
+    """SSSP under the adaptive runtime with the full recovery ladder.
+    The *observe* keyword is as in :func:`resilient_bfs`."""
+    with observing(observe):
+        return _resilient(
+            "sssp", graph, source, config, device, cost_params, guard, plan
+        )
 
 
 # ----------------------------------------------------------------------
@@ -209,6 +223,19 @@ def resilient_sssp(
 # ----------------------------------------------------------------------
 
 _RAISING_KINDS = {"launch_failure", "memory_fault"}
+
+
+def _observe_guard(attempts: int, num_faults: int, oom_rung: int, degraded: bool):
+    """Report the finished ladder's story into the current observer."""
+    observer = current_observer()
+    if observer is None:
+        return
+    metrics = observer.metrics
+    metrics.counter("guard.attempts").inc(attempts)
+    metrics.counter("guard.faults").inc(num_faults)
+    metrics.gauge("guard.oom_rung").set(oom_rung)
+    if degraded:
+        metrics.counter("guard.cpu_degradations").inc()
 
 #: the OOM ladder's rungs, in escalation order (rung i -> action[i-1])
 _OOM_ACTIONS = ("workset_spill", "force_bitmap", "checkpoint_relief")
@@ -395,6 +422,7 @@ def _resilient(
         useful = sum(r.seconds for r in traversal.iterations)
         replayed = max(0.0, keeper.work_seconds - useful)
         watchdog.bank_simulated(traversal.total_seconds)
+        _observe_guard(attempts, len(trace.faults), oom_rung, degraded=False)
         return ResilientResult(
             algorithm=algorithm,
             source=source,
@@ -506,6 +534,7 @@ def _degrade(
     trace = DecisionTrace()
     for event in events:
         trace.record_fault(event)
+    _observe_guard(attempts, len(trace.faults), oom_rung, degraded=True)
     return ResilientResult(
         algorithm=algorithm,
         source=source,

@@ -335,3 +335,108 @@ class TestIngestionFlags:
             build_parser().parse_args(
                 ["bfs", "--dataset", "p2p", "--strict-io", "--lenient-io"]
             )
+
+
+class TestProfile:
+    EXAMPLE = "examples/roadnet.snap.txt"
+
+    def test_adaptive_profile_writes_manifest(self, tmp_path, capsys):
+        out = tmp_path / "manifest.json"
+        rc = main(["profile", self.EXAMPLE, "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        from repro.obs import RunManifest
+
+        manifest = RunManifest.read(out)
+        stdout = capsys.readouterr().out
+        # The printed table is read back from the manifest; spot-check
+        # that the headline numbers really appear in the output.
+        assert str(manifest.result["iterations"]) in stdout
+        assert str(manifest.result["reached"]) in stdout
+        assert manifest.graph["digest"][:16] in stdout
+        assert manifest.mode == "adaptive"
+        assert manifest.metrics["frame.iterations"]["value"] == (
+            manifest.result["iterations"]
+        )
+        assert "verified" in stdout
+
+    def test_trace_contains_decision_track(self, tmp_path):
+        import json
+
+        out = tmp_path / "manifest.json"
+        trace = tmp_path / "trace.json"
+        rc = main(["profile", self.EXAMPLE, "--out", str(out),
+                   "--trace", str(trace)])
+        assert rc == 0
+        with open(trace) as fh:
+            doc = json.load(fh)
+        from repro.obs.trace import TID_DECISIONS, TID_SPANS
+
+        tids = {e.get("tid") for e in doc["traceEvents"]}
+        assert TID_DECISIONS in tids
+        assert TID_SPANS in tids
+
+    def test_requires_exactly_one_input(self, tmp_path, capsys):
+        assert main(["profile"]) == 2
+        err = capsys.readouterr().err
+        assert "graph file or --dataset" in err
+        assert main(["profile", self.EXAMPLE, "--dataset", "p2p"]) == 2
+
+    def test_dataset_input(self, tmp_path, capsys):
+        out = tmp_path / "manifest.json"
+        rc = main(["profile", "--dataset", "p2p", "--scale", "0.05",
+                   "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+
+    def test_resilient_mode(self, tmp_path, capsys):
+        out = tmp_path / "manifest.json"
+        rc = main(["profile", self.EXAMPLE, "--mode", "resilient",
+                   "--out", str(out)])
+        assert rc == 0
+        from repro.obs import RunManifest
+
+        manifest = RunManifest.read(out)
+        assert manifest.mode == "resilient"
+        assert manifest.reliability is not None
+        assert manifest.reliability["attempts"] >= 1
+        assert "served by" in capsys.readouterr().out
+
+    def test_static_mode(self, tmp_path, capsys):
+        out = tmp_path / "manifest.json"
+        rc = main(["profile", self.EXAMPLE, "--mode", "U_B_QU",
+                   "--out", str(out)])
+        assert rc == 0
+        from repro.obs import RunManifest
+
+        assert RunManifest.read(out).mode == "U_B_QU"
+
+    def test_sssp_profile(self, tmp_path):
+        out = tmp_path / "manifest.json"
+        rc = main(["profile", "--dataset", "p2p", "--scale", "0.05",
+                   "--algorithm", "sssp", "--out", str(out)])
+        assert rc == 0
+        from repro.obs import RunManifest
+
+        assert RunManifest.read(out).algorithm == "sssp"
+
+    def test_help_matches_docs(self, capsys, monkeypatch):
+        """The --help text pasted into docs/observability.md is current."""
+        import os
+        import re
+
+        monkeypatch.setenv("COLUMNS", "80")
+        with pytest.raises(SystemExit) as exc:
+            main(["profile", "--help"])
+        assert exc.value.code == 0
+        help_text = capsys.readouterr().out.strip()
+
+        doc_path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "docs", "observability.md",
+        )
+        with open(doc_path, encoding="utf-8") as fh:
+            doc = fh.read()
+        match = re.search(r"```text\n(usage: repro profile.*?)```", doc, re.S)
+        assert match, "docs/observability.md lost its pasted --help block"
+        assert match.group(1).strip() == help_text

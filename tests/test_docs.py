@@ -1,0 +1,76 @@
+"""Docs health under pytest: links resolve, examples run, tables current.
+
+Runs the same checks as the CI ``docs`` job (``tools/check_docs.py``)
+so a broken doc fails the ordinary test suite too, and additionally
+asserts the metrics-catalog table in ``docs/observability.md`` matches
+:data:`repro.obs.METRICS_CATALOG` row for row.
+"""
+
+import os
+import re
+import sys
+
+import pytest
+
+from repro.obs import METRICS_CATALOG
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import check_docs  # noqa: E402
+
+
+class TestLinks:
+    def test_all_relative_links_resolve(self):
+        assert check_docs.check_links() == []
+
+    def test_linked_docs_exist(self):
+        for doc in check_docs.LINKED_DOCS:
+            assert os.path.exists(os.path.join(REPO_ROOT, doc)), doc
+
+    def test_observability_doc_is_link_checked_and_executed(self):
+        assert "docs/observability.md" in check_docs.LINKED_DOCS
+        assert "docs/observability.md" in check_docs.EXECUTED_DOCS
+
+    def test_link_extractor(self):
+        text = "[a](docs/x.md) [b](https://e.com) [c](#anchor) [d](y.md#sec)"
+        assert list(check_docs.iter_relative_links(text)) == ["docs/x.md", "y.md"]
+
+
+class TestExamples:
+    def test_observability_examples_execute(self):
+        assert check_docs.run_examples() == []
+
+    def test_examples_are_nontrivial(self):
+        blocks = check_docs.extract_python_blocks("docs/observability.md")
+        assert len(blocks) >= 4
+        assert any("assert" in block for block in blocks)
+
+
+class TestMetricsCatalogTable:
+    @pytest.fixture(scope="class")
+    def table_rows(self):
+        path = os.path.join(REPO_ROOT, "docs", "observability.md")
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        rows = {}
+        for line in text.splitlines():
+            match = re.match(
+                r"^\| `([a-z0-9_]+\.[a-z0-9_.]+)` \| (\w+) \| ([^|]+) \|", line
+            )
+            if match:
+                rows[match.group(1)] = (
+                    match.group(2).strip(), match.group(3).strip()
+                )
+        return rows
+
+    def test_every_cataloged_metric_documented(self, table_rows):
+        documented = set(table_rows)
+        cataloged = {spec.name for spec in METRICS_CATALOG}
+        assert documented == cataloged
+
+    def test_kinds_and_units_match(self, table_rows):
+        for spec in METRICS_CATALOG:
+            kind, unit = table_rows[spec.name]
+            assert kind == spec.kind, spec.name
+            assert unit == spec.unit, spec.name

@@ -4,7 +4,11 @@ import json
 
 import pytest
 
-from repro.gpusim.traceexport import export_chrome_trace, timeline_to_trace_events
+from repro.gpusim.traceexport import (
+    export_chrome_trace,
+    iteration_start_times,
+    timeline_to_trace_events,
+)
 from repro.kernels import run_bfs
 from repro.graph.generators import balanced_tree
 
@@ -53,6 +57,28 @@ class TestTraceEvents:
         events = timeline_to_trace_events(traversal.timeline)
         markers = [e for e in events if e["ph"] == "i"]
         assert len(markers) == traversal.num_iterations
+
+    def test_iteration_markers_have_global_scope(self, traversal):
+        # The trace-event spec requires instant events to carry a scope;
+        # iteration boundaries span the whole timeline, so "g" (global),
+        # which Perfetto renders as a full-height line.
+        events = timeline_to_trace_events(traversal.timeline)
+        for marker in (e for e in events if e["ph"] == "i"):
+            assert marker["s"] == "g"
+
+    def test_iteration_start_times_match_markers(self, traversal):
+        # The helper and the exporter must agree on the layout, or
+        # decision/fault markers in the combined trace drift off the
+        # kernels they annotate.
+        starts = iteration_start_times(traversal.timeline)
+        assert sorted(starts) == list(range(traversal.num_iterations))
+        events = timeline_to_trace_events(traversal.timeline)
+        markers = [e for e in events if e["ph"] == "i"]
+        for iteration, marker in enumerate(markers):
+            assert marker["ts"] == pytest.approx(starts[iteration] * 1e6)
+        # Monotonically increasing along the simulated axis.
+        ordered = [starts[i] for i in sorted(starts)]
+        assert ordered == sorted(ordered)
 
     def test_kernel_args(self, traversal):
         events = timeline_to_trace_events(traversal.timeline)
