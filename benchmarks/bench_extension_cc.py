@@ -19,11 +19,13 @@ from common import bench_workload, dataset_keys, write_report
 from repro.core import adaptive_cc
 from repro.cpu import cpu_connected_components
 from repro.kernels import run_cc, unordered_variants
+from repro.obs import build_manifest
 from repro.utils.tables import Table
 
 
 def build_report():
     rows = {}
+    manifests = []
     for key in dataset_keys():
         graph, _ = bench_workload(key)
         cpu = cpu_connected_components(graph)
@@ -35,6 +37,7 @@ def build_report():
         ad = adaptive_cc(graph)
         assert np.array_equal(ad.values, cpu.labels), key
         rows[key] = (cpu, statics, ad)
+        manifests.append(build_manifest(ad, graph=graph, mode="adaptive"))
 
     table = Table(
         [
@@ -63,12 +66,12 @@ def build_report():
                 ad.traversal.iterations[0].variant,
             ]
         )
-    return table.render(), rows
+    return table.render(), rows, manifests
 
 
 def test_extension_connected_components(benchmark):
-    content, rows = benchmark.pedantic(build_report, rounds=1, iterations=1)
-    write_report("extension_cc", content)
+    content, rows, manifests = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    write_report("extension_cc", content, manifest=manifests)
 
     for key, (cpu, statics, ad) in rows.items():
         # Adaptive stays within 20 % of the best static variant.

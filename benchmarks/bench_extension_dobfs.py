@@ -23,11 +23,13 @@ import numpy as np
 from common import bench_workload, cpu_baseline_bfs, dataset_keys, write_report
 from repro.kernels import run_bfs
 from repro.kernels.dobfs import direction_optimizing_bfs
+from repro.obs import build_manifest
 from repro.utils.tables import Table
 
 
 def build_report():
     rows = {}
+    manifests = []
     for key in dataset_keys():
         graph, source = bench_workload(key)
         cpu = cpu_baseline_bfs(key)
@@ -35,6 +37,7 @@ def build_report():
         do = direction_optimizing_bfs(graph, source)
         assert np.array_equal(do.values, cpu.levels), key
         rows[key] = (push, do)
+        manifests.append(build_manifest(do, graph=graph, mode=do.policy_name))
 
     table = Table(
         [
@@ -63,12 +66,12 @@ def build_report():
                 do.variants_used().get("pull", 0),
             ]
         )
-    return table.render(), rows
+    return table.render(), rows, manifests
 
 
 def test_extension_dobfs(benchmark):
-    content, rows = benchmark.pedantic(build_report, rounds=1, iterations=1)
-    write_report("extension_dobfs", content)
+    content, rows, manifests = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    write_report("extension_dobfs", content, manifest=manifests)
 
     # The Beamer edge-work collapse on the dense graphs.
     for key in ("citeseer", "sns"):

@@ -17,17 +17,25 @@ compares them — and shows they are complementary:
 from common import bench_workload, cpu_baseline_sssp, dataset_keys, write_report
 from repro.core import adaptive_sssp
 from repro.core.hybrid import hybrid_sssp
+from repro.obs import build_manifest
 from repro.utils.tables import Table
 
 
 def build_report():
     rows = {}
+    manifests = []
     for key in dataset_keys():
         graph, source = bench_workload(key, weighted=True)
         cpu = cpu_baseline_sssp(key)
         gpu = adaptive_sssp(graph, source)
         hybrid = hybrid_sssp(graph, source)
         rows[key] = (cpu, gpu, hybrid)
+        manifests.append(
+            build_manifest(
+                hybrid, graph=graph, algorithm="sssp", mode="hybrid",
+                source=source,
+            )
+        )
 
     table = Table(
         [
@@ -55,14 +63,14 @@ def build_report():
                 hybrid.transitions,
             ]
         )
-    return table.render(), rows
+    return table.render(), rows, manifests
 
 
 def test_extension_hybrid(benchmark):
     import numpy as np
 
-    content, rows = benchmark.pedantic(build_report, rounds=1, iterations=1)
-    write_report("extension_hybrid", content)
+    content, rows, manifests = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    write_report("extension_hybrid", content, manifest=manifests)
 
     for key, (cpu, gpu, hybrid) in rows.items():
         assert np.allclose(hybrid.values, cpu.distances), key

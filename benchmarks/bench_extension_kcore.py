@@ -14,6 +14,7 @@ from common import bench_workload, write_report
 from repro.core import adaptive_kcore
 from repro.cpu import cpu_kcore
 from repro.kernels import run_kcore, unordered_variants
+from repro.obs import build_manifest
 from repro.utils.tables import Table
 
 KEYS = ("citeseer", "p2p", "amazon", "google")
@@ -21,6 +22,7 @@ KEYS = ("citeseer", "p2p", "amazon", "google")
 
 def build_report():
     rows = {}
+    manifests = []
     for key in KEYS:
         graph, _ = bench_workload(key)
         cpu = cpu_kcore(graph)
@@ -32,6 +34,7 @@ def build_report():
         ad = adaptive_kcore(graph)
         assert np.array_equal(ad.values, cpu.coreness), key
         rows[key] = (cpu, statics, ad)
+        manifests.append(build_manifest(ad, graph=graph, mode="adaptive"))
 
     table = Table(
         [
@@ -60,12 +63,12 @@ def build_report():
                 ad.num_switches,
             ]
         )
-    return table.render(), rows
+    return table.render(), rows, manifests
 
 
 def test_extension_kcore(benchmark):
-    content, rows = benchmark.pedantic(build_report, rounds=1, iterations=1)
-    write_report("extension_kcore", content)
+    content, rows, manifests = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    write_report("extension_kcore", content, manifest=manifests)
 
     for key, (cpu, statics, ad) in rows.items():
         # Adaptive tracks the best static.

@@ -19,6 +19,7 @@ from common import bench_workload, dataset_keys, write_report
 from repro.core import adaptive_pagerank
 from repro.cpu import cpu_pagerank
 from repro.kernels import run_pagerank, unordered_variants
+from repro.obs import build_manifest
 from repro.utils.tables import Table
 
 TOLERANCE = 1e-6
@@ -26,6 +27,7 @@ TOLERANCE = 1e-6
 
 def build_report():
     rows = {}
+    manifests = []
     for key in dataset_keys():
         graph, _ = bench_workload(key)
         cpu = cpu_pagerank(graph, tolerance=TOLERANCE, method="fast")
@@ -38,6 +40,7 @@ def build_report():
             statics[variant.code] = result.total_seconds
         ad = adaptive_pagerank(graph, tolerance=TOLERANCE)
         rows[key] = (cpu, statics, ad)
+        manifests.append(build_manifest(ad, graph=graph, mode="adaptive"))
 
     table = Table(
         [
@@ -66,12 +69,12 @@ def build_report():
                 "+".join(sorted(ad.variants_used())),
             ]
         )
-    return table.render(), rows
+    return table.render(), rows, manifests
 
 
 def test_extension_pagerank(benchmark):
-    content, rows = benchmark.pedantic(build_report, rounds=1, iterations=1)
-    write_report("extension_pagerank", content)
+    content, rows, manifests = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    write_report("extension_pagerank", content, manifest=manifests)
 
     for key, (cpu, statics, ad) in rows.items():
         best = min(statics.values())

@@ -23,6 +23,7 @@ from common import bench_workload, cpu_baseline_sssp, dataset_keys, write_report
 from repro.core import RuntimeConfig, adaptive_sssp
 from repro.kernels import run_sssp
 from repro.kernels.variants import extended_variants
+from repro.obs import build_manifest
 from repro.utils.tables import Table
 
 CODES = [v.code for v in extended_variants()]
@@ -30,6 +31,7 @@ CODES = [v.code for v in extended_variants()]
 
 def build_report():
     rows = {}
+    manifests = []
     for key in dataset_keys():
         graph, source = bench_workload(key, weighted=True)
         cpu = cpu_baseline_sssp(key)
@@ -42,6 +44,12 @@ def build_report():
         ext = adaptive_sssp(graph, source, config=RuntimeConfig(use_warp_mapping=True))
         rows[key] = (statics, cpu.seconds / base.total_seconds,
                      cpu.seconds / ext.total_seconds, ext)
+        manifests.append(
+            build_manifest(
+                ext, graph=graph, mode="adaptive+W",
+                config=RuntimeConfig(use_warp_mapping=True),
+            )
+        )
 
     table = Table(
         ["network"] + CODES + ["adaptive", "adaptive+W"],
@@ -53,12 +61,12 @@ def build_report():
             + [f"{statics[c]:.2f}" for c in CODES]
             + [f"{base_speedup:.2f}", f"{ext_speedup:.2f}"]
         )
-    return table.render(), rows
+    return table.render(), rows, manifests
 
 
 def test_extension_virtual_warp(benchmark):
-    content, rows = benchmark.pedantic(build_report, rounds=1, iterations=1)
-    write_report("extension_virtual_warp", content)
+    content, rows, manifests = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    write_report("extension_virtual_warp", content, manifest=manifests)
 
     # Warp mapping takes the static crown on the mid-degree datasets.
     for key in ("amazon", "sns"):

@@ -33,8 +33,16 @@ from repro.core import (
     adaptive_cc,
     adaptive_kcore,
     adaptive_pagerank,
+    adaptive_run,
     adaptive_sssp,
     run_static,
+)
+from repro.engine import (
+    AlgorithmInfo,
+    AlgorithmSpec,
+    get_algorithm,
+    register_algorithm,
+    registered_algorithms,
 )
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import DeviceSpec, GTX_580, TESLA_C2070
@@ -56,6 +64,7 @@ from repro.reliability import (
     GuardConfig,
     ResilientResult,
     resilient_bfs,
+    resilient_run,
     resilient_sssp,
 )
 
@@ -66,11 +75,17 @@ __all__ = [
     "RuntimeConfig",
     "AdaptiveResult",
     "TraversalResult",
+    "AlgorithmInfo",
+    "AlgorithmSpec",
+    "adaptive_run",
     "adaptive_bfs",
     "adaptive_sssp",
     "adaptive_cc",
     "adaptive_pagerank",
     "adaptive_kcore",
+    "get_algorithm",
+    "register_algorithm",
+    "registered_algorithms",
     "run_static",
     "run_bfs",
     "run_sssp",
@@ -90,6 +105,7 @@ __all__ = [
     "FaultPlan",
     "GuardConfig",
     "ResilientResult",
+    "resilient_run",
     "resilient_bfs",
     "resilient_sssp",
 ]

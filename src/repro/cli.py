@@ -4,6 +4,8 @@
 
     python -m repro datasets                 # the six Table-1 analogues
     python -m repro devices                  # simulated device presets
+    python -m repro algorithms               # registered algorithms + flags
+    python -m repro run --algorithm pagerank --dataset wikipedia --scale 0.02
     python -m repro characterize amazon --scale 0.05
     python -m repro bfs  --dataset google --scale 0.05 --mode adaptive
     python -m repro sssp --dataset amazon --scale 0.05 --mode U_T_BM
@@ -141,6 +143,24 @@ def _resolve_workload(args, *, weighted: bool):
     return graph, source, device
 
 
+def _spec_params(args, info) -> dict:
+    """Algorithm parameters (``--damping``, ``--tolerance``, ...) that
+    this parser actually carries, keyed by the registry's param names."""
+    return {
+        name: getattr(args, name)
+        for name in info.param_names
+        if getattr(args, name, None) is not None
+    }
+
+
+def _values_match(values, oracle) -> bool:
+    """Exact for integer-valued results, tolerance-based for floats."""
+    values = np.asarray(values)
+    if np.issubdtype(values.dtype, np.floating):
+        return bool(np.allclose(values, oracle))
+    return bool(np.array_equal(values, oracle))
+
+
 def _make_memory(args, device):
     """Build the device-memory budget requested by ``--mem-budget``."""
     spec = getattr(args, "mem_budget", None)
@@ -214,6 +234,106 @@ def cmd_devices(args) -> int:
         )
     print(table.render())
     return 0
+
+
+def cmd_algorithms(args) -> int:
+    """List every registered algorithm with its capability flags."""
+    from repro.engine import registered_algorithms
+
+    def yn(flag: bool) -> str:
+        return "yes" if flag else "no"
+
+    table = Table(
+        ["name", "source", "weighted", "ordered", "checkpoint", "adaptive",
+         "variants", "summary"],
+        title="registered algorithms",
+    )
+    for info in registered_algorithms():
+        flags = info.capability_flags()
+        table.add_row(
+            [
+                info.name,
+                yn(flags["source_based"]),
+                yn(flags["weighted"]),
+                yn(flags["ordered_support"]),
+                yn(flags["checkpointable"]),
+                yn(flags["adaptive_eligible"]),
+                info.default_variant if flags["supports_variants"] else "-",
+                info.summary,
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Registry-driven runner: any registered algorithm through one door."""
+    from repro.core import adaptive_run
+    from repro.engine import get_algorithm
+
+    info = get_algorithm(args.algorithm)
+    mode = args.mode or ("adaptive" if info.adaptive_eligible else "default")
+    if mode == "resilient":
+        return _run_resilient(args, args.algorithm)
+    graph, source, device = _resolve_workload(args, weighted=info.weighted)
+    if not info.source_based:
+        source = -1
+    memory = _make_memory(args, device)
+    params = _spec_params(args, info)
+    mem_report = None
+    extra = ""
+    if mode == "adaptive":
+        result = adaptive_run(
+            graph, args.algorithm, source, device=device, memory=memory,
+            **params,
+        )
+        traversal = result.traversal
+        mem_report = result.memory
+        extra = (
+            f"decisions: {result.trace.variants_chosen()}  "
+            f"switches: {result.num_switches}"
+        )
+    elif mode == "default":
+        if info.run_default is None:
+            print(
+                f"repro run: '{args.algorithm}' has no default driver; "
+                "use --mode adaptive or a variant code",
+                file=sys.stderr,
+            )
+            return 2
+        traversal = info.run_default(
+            graph, source, device=device, memory=memory, **params
+        )
+        mem_report = memory.report() if memory is not None else None
+    else:
+        traversal = run_static(
+            graph, source, args.algorithm, mode, device=device,
+            memory=memory, **params,
+        )
+        mem_report = memory.report() if memory is not None else None
+
+    oracle, cpu = info.cpu_run(graph, source, **params)
+    ok = _values_match(traversal.values, oracle)
+
+    table = Table(
+        ["metric", "value"],
+        title=f"{args.algorithm} on {graph.name} ({mode})",
+    )
+    if info.source_based:
+        table.add_row(["source", source])
+        table.add_row(
+            ["reached nodes", f"{traversal.reached} / {graph.num_nodes}"]
+        )
+    table.add_row(["iterations", traversal.num_iterations])
+    table.add_row(["simulated GPU time", format_seconds(traversal.total_seconds)])
+    table.add_row(["serial CPU baseline", format_seconds(cpu.seconds)])
+    table.add_row(["speedup", f"{cpu.seconds / traversal.total_seconds:.2f}x"])
+    _add_memory_rows(table, mem_report)
+    table.add_row(["verified vs CPU reference", "yes" if ok else "MISMATCH"])
+    print(table.render())
+    if extra:
+        print(extra)
+    return 0 if ok else 1
 
 
 def cmd_characterize(args) -> int:
@@ -312,15 +432,14 @@ def cmd_sssp(args) -> int:
 
 def _run_resilient(args, algorithm: str) -> int:
     """Guarded execution: the reliability layer's CLI entry."""
-    from repro.reliability import (
-        GuardConfig,
-        load_fault_plan,
-        resilient_bfs,
-        resilient_sssp,
-    )
+    from repro.engine import get_algorithm
+    from repro.reliability import GuardConfig, load_fault_plan, resilient_run
 
-    weighted = algorithm == "sssp"
-    graph, source, device = _resolve_workload(args, weighted=weighted)
+    info = get_algorithm(algorithm)
+    graph, source, device = _resolve_workload(args, weighted=info.weighted)
+    if not info.source_based:
+        source = -1
+    params = _spec_params(args, info)
     plan = load_fault_plan(args.fault_plan) if args.fault_plan else None
     guard = GuardConfig(
         max_retries=args.max_retries,
@@ -328,16 +447,13 @@ def _run_resilient(args, algorithm: str) -> int:
         checkpoint_every=args.checkpoint_every,
         mem_budget=getattr(args, "mem_budget", None),
     )
-    runner = resilient_sssp if weighted else resilient_bfs
-    result = runner(graph, source, device=device, guard=guard, plan=plan)
-
-    cpu = cpu_dijkstra(graph, source) if weighted else cpu_bfs(graph, source)
-    oracle = cpu.distances if weighted else cpu.levels
-    ok = (
-        np.allclose(result.values, oracle)
-        if weighted
-        else np.array_equal(result.values, oracle)
+    result = resilient_run(
+        graph, algorithm, source, device=device, guard=guard, plan=plan,
+        **params,
     )
+
+    oracle, _ = info.cpu_run(graph, source, **params)
+    ok = _values_match(result.values, oracle)
 
     table = Table(
         ["metric", "value"],
@@ -558,27 +674,27 @@ def cmd_profile(args) -> int:
         )
         return 2
     args.file = args.graph_file
-    weighted = args.algorithm == "sssp"
-    graph, source, device = _resolve_workload(args, weighted=weighted)
+    from repro.engine import get_algorithm
+
+    info = get_algorithm(args.algorithm)
+    graph, source, device = _resolve_workload(args, weighted=info.weighted)
+    if not info.source_based:
+        source = -1
     observer = Observer()
     mode = args.mode
+    if mode == "adaptive" and not info.adaptive_eligible:
+        mode = "default"
     config = None
     trace_obj = None
 
     if mode == "resilient":
-        from repro.reliability import (
-            GuardConfig,
-            load_fault_plan,
-            resilient_bfs,
-            resilient_sssp,
-        )
+        from repro.reliability import GuardConfig, load_fault_plan, resilient_run
 
         plan = load_fault_plan(args.fault_plan) if args.fault_plan else None
         guard = GuardConfig(mem_budget=getattr(args, "mem_budget", None))
-        runner = resilient_sssp if weighted else resilient_bfs
-        result = runner(
-            graph, source, device=device, guard=guard, plan=plan,
-            observe=observer,
+        result = resilient_run(
+            graph, args.algorithm, source, device=device, guard=guard,
+            plan=plan, observe=observer,
         )
         values = result.values
         mem_report = result.memory
@@ -586,17 +702,33 @@ def cmd_profile(args) -> int:
         inner = getattr(result.result, "traversal", result.result)
         traversal = inner if getattr(inner, "timeline", None) is not None else None
     elif mode == "adaptive":
+        from repro.core import adaptive_run
+
         config = RuntimeConfig()
         memory = _make_memory(args, device)
-        runner = adaptive_sssp if weighted else adaptive_bfs
-        result = runner(
-            graph, source, config=config, device=device, memory=memory,
-            observe=observer,
+        result = adaptive_run(
+            graph, args.algorithm, source, config=config, device=device,
+            memory=memory, observe=observer,
         )
         values = result.values
         mem_report = result.memory
         trace_obj = result.trace
         traversal = result.traversal
+    elif mode == "default":
+        if info.run_default is None:
+            print(
+                f"repro profile: '{args.algorithm}' has no default driver; "
+                "use --mode adaptive or a variant code",
+                file=sys.stderr,
+            )
+            return 2
+        memory = _make_memory(args, device)
+        result = info.run_default(
+            graph, source, device=device, memory=memory, observe=observer
+        )
+        values = result.values
+        mem_report = memory.report() if memory is not None else None
+        traversal = result
     else:
         memory = _make_memory(args, device)
         result = run_static(
@@ -628,13 +760,8 @@ def cmd_profile(args) -> int:
         else:
             print("[no simulated timeline to trace: CPU-degraded run]")
 
-    cpu = cpu_dijkstra(graph, source) if weighted else cpu_bfs(graph, source)
-    oracle = cpu.distances if weighted else cpu.levels
-    ok = (
-        np.allclose(values, oracle)
-        if weighted
-        else np.array_equal(values, oracle)
-    )
+    oracle, _ = info.cpu_run(graph, source)
+    ok = _values_match(values, oracle)
 
     # Every number below is read back from the manifest, so the printed
     # table and the JSON document cannot disagree.
@@ -709,6 +836,34 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("devices", help="list simulated device presets").set_defaults(
         func=cmd_devices
     )
+    sub.add_parser(
+        "algorithms",
+        help="list registered algorithms and their capability flags",
+    ).set_defaults(func=cmd_algorithms)
+
+    from repro.engine import registered_algorithms
+
+    algo_names = [info.name for info in registered_algorithms()]
+
+    p = sub.add_parser(
+        "run",
+        help="run any registered algorithm by name (registry-driven)",
+        description="One registry-driven door to every algorithm: the "
+        "entry points, capability checks and CPU reference all come "
+        "from the algorithm registry (see `repro algorithms`).",
+    )
+    _add_workload_args(p)
+    p.add_argument("--algorithm", choices=algo_names, default="bfs")
+    p.add_argument("--mode", default=None,
+                   help="'adaptive', 'resilient', 'default' (the algorithm's "
+                   "own driver, e.g. DO-BFS) or a variant code like U_B_QU "
+                   "(default: adaptive when eligible, else 'default')")
+    p.add_argument("--damping", type=float, default=None,
+                   help="PageRank damping factor (pagerank only)")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="PageRank convergence tolerance (pagerank only)")
+    _add_reliability_args(p)
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("characterize", help="Table-1-style graph characterization")
     _add_workload_args(p)
@@ -776,9 +931,10 @@ def build_parser() -> argparse.ArgumentParser:
                    "alternative to --dataset")
     p.add_argument("--dataset", choices=dataset_keys(),
                    default=None, help="synthetic analogue")
-    p.add_argument("--algorithm", choices=("bfs", "sssp"), default="bfs")
+    p.add_argument("--algorithm", choices=algo_names, default="bfs")
     p.add_argument("--mode", default="adaptive",
-                   help="'adaptive', 'resilient' or a variant code like U_B_QU")
+                   help="'adaptive', 'resilient', 'default' or a variant "
+                   "code like U_B_QU")
     p.add_argument("--out", default="manifest.json", metavar="FILE",
                    help="manifest output path (default: manifest.json)")
     p.add_argument("--trace", default=None, metavar="FILE",
@@ -817,7 +973,11 @@ def build_parser() -> argparse.ArgumentParser:
         "checkpoint restore / CPU degradation)",
     )
     _add_workload_args(p)
-    p.add_argument("--algorithm", choices=("bfs", "sssp"), default="bfs")
+    p.add_argument("--algorithm", choices=algo_names, default="bfs")
+    p.add_argument("--damping", type=float, default=None,
+                   help="PageRank damping factor (pagerank only)")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="PageRank convergence tolerance (pagerank only)")
     _add_reliability_args(p)
     p.set_defaults(func=cmd_reliability)
 

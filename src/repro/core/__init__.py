@@ -32,6 +32,7 @@ from repro.core.runtime import (
     adaptive_cc,
     adaptive_kcore,
     adaptive_pagerank,
+    adaptive_run,
     adaptive_sssp,
     run_static,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "AdaptivePolicy",
     "FixedPolicy",
     "AdaptiveResult",
+    "adaptive_run",
     "adaptive_bfs",
     "adaptive_sssp",
     "adaptive_cc",

@@ -1,10 +1,13 @@
 """The adaptive runtime's entry points (Section VI).
 
-``adaptive_bfs`` / ``adaptive_sssp`` run a traversal under the
-inspector + decision-maker policy and return an
+:func:`adaptive_run` runs any registered algorithm under the
+inspector + decision-maker policy and returns an
 :class:`AdaptiveResult` bundling the traversal outcome with the decision
-trace.  ``run_static`` is the matching one-variant runner so comparisons
-share an identical code path.
+trace; ``adaptive_bfs`` .. ``adaptive_kcore`` are its named wrappers.
+:func:`run_static` is the matching one-variant runner so comparisons
+share an identical code path — both dispatch through the
+:mod:`algorithm registry <repro.engine.registry>`, so a newly
+registered algorithm gets both entry points for free.
 """
 
 from __future__ import annotations
@@ -16,21 +19,19 @@ from repro.core.config import RuntimeConfig
 from repro.core.decision import Thresholds
 from repro.core.policies import AdaptivePolicy
 from repro.core.telemetry import DecisionTrace
+from repro.engine.registry import get_algorithm
+from repro.engine.types import StaticPolicy, TraversalResult
+from repro.errors import KernelError
 from repro.graph.csr import CSRGraph
 from repro.gpusim.allocator import MemoryBudget, MemoryReport
 from repro.gpusim.device import DeviceSpec, TESLA_C2070
 from repro.gpusim.kernel import CostParams
-from repro.kernels.frame import (
-    StaticPolicy,
-    TraversalResult,
-    traverse_bfs,
-    traverse_sssp,
-)
 from repro.kernels.variants import Variant
 from repro.obs.context import current_observer, observing
 
 __all__ = [
     "AdaptiveResult",
+    "adaptive_run",
     "adaptive_bfs",
     "adaptive_sssp",
     "adaptive_cc",
@@ -87,9 +88,10 @@ def _observed_traverse(span_name: str, run, trace: DecisionTrace):
     return result
 
 
-def adaptive_bfs(
+def adaptive_run(
     graph: CSRGraph,
-    source: int,
+    algorithm: str = "bfs",
+    source: Optional[int] = None,
     *,
     config: Optional[RuntimeConfig] = None,
     device: DeviceSpec = TESLA_C2070,
@@ -101,8 +103,14 @@ def adaptive_bfs(
     fault_hook=None,
     memory: Optional[MemoryBudget] = None,
     observe=None,
+    **params,
 ) -> AdaptiveResult:
-    """BFS under the adaptive runtime.
+    """Run any registered *algorithm* under the adaptive runtime.
+
+    The registry supplies the traversal entry point; the same
+    inspector + decision-maker policy drives every adaptive-eligible
+    algorithm (Section I's generalization claim).  Whole-graph
+    algorithms (``source_based`` False) ignore *source*.
 
     The reliability keywords (*watchdog*, *checkpoint_keeper*,
     *resume_from*, *fault_hook*) are pass-throughs to the traversal
@@ -111,12 +119,25 @@ def adaptive_bfs(
     pressure into variant decisions and the frame charges every
     allocation against it.  *observe* installs a
     :class:`~repro.obs.Observer` for the duration of the run, so every
-    instrumented layer reports metrics and spans into it."""
+    instrumented layer reports metrics and spans into it.  Extra
+    keyword arguments (*params*) are forwarded to the algorithm
+    (PageRank's ``damping``/``tolerance``)."""
+    info = get_algorithm(algorithm)
+    if not info.adaptive_eligible:
+        raise KernelError(
+            f"{algorithm!r} is not adaptive-eligible (it does not use the "
+            "unordered working-set variants the decision maker switches)"
+        )
+    if info.source_based:
+        if source is None:
+            raise KernelError(f"{algorithm!r} requires a source node")
+    else:
+        source = -1
     policy = AdaptivePolicy(graph, config, device=device, memory=memory)
     with observing(observe):
         result = _observed_traverse(
-            "adaptive_bfs",
-            lambda: traverse_bfs(
+            f"adaptive_{algorithm}",
+            lambda: info.traverse(
                 graph,
                 source,
                 policy,
@@ -129,6 +150,7 @@ def adaptive_bfs(
                 resume_from=resume_from,
                 fault_hook=fault_hook,
                 memory=memory,
+                **params,
             ),
             policy.trace,
         )
@@ -140,130 +162,37 @@ def adaptive_bfs(
     )
 
 
-def adaptive_sssp(
-    graph: CSRGraph,
-    source: int,
-    *,
-    config: Optional[RuntimeConfig] = None,
-    device: DeviceSpec = TESLA_C2070,
-    cost_params: Optional[CostParams] = None,
-    max_iterations: Optional[int] = None,
-    watchdog=None,
-    checkpoint_keeper=None,
-    resume_from=None,
-    fault_hook=None,
-    memory: Optional[MemoryBudget] = None,
-    observe=None,
-) -> AdaptiveResult:
+def adaptive_bfs(graph: CSRGraph, source: int, **kwargs) -> AdaptiveResult:
+    """BFS under the adaptive runtime (see :func:`adaptive_run`)."""
+    return adaptive_run(graph, "bfs", source, **kwargs)
+
+
+def adaptive_sssp(graph: CSRGraph, source: int, **kwargs) -> AdaptiveResult:
     """SSSP under the adaptive runtime (unordered variants only,
-    Section VI.A).  Reliability, *memory* and *observe* keywords as in
-    :func:`adaptive_bfs`."""
-    policy = AdaptivePolicy(graph, config, device=device, memory=memory)
-    with observing(observe):
-        result = _observed_traverse(
-            "adaptive_sssp",
-            lambda: traverse_sssp(
-                graph,
-                source,
-                policy,
-                device=device,
-                cost_params=cost_params,
-                queue_gen=policy.config.queue_gen,
-                max_iterations=max_iterations,
-                watchdog=watchdog,
-                checkpoint_keeper=checkpoint_keeper,
-                resume_from=resume_from,
-                fault_hook=fault_hook,
-                memory=memory,
-            ),
-            policy.trace,
-        )
-    return AdaptiveResult(
-        traversal=result,
-        trace=policy.trace,
-        thresholds=policy.thresholds,
-        memory=memory.report() if memory is not None else None,
-    )
+    Section VI.A; see :func:`adaptive_run`)."""
+    return adaptive_run(graph, "sssp", source, **kwargs)
 
 
-def adaptive_cc(
-    graph: CSRGraph,
-    *,
-    config: Optional[RuntimeConfig] = None,
-    device: DeviceSpec = TESLA_C2070,
-    cost_params: Optional[CostParams] = None,
-) -> AdaptiveResult:
-    """Connected components under the adaptive runtime.
-
-    The extension algorithm (label propagation shares BFS/SSSP's
-    iterative working-set pattern, so the same inspector/decision-maker
-    pair drives it — Section I's generalization claim).
-    """
-    from repro.kernels.cc import traverse_cc
-
-    policy = AdaptivePolicy(graph, config, device=device)
-    result = traverse_cc(
-        graph,
-        policy,
-        device=device,
-        cost_params=cost_params,
-        queue_gen=policy.config.queue_gen,
-    )
-    return AdaptiveResult(
-        traversal=result, trace=policy.trace, thresholds=policy.thresholds
-    )
+def adaptive_cc(graph: CSRGraph, **kwargs) -> AdaptiveResult:
+    """Connected components under the adaptive runtime (see
+    :func:`adaptive_run`)."""
+    return adaptive_run(graph, "cc", **kwargs)
 
 
 def adaptive_pagerank(
-    graph: CSRGraph,
-    *,
-    damping: float = 0.85,
-    tolerance: float = 1e-6,
-    config: Optional[RuntimeConfig] = None,
-    device: DeviceSpec = TESLA_C2070,
-    cost_params: Optional[CostParams] = None,
+    graph: CSRGraph, *, damping: float = 0.85, tolerance: float = 1e-6, **kwargs
 ) -> AdaptiveResult:
-    """Push-based PageRank under the adaptive runtime (extension
-    algorithm; see :mod:`repro.kernels.pagerank`)."""
-    from repro.kernels.pagerank import traverse_pagerank
-
-    policy = AdaptivePolicy(graph, config, device=device)
-    result = traverse_pagerank(
-        graph,
-        policy,
-        damping=damping,
-        tolerance=tolerance,
-        device=device,
-        cost_params=cost_params,
-        queue_gen=policy.config.queue_gen,
-    )
-    return AdaptiveResult(
-        traversal=result, trace=policy.trace, thresholds=policy.thresholds
+    """Push-based PageRank under the adaptive runtime (see
+    :func:`adaptive_run`)."""
+    return adaptive_run(
+        graph, "pagerank", damping=damping, tolerance=tolerance, **kwargs
     )
 
 
-def adaptive_kcore(
-    graph: CSRGraph,
-    *,
-    config: Optional[RuntimeConfig] = None,
-    device: DeviceSpec = TESLA_C2070,
-    cost_params: Optional[CostParams] = None,
-) -> AdaptiveResult:
-    """k-core decomposition under the adaptive runtime (extension
-    algorithm; see :mod:`repro.kernels.kcore`)."""
-    from repro.kernels.kcore import traverse_kcore
-
-    policy = AdaptivePolicy(graph, config, device=device)
-    result = traverse_kcore(
-        graph,
-        policy,
-        device=device,
-        cost_params=cost_params,
-        queue_gen=policy.config.queue_gen,
-    )
-    return AdaptiveResult(
-        traversal=result, trace=policy.trace, thresholds=policy.thresholds
-    )
+def adaptive_kcore(graph: CSRGraph, **kwargs) -> AdaptiveResult:
+    """k-core decomposition under the adaptive runtime (see
+    :func:`adaptive_run`)."""
+    return adaptive_run(graph, "kcore", **kwargs)
 
 
 def run_static(
@@ -281,14 +210,22 @@ def run_static(
     fault_hook=None,
     memory: Optional[MemoryBudget] = None,
     observe=None,
+    **params,
 ) -> TraversalResult:
-    """Run one static variant of *algorithm* (``"bfs"`` or ``"sssp"``).
+    """Run one static variant of any registered *algorithm*.
 
     *observe* installs an :class:`~repro.obs.Observer` for the run, as
-    in :func:`adaptive_bfs`."""
+    in :func:`adaptive_run`."""
+    info = get_algorithm(algorithm)
+    if not info.supports_variants:
+        raise KernelError(
+            f"{algorithm!r} does not run the static {{mapping}} x {{workset}} "
+            "variants"
+        )
     if isinstance(variant, str):
         variant = Variant.parse(variant)
     policy = StaticPolicy(variant)
+    src = source if info.source_based else -1
     kwargs = dict(
         device=device,
         cost_params=cost_params,
@@ -298,15 +235,11 @@ def run_static(
         resume_from=resume_from,
         fault_hook=fault_hook,
         memory=memory,
+        **params,
     )
-    if algorithm not in ("bfs", "sssp"):
-        raise ValueError(
-            f"unknown algorithm {algorithm!r} (expected 'bfs' or 'sssp')"
-        )
-    runner = traverse_bfs if algorithm == "bfs" else traverse_sssp
     with observing(observe):
         observer = current_observer()
         if observer is None:
-            return runner(graph, source, policy, **kwargs)
+            return info.traverse(graph, src, policy, **kwargs)
         with observer.span(f"static_{algorithm}", variant=variant.code):
-            return runner(graph, source, policy, **kwargs)
+            return info.traverse(graph, src, policy, **kwargs)

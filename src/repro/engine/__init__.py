@@ -1,0 +1,41 @@
+"""repro.engine — the algorithm-agnostic iteration engine.
+
+One driver (:func:`run_frame`, the paper's Figure 8 host loop) runs
+every algorithm expressed as an :class:`AlgorithmSpec`; the
+:class:`AlgorithmRegistry <repro.engine.registry>` maps names to specs
+and capability flags so the adaptive runtime, the guarded runner, the
+manifest builder and the CLI stay algorithm-generic.
+"""
+
+from repro.engine.driver import FrameContext, run_frame
+from repro.engine.registry import (
+    AlgorithmInfo,
+    get_algorithm,
+    register_algorithm,
+    registered_algorithms,
+)
+from repro.engine.spec import AlgorithmSpec, FrameState, StepOutcome
+from repro.engine.types import (
+    HOST_INIT_PER_NODE_S,
+    IterationRecord,
+    StaticPolicy,
+    TraversalResult,
+    VariantPolicy,
+)
+
+__all__ = [
+    "AlgorithmInfo",
+    "AlgorithmSpec",
+    "FrameContext",
+    "FrameState",
+    "HOST_INIT_PER_NODE_S",
+    "IterationRecord",
+    "StaticPolicy",
+    "StepOutcome",
+    "TraversalResult",
+    "VariantPolicy",
+    "get_algorithm",
+    "register_algorithm",
+    "registered_algorithms",
+    "run_frame",
+]

@@ -1,0 +1,439 @@
+"""The one host-side iteration driver (the paper's Figure 8).
+
+::
+
+    1: Create data structures on CPU and GPU
+    2: Initialize working set on CPU
+    3: Transfer working set and support data from CPU to GPU
+    4: while working set is not empty do
+    5:   Invoke CUDA_computation kernel
+    6:   Invoke CUDA_workingset_generation kernel
+    7: end while
+
+:func:`run_frame` is that loop, generic over an
+:class:`~repro.engine.spec.AlgorithmSpec` (the algorithm-specific
+pieces) and a :class:`~repro.engine.types.VariantPolicy` (the
+implementation choice per iteration) — the same frame drives the static
+variants, the adaptive runtime, and every extension algorithm, so the
+cross-cutting seams exist exactly once:
+
+- the per-iteration 4-byte working-set-size readback (the ``while``
+  condition is host code — a real PCIe latency every iteration);
+- watchdog budgets, checkpoint offers, resume, fault-injection hooks
+  (:mod:`repro.reliability`), all ``None`` by default and free when
+  absent;
+- :class:`~repro.gpusim.allocator.MemoryBudget` charging of graph,
+  state, per-iteration worksets and checkpoint staging;
+- observer metrics and simulated-clock-aligned spans
+  (:mod:`repro.obs`).
+
+A resumed traversal's :class:`~repro.engine.types.TraversalResult`
+carries the full iteration history (prior records come from the
+checkpoint) but its timeline covers only the work executed by this
+attempt — the guarded runner accounts for time across attempts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.engine.spec import AlgorithmSpec, FrameState, StepOutcome
+from repro.engine.types import (
+    HOST_INIT_PER_NODE_S,
+    IterationRecord,
+    TraversalResult,
+    VariantPolicy,
+)
+from repro.errors import KernelError, NonConvergenceError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.kernel import CostModel, CostParams, KernelTally
+from repro.gpusim.memory import traversal_state_bytes
+from repro.gpusim.timeline import Timeline
+from repro.gpusim.transfer import record_transfer
+from repro.kernels.variants import Variant
+from repro.kernels.workset import workset_gen_tallies
+from repro.obs.context import current_observer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpusim.allocator import MemoryBudget
+    from repro.reliability.checkpoint import CheckpointKeeper, TraversalCheckpoint
+    from repro.reliability.watchdog import Watchdog
+
+__all__ = ["FrameContext", "run_frame"]
+
+
+class FrameContext:
+    """What a spec's hooks may touch mid-iteration: the work graph, the
+    device/cost model, and kernel pricing against the shared timeline."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        device: DeviceSpec,
+        model: CostModel,
+        timeline: Timeline,
+        queue_gen: str,
+        source: int,
+    ):
+        self.graph = graph
+        self.device = device
+        self.model = model
+        self.timeline = timeline
+        self.queue_gen = queue_gen
+        self.source = source
+        #: the run's variant policy (ordered SSSP derives its working-set
+        #: structure from the policy's first choice)
+        self.policy: Optional[VariantPolicy] = None
+        self.iteration = 0
+        self.label = ""
+        #: simulated seconds accumulated into the current iteration's
+        #: record (reset by the driver at each iteration start)
+        self.seconds = 0.0
+
+    def price(self, tally: KernelTally, label: Optional[str] = None) -> None:
+        """Price a kernel into the current iteration's record."""
+        cost = self.model.price(tally)
+        self.timeline.add_kernel(self.iteration, tally, cost, label or self.label)
+        self.seconds += cost.seconds
+
+    def price_unattributed(self, tally: KernelTally) -> None:
+        """Price a kernel outside any iteration record (stage-seeding
+        kernels like k-core's filter: on the timeline, but not part of
+        an iteration's seconds)."""
+        cost = self.model.price(tally)
+        self.timeline.add_kernel(self.iteration, tally, cost, self.label)
+
+    def readback(self) -> None:
+        _readback(self.timeline, self.device)
+
+
+# ----------------------------------------------------------------------
+# Shared frame pieces
+# ----------------------------------------------------------------------
+
+def _observe_iteration(observer, record: IterationRecord) -> None:
+    """Report one finished iteration into the current observer.
+
+    Called only when an observer is installed (:mod:`repro.obs`); the
+    span advance keeps the profiler's simulated clock aligned with the
+    kernel stream so spans and kernels merge onto one Perfetto axis.
+    """
+    metrics = observer.metrics
+    metrics.counter("frame.iterations").inc()
+    metrics.counter("frame.processed_nodes").inc(record.processed)
+    metrics.counter("frame.edges_scanned").inc(record.edges_scanned)
+    metrics.histogram("frame.workset_size").observe(record.workset_size)
+    observer.spans.add_span(
+        "iteration",
+        sim_seconds=record.seconds,
+        iteration=record.iteration,
+        variant=record.variant,
+        workset_size=record.workset_size,
+    )
+
+
+def _initial_transfers(
+    graph: CSRGraph,
+    timeline: Timeline,
+    device: DeviceSpec,
+    memory: Optional["MemoryBudget"] = None,
+) -> None:
+    n = graph.num_nodes
+    if memory is not None:
+        # Budgeted path: the CSR arrays and traversal state are charged
+        # as resident (never-spillable) allocations; the per-iteration
+        # working set is charged separately by the loop.  An overflow
+        # raises DeviceOOMError — survivable by the guard's OOM ladder,
+        # unlike the hard KernelError below.
+        memory.allocate(
+            graph.device_bytes(), "graph", label=f"CSR arrays of {graph.name!r}"
+        )
+        memory.allocate(
+            traversal_state_bytes(n), "state", label="traversal state arrays"
+        )
+        # Same initial h2d payload as the legacy path below (state init
+        # includes zeroing the workset capacity), so a budget is
+        # time-neutral until it actually intervenes.
+        total_bytes = graph.device_bytes() + 4 * n + n + 4 * n + n // 8
+        timeline.add_transfer(record_transfer("h2d", total_bytes, device))
+        timeline.add_host_seconds(n * HOST_INIT_PER_NODE_S)
+        return
+    # Legacy (unbudgeted) capacity check: graph arrays + state array
+    # (4 B/node) + update flags (1 B/node) + queue capacity (4 B/node)
+    # + bitmap (1 bit/node).
+    state_bytes = 4 * n + n + 4 * n + n // 8
+    total_bytes = graph.device_bytes() + state_bytes
+    if total_bytes > device.global_mem_bytes:
+        raise KernelError(
+            f"graph {graph.name!r} needs {total_bytes / 2**30:.2f} GiB of device "
+            f"memory but {device.name} has {device.global_mem_bytes / 2**30:.2f} GiB "
+            "(the paper's system keeps the whole CSR resident)"
+        )
+    timeline.add_transfer(record_transfer("h2d", total_bytes, device))
+    timeline.add_host_seconds(n * HOST_INIT_PER_NODE_S)
+
+
+def _final_transfers(graph: CSRGraph, timeline: Timeline, device: DeviceSpec) -> None:
+    timeline.add_transfer(record_transfer("d2h", 4 * graph.num_nodes, device))
+
+
+def _readback(timeline: Timeline, device: DeviceSpec) -> None:
+    """The per-iteration working-set-size readback (loop condition)."""
+    timeline.add_transfer(record_transfer("d2h", 4, device))
+
+
+def _tpb_for(variant: Variant, graph: CSRGraph, device: DeviceSpec) -> int:
+    return variant.threads_per_block(graph.avg_out_degree, device)
+
+
+def _restore_state(resume_from: "TraversalCheckpoint", algorithm: str, source: int):
+    """Private copies of a checkpoint's state, ready to resume from."""
+    if not resume_from.matches(algorithm, source):
+        raise KernelError(
+            f"checkpoint holds a {resume_from.algorithm!r} query from source "
+            f"{resume_from.source}; cannot resume {algorithm!r} from {source}"
+        )
+    return (
+        resume_from.values.copy(),
+        resume_from.frontier.copy(),
+        list(resume_from.records),
+        resume_from.next_iteration,
+    )
+
+
+def _offer_checkpoint(
+    keeper: Optional["CheckpointKeeper"],
+    timeline: Timeline,
+    device: DeviceSpec,
+    memory: Optional["MemoryBudget"] = None,
+    **state,
+) -> None:
+    """Let the keeper snapshot post-iteration state; price the copy."""
+    if keeper is None:
+        return
+    nbytes = keeper.offer(**state)
+    if not nbytes:
+        return
+    observer = current_observer()
+    if observer is not None:
+        observer.metrics.counter("frame.checkpoint_bytes").inc(nbytes)
+    if memory is not None:
+        # The staging buffer lives on the device only for the copy's
+        # duration; under spill mode the part that does not fit stages
+        # from host memory directly and costs nothing extra (the d2h
+        # copy below moves every byte off-device regardless).
+        with memory.transient(nbytes, "checkpoint", label="checkpoint staging"):
+            timeline.add_transfer(record_transfer("d2h", nbytes, device))
+        return
+    timeline.add_transfer(record_transfer("d2h", nbytes, device))
+
+
+def _charge_workset(
+    memory: Optional["MemoryBudget"],
+    variant: Variant,
+    workset_size: int,
+    graph: CSRGraph,
+    timeline: Timeline,
+    device: DeviceSpec,
+    *,
+    entry_bytes: int = 4,
+) -> None:
+    """Charge this iteration's materialized working set against the
+    budget.  In spill mode the overflow lives in host memory: the frame
+    prices it as one write-out plus one read-back over PCIe (the
+    generation kernel emits it, the computation kernel consumes it)."""
+    if memory is None:
+        return
+    spilled = memory.charge_workset(
+        variant.workset, workset_size, graph.num_nodes, entry_bytes=entry_bytes
+    )
+    if spilled:
+        timeline.add_transfer(record_transfer("d2h", spilled, device))
+        timeline.add_transfer(record_transfer("h2d", spilled, device))
+
+
+# ----------------------------------------------------------------------
+# The driver
+# ----------------------------------------------------------------------
+
+def run_frame(
+    graph: CSRGraph,
+    source: int,
+    policy: VariantPolicy,
+    spec: AlgorithmSpec,
+    *,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    queue_gen: str = "atomic",
+    watchdog: Optional["Watchdog"] = None,
+    checkpoint_keeper: Optional["CheckpointKeeper"] = None,
+    resume_from: Optional["TraversalCheckpoint"] = None,
+    fault_hook=None,
+    memory: Optional["MemoryBudget"] = None,
+) -> TraversalResult:
+    """Run *spec* from *source* under *policy* on the generic frame.
+
+    *queue_gen* selects the queue-generation scheme: ``"atomic"``
+    (the paper's baseline), ``"scan"`` (Merrill-style prefix scan) or
+    ``"hierarchical"`` (Luo-style shared-memory queues) — Section
+    V.C's orthogonal optimizations.
+
+    *memory* attaches a :class:`~repro.gpusim.MemoryBudget`: the CSR
+    arrays, traversal state, per-iteration working sets and checkpoint
+    staging copies are charged against it, raising
+    :class:`~repro.errors.DeviceOOMError` on overflow (or pricing the
+    spilled bytes as PCIe traffic in spill mode).
+    """
+    spec.validate(graph, source)
+    if not spec.checkpointable and (
+        checkpoint_keeper is not None
+        or resume_from is not None
+        or fault_hook is not None
+    ):
+        raise KernelError(
+            f"{spec.name} does not support checkpoint/resume or fault hooks"
+        )
+    model = CostModel(device, cost_params)
+    timeline = Timeline()
+    work_graph, host_prep_seconds = spec.prepare(graph)
+    _initial_transfers(work_graph, timeline, device, memory)
+    if host_prep_seconds:
+        timeline.add_host_seconds(host_prep_seconds)
+    ctx = FrameContext(work_graph, device, model, timeline, queue_gen, source)
+    ctx.policy = policy
+    spec.extra_transfers(ctx)
+    observer = current_observer()
+    if observer is not None:
+        # Keep the profiler's simulated clock aligned with the Chrome
+        # trace layout, which lays the opening h2d copies before kernels.
+        observer.spans.advance_sim(timeline.transfer_seconds)
+
+    if resume_from is not None:
+        values, frontier, records, iteration = _restore_state(
+            resume_from, spec.name, source
+        )
+        state = spec.resume_state(values, frontier, resume_from)
+    else:
+        state = spec.init_state(ctx)
+        records: List[IterationRecord] = []
+        iteration = 0
+    n = work_graph.num_nodes
+    cap = (
+        max_iterations if max_iterations is not None else spec.default_cap(work_graph)
+    )
+    elapsed_s = 0.0
+    variant: Optional[Variant] = None
+    if not spec.chooses_at_top:
+        # The paper's decision point is *after* each computation kernel;
+        # the pre-loop choice covers iteration 0 only.
+        hint = spec.first_choose_size(state)
+        if hint is not None:
+            variant = policy.choose(iteration, hint)
+        elif spec.work_remaining(state):
+            variant = policy.choose(iteration, spec.work_remaining(state))
+        if variant is not None:
+            ctx.label = variant.code
+
+    while True:
+        ctx.iteration = iteration
+        size = spec.work_remaining(state)
+        if not size:
+            # Multi-phase algorithms re-seed here (k-core's next-k
+            # filter); single-phase ones converge.
+            refreshed = spec.refill(ctx, state)
+            if refreshed is None:
+                break
+            state.frontier = refreshed
+            continue
+        if iteration >= cap:
+            raise NonConvergenceError(spec.cap_message(cap))
+        if watchdog is not None:
+            watchdog.check(iteration, elapsed_s)
+        if fault_hook is not None:
+            fault_hook.on_iteration(iteration, state.values, state.frontier)
+        if spec.chooses_at_top:
+            variant = policy.choose(iteration, size)
+        ctx.label = variant.code
+        ctx.seconds = 0.0
+        tpb = spec.tpb(variant, work_graph, device)
+        _charge_workset(
+            memory, variant, size, work_graph, timeline, device,
+            entry_bytes=spec.workset_entry_bytes,
+        )
+
+        outcome = spec.compute(ctx, state, variant, tpb)
+        if outcome is None:
+            # The step itself detected termination (DOBFS's pull sweep
+            # with nothing left to visit): no generation, no readback.
+            break
+
+        # Decide the next iteration's variant now: the generation kernel
+        # below materializes whichever representation it will read.
+        next_size = outcome.updated_count
+        if spec.chooses_at_top:
+            next_variant = variant
+        else:
+            next_variant = (
+                policy.choose(iteration + 1, next_size) if next_size else variant
+            )
+        label = outcome.label or variant.code
+        for tally in policy.overhead_tallies(iteration, size, n, device):
+            ctx.price(tally, label)
+
+        gen_count = next_size if outcome.gen_count is None else outcome.gen_count
+        for tally in workset_gen_tallies(
+            n, gen_count, next_variant.workset, device, scheme=queue_gen
+        ):
+            ctx.price(tally, label)
+        _readback(timeline, device)
+
+        record = IterationRecord(
+            iteration=iteration,
+            variant=label,
+            workset_size=size,
+            processed=outcome.processed,
+            updated=next_size,
+            edges_scanned=outcome.edges_scanned,
+            improved_relaxations=outcome.improved_relaxations,
+            seconds=ctx.seconds,
+        )
+        records.append(record)
+        policy.notify(record)
+        if observer is not None:
+            _observe_iteration(observer, record)
+        elapsed_s += ctx.seconds
+        _offer_checkpoint(
+            checkpoint_keeper,
+            timeline,
+            device,
+            memory,
+            algorithm=spec.name,
+            source=source,
+            iteration=iteration,
+            values=state.values,
+            frontier=outcome.next_frontier,
+            variant_code=next_variant.code,
+            records=records,
+            seconds=ctx.seconds,
+            extra=spec.checkpoint_extra(state),
+        )
+        if outcome.next_frontier is not None:
+            state.frontier = outcome.next_frontier
+        variant = next_variant
+        ctx.label = variant.code
+        iteration += 1
+
+    if memory is not None:
+        memory.release_workset()
+    _final_transfers(work_graph, timeline, device)
+    return TraversalResult(
+        algorithm=spec.result_algorithm(policy),
+        source=source,
+        values=spec.final_values(state),
+        iterations=records,
+        timeline=timeline,
+        device=device,
+        policy_name=policy.name,
+    )

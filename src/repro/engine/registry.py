@@ -1,0 +1,115 @@
+"""The algorithm registry: one name -> everything runnable about it.
+
+Each registered :class:`AlgorithmInfo` bundles an algorithm's
+capability flags (what the CLI's ``repro algorithms`` lists and the
+generic runners check), its spec factory for the engine, its
+policy-driven traversal entry point, and its serial CPU reference.
+The adaptive runtime (:func:`repro.core.runtime.adaptive_run`), the
+guarded runner (:func:`repro.reliability.guard.resilient_run`), the
+manifest builder and the CLI all dispatch through here, so adding an
+algorithm to the registry lights it up across every layer at once.
+
+Built-in algorithms register themselves when their module is imported;
+:func:`get_algorithm` imports lazily so ``import repro`` stays cheap
+and the registry never creates import cycles.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import KernelError
+
+__all__ = [
+    "AlgorithmInfo",
+    "register_algorithm",
+    "get_algorithm",
+    "registered_algorithms",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Registry entry: capability flags + the algorithm's entry points."""
+
+    name: str
+    #: one-line description (CLI listing)
+    summary: str
+    #: spec factory; keyword args are the algorithm's parameters
+    #: (PageRank's damping/tolerance, CC's assume_symmetric, ...)
+    make_spec: Callable[..., object]
+    #: policy-driven traversal: ``traverse(graph, source, policy, **kw)``
+    #: (None for algorithms that own their policy, e.g. DOBFS)
+    traverse: Optional[Callable] = None
+    #: default entry point for algorithms without variant policies:
+    #: ``run_default(graph, source, **kw)``
+    run_default: Optional[Callable] = None
+    #: serial reference: ``cpu_run(graph, source, **params)`` returning
+    #: ``(values, cpu_result)`` — the guard's degradation rung
+    cpu_run: Optional[Callable] = None
+    source_based: bool = True
+    weighted: bool = False
+    ordered_support: bool = False
+    checkpointable: bool = True
+    adaptive_eligible: bool = True
+    supports_variants: bool = True
+    default_variant: str = "U_T_BM"
+    #: CPU reference reproduces GPU values bit-identically
+    cpu_exact: bool = True
+    #: names of the spec-level parameters ``**params`` may carry
+    param_names: Tuple[str, ...] = field(default_factory=tuple)
+
+    def capability_flags(self) -> Dict[str, bool]:
+        """The flags ``repro algorithms`` lists."""
+        return {
+            "source_based": self.source_based,
+            "weighted": self.weighted,
+            "ordered_support": self.ordered_support,
+            "checkpointable": self.checkpointable,
+            "adaptive_eligible": self.adaptive_eligible,
+            "supports_variants": self.supports_variants,
+            "cpu_exact": self.cpu_exact,
+        }
+
+
+_REGISTRY: Dict[str, AlgorithmInfo] = {}
+
+#: module that registers each built-in algorithm (imported on demand)
+_BUILTIN_MODULES: Dict[str, str] = {
+    "bfs": "repro.kernels.frame",
+    "sssp": "repro.kernels.frame",
+    "pagerank": "repro.kernels.pagerank",
+    "cc": "repro.kernels.cc",
+    "kcore": "repro.kernels.kcore",
+    "dobfs": "repro.kernels.dobfs",
+}
+
+
+def register_algorithm(info: AlgorithmInfo) -> AlgorithmInfo:
+    """Add *info* to the registry (last registration wins, so tests can
+    shadow built-ins with instrumented doubles)."""
+    _REGISTRY[info.name] = info
+    return info
+
+
+def get_algorithm(name: str) -> AlgorithmInfo:
+    """The registry entry for *name*; raises KernelError with the known
+    names when it is not registered."""
+    if name not in _REGISTRY and name in _BUILTIN_MODULES:
+        importlib.import_module(_BUILTIN_MODULES[name])
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(set(_REGISTRY) | set(_BUILTIN_MODULES)))
+        raise KernelError(
+            f"unknown algorithm {name!r} (registered algorithms: {known})"
+        )
+    return _REGISTRY[name]
+
+
+def registered_algorithms() -> List[AlgorithmInfo]:
+    """All registered algorithms, built-ins included, sorted by name."""
+    for name in _BUILTIN_MODULES:
+        if name not in _REGISTRY:
+            importlib.import_module(_BUILTIN_MODULES[name])
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

@@ -1,0 +1,202 @@
+"""The ``AlgorithmSpec`` protocol: what an algorithm tells the engine.
+
+The paper's Figure 8 host loop is algorithm-agnostic: create state,
+loop while the working set is non-empty, run the computation kernel,
+run the working-set generation kernel, read the new size back.  An
+:class:`AlgorithmSpec` supplies exactly the algorithm-specific pieces —
+initial state, the computation step, convergence bookkeeping, the
+checkpoint payload and a CPU reference — while the single driver
+(:func:`repro.engine.driver.run_frame`) owns everything cross-cutting:
+variant policy dispatch, per-iteration readback, watchdog, checkpoints,
+resume, fault hooks, memory charging and observer metrics/spans.
+
+A new algorithm is one subclass (typically < 50 lines; see
+``docs/engine.md``) plus a registry entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import DeviceSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.driver import FrameContext
+    from repro.engine.types import VariantPolicy
+    from repro.kernels.variants import Variant
+    from repro.reliability.checkpoint import TraversalCheckpoint
+
+__all__ = ["AlgorithmSpec", "FrameState", "StepOutcome"]
+
+
+class FrameState:
+    """Mutable per-run state the engine threads through the loop.
+
+    ``values`` is the algorithm's answer array (what fault injection
+    corrupts and checkpoints snapshot); ``frontier`` is the current
+    working set's node ids.  Specs attach whatever else they need as
+    extra attributes (PageRank's residuals, k-core's degrees, ...).
+    """
+
+    def __init__(self, values: np.ndarray, frontier: np.ndarray, **extra):
+        self.values = values
+        self.frontier = frontier
+        for key, val in extra.items():
+            setattr(self, key, val)
+
+
+@dataclass
+class StepOutcome:
+    """What one computation step tells the driver.
+
+    The step prices its own computation kernels through the context
+    (some algorithms run more than one — ordered SSSP's findmin — or
+    label them specially — DOBFS's push/pull); the driver prices the
+    policy-overhead and workset-generation kernels afterwards.
+    """
+
+    #: the next working set's node ids (None when the spec tracks the
+    #: working set internally, e.g. the ordered SSSP pair multiset)
+    next_frontier: Optional[np.ndarray]
+    #: size of the next working set (drives the policy's next choice
+    #: and the generation kernel)
+    updated_count: int
+    processed: int
+    edges_scanned: int
+    improved_relaxations: int
+    #: record/kernel label override (DOBFS's "push"/"pull"); defaults
+    #: to the variant code
+    label: Optional[str] = None
+    #: element count the generation kernel emits when it differs from
+    #: ``updated_count`` (ordered SSSP caps it at ``num_nodes``)
+    gen_count: Optional[int] = None
+
+
+class AlgorithmSpec:
+    """Base class for algorithm specifications.
+
+    Class attributes are the registry's capability flags; methods are
+    the hooks :func:`~repro.engine.driver.run_frame` calls.  Defaults
+    implement the common unordered BFS-like shape, so simple algorithms
+    override only :meth:`init_state`, :meth:`compute` and a cap.
+    """
+
+    #: registry key; also tags checkpoints and (by default) results
+    name: str = "algorithm"
+    #: takes a source node (False: whole-graph algorithms use source -1)
+    source_based: bool = True
+    #: requires edge weights
+    weighted: bool = False
+    #: has an ordered (priority-driven) frame variant
+    ordered_support: bool = False
+    #: supports checkpoint/resume and fault hooks
+    checkpointable: bool = True
+    #: can run under the adaptive policy (unordered working-set shape)
+    adaptive_eligible: bool = True
+    #: static {mapping} x {workset} variant codes apply
+    supports_variants: bool = True
+    #: default static variant code
+    default_variant: str = "U_T_BM"
+    #: bytes per materialized working-set entry (ordered queues hold
+    #: (node, key) pairs: 8 B)
+    workset_entry_bytes: int = 4
+    #: the policy is consulted at the top of each iteration with the
+    #: current size (ordered frames) instead of after the computation
+    #: kernel with the next size (the paper's unordered decision point)
+    chooses_at_top: bool = False
+    #: the CPU reference reproduces GPU values bit-identically (floats
+    #: accumulated in a different order are only close, e.g. PageRank)
+    cpu_exact: bool = True
+
+    # -- setup ---------------------------------------------------------
+
+    def validate(self, graph: CSRGraph, source: int) -> None:
+        """Reject impossible runs before any simulated cost accrues."""
+        if self.source_based:
+            graph._check_node(source)
+
+    def prepare(self, graph: CSRGraph):
+        """Return ``(work_graph, host_prep_seconds)`` — e.g. CC and
+        k-core symmetrize directed inputs on the host first."""
+        return graph, 0.0
+
+    def extra_transfers(self, ctx: "FrameContext") -> None:
+        """Extra h2d payload riding the initial transfer (DOBFS's
+        reverse CSR)."""
+
+    def init_state(self, ctx: "FrameContext") -> FrameState:
+        raise NotImplementedError  # pragma: no cover
+
+    def default_cap(self, graph: CSRGraph) -> int:
+        raise NotImplementedError  # pragma: no cover
+
+    def cap_message(self, cap: int) -> str:
+        return (
+            f"{self.name} exceeded its iteration budget of {cap} iterations "
+            "(non-convergence)"
+        )
+
+    def first_choose_size(self, state: FrameState) -> Optional[int]:
+        """Working-set size for the pre-loop variant choice; None means
+        gate on the frontier size (BFS-style: no choice when empty)."""
+        return None
+
+    # -- per-iteration -------------------------------------------------
+
+    def work_remaining(self, state: FrameState) -> int:
+        return int(state.frontier.size)
+
+    def refill(self, ctx: "FrameContext", state: FrameState):
+        """Re-seed an empty working set (k-core's next-k filter kernel).
+        Return the new frontier array, or None when the run converged.
+        The default single-phase behaviour is to stop."""
+        return None
+
+    def tpb(self, variant: "Variant", graph: CSRGraph, device: DeviceSpec) -> int:
+        return variant.threads_per_block(graph.avg_out_degree, device)
+
+    def compute(
+        self, ctx: "FrameContext", state: FrameState, variant: "Variant", tpb: int
+    ) -> Optional[StepOutcome]:
+        """One computation step: mutate state, price kernels through
+        *ctx*, describe the outcome.  Return None to terminate the loop
+        immediately (DOBFS's drained pull sweep)."""
+        raise NotImplementedError  # pragma: no cover
+
+    # -- results & reliability -----------------------------------------
+
+    def result_algorithm(self, policy: "VariantPolicy") -> str:
+        return self.name
+
+    def final_values(self, state: FrameState) -> np.ndarray:
+        return state.values
+
+    def checkpoint_extra(self, state: FrameState) -> Optional[dict]:
+        """Algorithm-private arrays/scalars a checkpoint must carry on
+        top of (values, frontier) — PageRank's residuals, k-core's
+        degrees.  None when (values, frontier) suffice."""
+        return None
+
+    def resume_state(
+        self,
+        values: np.ndarray,
+        frontier: np.ndarray,
+        checkpoint: "TraversalCheckpoint",
+    ) -> FrameState:
+        """Rebuild run state from a restored checkpoint's private
+        copies (the inverse of :meth:`checkpoint_extra`)."""
+        return FrameState(values, frontier)
+
+    def _checkpoint_scalar(self, checkpoint, key: str):
+        extra = checkpoint.extra or {}
+        if key not in extra:
+            raise KernelError(
+                f"checkpoint for {self.name!r} is missing payload field {key!r}"
+            )
+        value = extra[key]
+        return value.copy() if isinstance(value, np.ndarray) else value

@@ -16,38 +16,37 @@ Unlike BFS/SSSP, the initial working set is *every node*, so CC starts
 deep in the bitmap region of the decision space and drains toward the
 queue region — the opposite trajectory, and a good stress test for the
 decision maker.
+
+Expressed as :class:`CcSpec` on the generic engine
+(:mod:`repro.engine`), CC inherits the reliability seams (watchdog,
+checkpoint/resume, fault hooks), memory-budget charging and observer
+metrics for free.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.engine.driver import FrameContext, run_frame
+from repro.engine.registry import AlgorithmInfo, register_algorithm
+from repro.engine.spec import AlgorithmSpec, FrameState, StepOutcome
+from repro.engine.types import StaticPolicy, TraversalResult, VariantPolicy
+from repro.errors import KernelError
 from repro.graph.csr import CSRGraph
 from repro.graph.properties import is_symmetric
 from repro.graph.transforms import symmetrize
 from repro.gpusim.device import DeviceSpec, TESLA_C2070
-from repro.gpusim.kernel import CostModel, CostParams
-from repro.gpusim.timeline import Timeline
+from repro.gpusim.kernel import CostParams
 from repro.kernels import costs
 from repro.kernels.computation import _gather_edges
-from repro.kernels.frame import (
-    IterationRecord,
-    StaticPolicy,
-    TraversalResult,
-    VariantPolicy,
-    _final_transfers,
-    _initial_transfers,
-    _readback,
-    _tpb_for,
-)
 from repro.kernels.mapping import ComputationShape, computation_tally
 from repro.kernels.variants import Variant
-from repro.kernels.workset import Workset, workset_gen_tallies
-from repro.errors import KernelError
+from repro.kernels.workset import Workset
+from repro.obs.context import observing
 
-__all__ = ["cc_step", "traverse_cc", "run_cc"]
+__all__ = ["cc_step", "CcSpec", "traverse_cc", "run_cc"]
 
 
 def cc_step(
@@ -99,6 +98,52 @@ def cc_step(
     )
 
 
+class CcSpec(AlgorithmSpec):
+    """Min-label propagation CC: ``values[i]`` is the minimum node id in
+    node *i*'s weakly connected component."""
+
+    name = "cc"
+    source_based = False
+
+    def __init__(self, assume_symmetric: bool = False):
+        self.assume_symmetric = assume_symmetric
+
+    def prepare(self, graph: CSRGraph):
+        if not self.assume_symmetric and not is_symmetric(graph):
+            # Host-side symmetrization before transfer: roughly one pass
+            # over the edges plus the sort the CSR rebuild performs.
+            work_graph = symmetrize(graph)
+            return work_graph, work_graph.num_edges * 12e-9
+        return graph, 0.0
+
+    def init_state(self, ctx: FrameContext) -> FrameState:
+        n = ctx.graph.num_nodes
+        return FrameState(
+            np.arange(n, dtype=np.int64), np.arange(n, dtype=np.int64)
+        )
+
+    def default_cap(self, graph: CSRGraph) -> int:
+        return 4 * graph.num_nodes + 64
+
+    def cap_message(self, cap: int) -> str:
+        return f"CC exceeded {cap} iterations (non-convergence)"
+
+    def first_choose_size(self, state: FrameState) -> int:
+        return max(1, int(state.values.size))
+
+    def compute(self, ctx, state, variant, tpb) -> StepOutcome:
+        workset = Workset.from_update_ids(state.frontier, variant.workset)
+        step = cc_step(ctx.graph, workset, state.values, variant, tpb, ctx.device)
+        ctx.price(step.tally)
+        return StepOutcome(
+            next_frontier=step.updated,
+            updated_count=int(step.updated.size),
+            processed=step.processed,
+            edges_scanned=step.edges_scanned,
+            improved_relaxations=step.improved_relaxations,
+        )
+
+
 def traverse_cc(
     graph: CSRGraph,
     policy: VariantPolicy,
@@ -108,84 +153,33 @@ def traverse_cc(
     max_iterations: Optional[int] = None,
     queue_gen: str = "atomic",
     assume_symmetric: bool = False,
+    watchdog=None,
+    checkpoint_keeper=None,
+    resume_from=None,
+    fault_hook=None,
+    memory=None,
 ) -> TraversalResult:
     """Label-propagation connected components under *policy*.
 
     ``result.values[i]`` is the minimum node id in node *i*'s weakly
-    connected component.
+    connected component.  The reliability keywords and *memory* are
+    engine pass-throughs, as in
+    :func:`~repro.kernels.frame.traverse_bfs`.
     """
-    work_graph = graph
-    host_prep_seconds = 0.0
-    if not assume_symmetric and not is_symmetric(graph):
-        # Host-side symmetrization before transfer: roughly one pass
-        # over the edges plus the sort the CSR rebuild performs.
-        work_graph = symmetrize(graph)
-        host_prep_seconds = work_graph.num_edges * 12e-9
-
-    model = CostModel(device, cost_params)
-    timeline = Timeline()
-    _initial_transfers(work_graph, timeline, device)
-    timeline.add_host_seconds(host_prep_seconds)
-
-    n = work_graph.num_nodes
-    labels = np.arange(n, dtype=np.int64)
-    frontier = np.arange(n, dtype=np.int64)
-    records: List[IterationRecord] = []
-    iteration = 0
-    cap = max_iterations if max_iterations is not None else 4 * n + 64
-    variant = policy.choose(0, max(1, n))
-
-    while frontier.size:
-        if iteration >= cap:
-            raise KernelError(f"CC exceeded {cap} iterations (non-convergence)")
-        tpb = _tpb_for(variant, work_graph, device)
-        workset = Workset.from_update_ids(frontier, variant.workset)
-
-        step = cc_step(work_graph, workset, labels, variant, tpb, device)
-        comp_cost = model.price(step.tally)
-        timeline.add_kernel(iteration, step.tally, comp_cost, variant.code)
-        seconds = comp_cost.seconds
-
-        next_size = int(step.updated.size)
-        next_variant = policy.choose(iteration + 1, next_size) if next_size else variant
-        for tally in policy.overhead_tallies(iteration, workset.size, n, device):
-            cost = model.price(tally)
-            timeline.add_kernel(iteration, tally, cost, variant.code)
-            seconds += cost.seconds
-
-        for tally in workset_gen_tallies(
-            n, next_size, next_variant.workset, device, scheme=queue_gen
-        ):
-            cost = model.price(tally)
-            timeline.add_kernel(iteration, tally, cost, variant.code)
-            seconds += cost.seconds
-        _readback(timeline, device)
-
-        record = IterationRecord(
-            iteration=iteration,
-            variant=variant.code,
-            workset_size=workset.size,
-            processed=step.processed,
-            updated=next_size,
-            edges_scanned=step.edges_scanned,
-            improved_relaxations=step.improved_relaxations,
-            seconds=seconds,
-        )
-        records.append(record)
-        policy.notify(record)
-        frontier = step.updated
-        variant = next_variant
-        iteration += 1
-
-    _final_transfers(work_graph, timeline, device)
-    return TraversalResult(
-        algorithm="cc",
-        source=-1,
-        values=labels,
-        iterations=records,
-        timeline=timeline,
+    return run_frame(
+        graph,
+        -1,
+        policy,
+        CcSpec(assume_symmetric=assume_symmetric),
         device=device,
-        policy_name=policy.name,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
+        queue_gen=queue_gen,
+        watchdog=watchdog,
+        checkpoint_keeper=checkpoint_keeper,
+        resume_from=resume_from,
+        fault_hook=fault_hook,
+        memory=memory,
     )
 
 
@@ -197,15 +191,40 @@ def run_cc(
     cost_params: Optional[CostParams] = None,
     max_iterations: Optional[int] = None,
     queue_gen: str = "atomic",
+    observe=None,
 ) -> TraversalResult:
-    """Run one static connected-components variant."""
+    """Run one static connected-components variant.
+
+    *observe* installs an :class:`~repro.obs.Observer` for the run, as
+    in :func:`~repro.kernels.bfs.run_bfs`."""
     if isinstance(variant, str):
         variant = Variant.parse(variant)
-    return traverse_cc(
-        graph,
-        StaticPolicy(variant),
-        device=device,
-        cost_params=cost_params,
-        max_iterations=max_iterations,
-        queue_gen=queue_gen,
+    with observing(observe):
+        return traverse_cc(
+            graph,
+            StaticPolicy(variant),
+            device=device,
+            cost_params=cost_params,
+            max_iterations=max_iterations,
+            queue_gen=queue_gen,
+        )
+
+
+def _cpu_cc_reference(graph, source, **params):
+    from repro.cpu import cpu_connected_components
+
+    result = cpu_connected_components(graph)
+    return result.labels, result
+
+
+register_algorithm(
+    AlgorithmInfo(
+        name="cc",
+        summary="min-label propagation weakly connected components",
+        make_spec=CcSpec,
+        traverse=lambda graph, source, policy, **kw: traverse_cc(graph, policy, **kw),
+        cpu_run=_cpu_cc_reference,
+        source_based=False,
+        param_names=("assume_symmetric",),
     )
+)

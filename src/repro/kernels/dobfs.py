@@ -22,36 +22,40 @@ The pull kernel's cost profile differs structurally from push: every
 unvisited node is scanned, but each stops at its *first* frontier
 in-neighbor — the tally charges exactly the edges examined before the
 hit, which the functional sweep computes precisely.
+
+On the generic engine (:mod:`repro.engine`) the direction switch lives
+inside :meth:`DobfsSpec.compute` (it needs the hysteresis state), while
+a fixed :class:`_DirectionPolicy` satisfies the engine's policy seam —
+DOBFS chooses directions, not ``{mapping} x {workset}`` variants, so
+``supports_variants`` is False.  The checkpoint payload carries the
+current direction so a resumed traversal keeps the hysteresis.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
+from repro.engine.driver import FrameContext, run_frame
+from repro.engine.registry import AlgorithmInfo, register_algorithm
+from repro.engine.spec import AlgorithmSpec, FrameState, StepOutcome
+from repro.engine.types import TraversalResult, VariantPolicy
 from repro.errors import KernelError
 from repro.graph.csr import CSRGraph
-from repro.graph.properties import _ragged_gather_indices
+from repro.graph.properties import _ragged_gather_indices, is_symmetric
 from repro.gpusim.device import DeviceSpec, TESLA_C2070
-from repro.gpusim.kernel import CostModel, CostParams
-from repro.gpusim.timeline import Timeline
+from repro.gpusim.kernel import CostParams
 from repro.gpusim.transfer import record_transfer
 from repro.kernels import costs
-from repro.kernels.computation import UNSET_LEVEL, bfs_relax
-from repro.kernels.frame import (
-    IterationRecord,
-    TraversalResult,
-    _final_transfers,
-    _initial_transfers,
-    _readback,
-)
+from repro.kernels.computation import UNSET_LEVEL
 from repro.kernels.mapping import ComputationShape, computation_tally
 from repro.kernels.variants import Mapping, Ordering, Variant, WorksetRepr
-from repro.kernels.workset import Workset, workset_gen_tallies
+from repro.kernels.workset import Workset
+from repro.obs.context import observing
 
-__all__ = ["DirectionConfig", "pull_step", "direction_optimizing_bfs"]
+__all__ = ["DirectionConfig", "pull_step", "DobfsSpec", "direction_optimizing_bfs"]
 
 
 @dataclass(frozen=True)
@@ -134,6 +138,112 @@ def pull_step(
     return new_frontier, tally, int(examined.sum())
 
 
+_PUSH_VARIANT = Variant(Ordering.UNORDERED, Mapping.THREAD, WorksetRepr.BITMAP)
+
+
+class _DirectionPolicy(VariantPolicy):
+    """DOBFS chooses sweep directions, not paper variants; the engine's
+    policy seam gets the push kernel's variant and the run's name."""
+
+    name = "direction-optimizing"
+
+    def choose(self, iteration: int, workset_size: int) -> Variant:
+        return _PUSH_VARIANT
+
+
+class DobfsSpec(AlgorithmSpec):
+    """Beamer-style push/pull BFS; ``values`` are the levels."""
+
+    name = "dobfs"
+    supports_variants = False
+    adaptive_eligible = False
+    default_variant = "U_T_BM"
+
+    def __init__(self, config: Optional[DirectionConfig] = None):
+        self.config = config or DirectionConfig()
+        self._reverse: Optional[CSRGraph] = None
+
+    def extra_transfers(self, ctx: FrameContext) -> None:
+        if is_symmetric(ctx.graph):
+            # Undirected graph: the CSR already is its own transpose.
+            self._reverse = ctx.graph
+        else:
+            self._reverse = ctx.graph.reverse()
+            # The CSC copy also rides the initial transfer.
+            ctx.timeline.add_transfer(
+                record_transfer("h2d", self._reverse.device_bytes(), ctx.device)
+            )
+
+    def init_state(self, ctx: FrameContext) -> FrameState:
+        levels = np.full(ctx.graph.num_nodes, UNSET_LEVEL, dtype=np.int64)
+        levels[ctx.source] = 0
+        return FrameState(
+            levels, np.array([ctx.source], dtype=np.int64), direction="push"
+        )
+
+    def default_cap(self, graph: CSRGraph) -> int:
+        return 4 * graph.num_nodes + 64
+
+    def cap_message(self, cap: int) -> str:
+        return f"DO-BFS exceeded {cap} iterations"
+
+    def tpb(self, variant: Variant, graph: CSRGraph, device: DeviceSpec) -> int:
+        return 192
+
+    def compute(self, ctx, state, variant, tpb) -> Optional[StepOutcome]:
+        graph, config = ctx.graph, self.config
+        n, m = graph.num_nodes, graph.num_edges
+        frontier = state.frontier
+        frontier_edges = int(graph.out_degrees[frontier].sum())
+        if state.direction == "push" and frontier_edges > m / config.alpha:
+            state.direction = "pull"
+        elif state.direction == "pull" and frontier.size < n / config.beta:
+            state.direction = "push"
+
+        level = int(state.values[frontier[0]]) + 1
+        if state.direction == "pull":
+            frontier_mask = np.zeros(n, dtype=bool)
+            frontier_mask[frontier] = True
+            new_frontier, tally, edges = pull_step(
+                graph, self._reverse, frontier_mask, state.values, level,
+                tpb, ctx.device,
+            )
+            if tally is None:
+                # Nothing left to visit: terminate with no generation,
+                # readback or record, like the bespoke loop did.
+                return None
+            ctx.price(tally, "pull")
+            processed = int((state.values == UNSET_LEVEL).sum()) + new_frontier.size
+            improved = int(new_frontier.size)
+        else:
+            workset = Workset.from_update_ids(frontier, WorksetRepr.BITMAP)
+            from repro.kernels.computation import bfs_step
+
+            step = bfs_step(graph, workset, state.values, _PUSH_VARIANT, tpb, ctx.device)
+            ctx.price(step.tally, "push")
+            new_frontier, edges = step.updated, step.edges_scanned
+            processed = step.processed
+            improved = step.improved_relaxations
+
+        return StepOutcome(
+            next_frontier=new_frontier,
+            updated_count=int(new_frontier.size),
+            processed=processed,
+            edges_scanned=edges,
+            improved_relaxations=improved,
+            label=state.direction,
+        )
+
+    def checkpoint_extra(self, state: FrameState) -> dict:
+        return {"direction": state.direction}
+
+    def resume_state(self, values, frontier, checkpoint) -> FrameState:
+        return FrameState(
+            values, frontier,
+            direction=self._checkpoint_scalar(checkpoint, "direction"),
+        )
+
+
 def direction_optimizing_bfs(
     graph: CSRGraph,
     source: int,
@@ -142,103 +252,57 @@ def direction_optimizing_bfs(
     device: DeviceSpec = TESLA_C2070,
     cost_params: Optional[CostParams] = None,
     max_iterations: Optional[int] = None,
+    watchdog=None,
+    checkpoint_keeper=None,
+    resume_from=None,
+    fault_hook=None,
+    memory=None,
+    observe=None,
 ) -> TraversalResult:
     """BFS with Beamer-style push/pull direction switching.
 
     Push iterations run the paper's ``U_T_BM`` kernel; pull iterations
     run the bottom-up kernel.  ``result.variants_used()`` reports
-    ``"push"``/``"pull"`` per iteration.
+    ``"push"``/``"pull"`` per iteration.  The reliability keywords and
+    *memory* are engine pass-throughs, as in
+    :func:`~repro.kernels.frame.traverse_bfs`; *observe* installs an
+    :class:`~repro.obs.Observer` for the run.
     """
-    graph._check_node(source)
-    config = config or DirectionConfig()
-    from repro.graph.properties import is_symmetric
-
-    model = CostModel(device, cost_params)
-    timeline = Timeline()
-    _initial_transfers(graph, timeline, device)
-    if is_symmetric(graph):
-        # Undirected graph: the CSR already is its own transpose.
-        reverse = graph
-    else:
-        reverse = graph.reverse()
-        # The CSC copy also rides the initial transfer.
-        timeline.add_transfer(record_transfer("h2d", reverse.device_bytes(), device))
-
-    n, m = graph.num_nodes, graph.num_edges
-    levels = np.full(n, UNSET_LEVEL, dtype=np.int64)
-    levels[source] = 0
-    frontier = np.array([source], dtype=np.int64)
-    push_variant = Variant(Ordering.UNORDERED, Mapping.THREAD, WorksetRepr.BITMAP)
-    records: List[IterationRecord] = []
-    iteration = 0
-    direction = "push"
-    cap = max_iterations if max_iterations is not None else 4 * n + 64
-
-    while frontier.size:
-        if iteration >= cap:
-            raise KernelError(f"DO-BFS exceeded {cap} iterations")
-        frontier_edges = int(graph.out_degrees[frontier].sum())
-        if direction == "push" and frontier_edges > m / config.alpha:
-            direction = "pull"
-        elif direction == "pull" and frontier.size < n / config.beta:
-            direction = "push"
-
-        level = int(levels[frontier[0]]) + 1
-        if direction == "pull":
-            frontier_mask = np.zeros(n, dtype=bool)
-            frontier_mask[frontier] = True
-            new_frontier, tally, edges = pull_step(
-                graph, reverse, frontier_mask, levels, level, 192, device
-            )
-            if tally is None:
-                break
-            cost = model.price(tally)
-            timeline.add_kernel(iteration, tally, cost, "pull")
-            seconds = cost.seconds
-            processed = int((levels == UNSET_LEVEL).sum()) + new_frontier.size
-            improved = int(new_frontier.size)
-        else:
-            workset = Workset.from_update_ids(frontier, WorksetRepr.BITMAP)
-            from repro.kernels.computation import bfs_step
-
-            step = bfs_step(graph, workset, levels, push_variant, 192, device)
-            cost = model.price(step.tally)
-            timeline.add_kernel(iteration, step.tally, cost, "push")
-            seconds = cost.seconds
-            new_frontier, edges = step.updated, step.edges_scanned
-            processed = step.processed
-            improved = step.improved_relaxations
-
-        for tally in workset_gen_tallies(
-            n, int(new_frontier.size), WorksetRepr.BITMAP, device
-        ):
-            gen_cost = model.price(tally)
-            timeline.add_kernel(iteration, tally, gen_cost, direction)
-            seconds += gen_cost.seconds
-        _readback(timeline, device)
-
-        records.append(
-            IterationRecord(
-                iteration=iteration,
-                variant=direction,
-                workset_size=int(frontier.size),
-                processed=processed,
-                updated=int(new_frontier.size),
-                edges_scanned=edges,
-                improved_relaxations=improved,
-                seconds=seconds,
-            )
+    with observing(observe):
+        return run_frame(
+            graph,
+            source,
+            _DirectionPolicy(),
+            DobfsSpec(config=config),
+            device=device,
+            cost_params=cost_params,
+            max_iterations=max_iterations,
+            watchdog=watchdog,
+            checkpoint_keeper=checkpoint_keeper,
+            resume_from=resume_from,
+            fault_hook=fault_hook,
+            memory=memory,
         )
-        frontier = new_frontier
-        iteration += 1
 
-    _final_transfers(graph, timeline, device)
-    return TraversalResult(
-        algorithm="dobfs",
-        source=source,
-        values=levels,
-        iterations=records,
-        timeline=timeline,
-        device=device,
-        policy_name="direction-optimizing",
+
+def _cpu_dobfs_reference(graph, source, **params):
+    from repro.cpu import cpu_bfs
+
+    result = cpu_bfs(graph, source)
+    return result.levels, result
+
+
+register_algorithm(
+    AlgorithmInfo(
+        name="dobfs",
+        summary="direction-optimizing BFS (Beamer push/pull switching)",
+        make_spec=DobfsSpec,
+        run_default=lambda graph, source, **kw: direction_optimizing_bfs(
+            graph, source, **kw
+        ),
+        cpu_run=_cpu_dobfs_reference,
+        adaptive_eligible=False,
+        supports_variants=False,
+        param_names=("config",),
     )
+)

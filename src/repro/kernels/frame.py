@@ -1,27 +1,21 @@
-"""The host-side traversal framework (the paper's Figure 8).
+"""BFS and SSSP on the generic traversal frame (the paper's Figure 8).
 
-::
+The host loop itself lives in :mod:`repro.engine.driver` — one driver
+for every algorithm, generic over a *variant policy* (the paper's
+static implementations and the adaptive runtime) and an
+:class:`~repro.engine.spec.AlgorithmSpec`.  This module expresses the
+paper's two core algorithms as specs:
 
-    1: Create data structures on CPU and GPU
-    2: Initialize working set on CPU
-    3: Transfer working set and support data from CPU to GPU
-    4: while working set is not empty do
-    5:   Invoke CUDA_computation kernel
-    6:   Invoke CUDA_workingset_generation kernel
-    7: end while
+- :class:`BfsSpec` — level-synchronous BFS; ordered and unordered
+  policies share the frame (their step rule differs inside the kernel);
+- :class:`SsspSpec` — unordered (Bellman-Ford-style) SSSP;
+- :class:`OrderedSsspSpec` — ordered SSSP (GPU Dijkstra with a findmin
+  reduction each iteration, choosing its variant at the loop top).
 
-The loop is generic over a *variant policy* — a callable choosing the
-implementation for each iteration — so the same frame drives the static
-variants (constant policy) and the adaptive runtime (decision-maker
-policy, :mod:`repro.core.runtime`).  Every iteration's structure
-(working-set size, processed nodes, kernel costs, variant used) is
-recorded; Figure 2's working-set curves and the telemetry the paper's
-inspector monitors both come from these records.
-
-Each iteration also pays a 4-byte device-to-host readback of the
-working-set size: the ``while`` condition on line 4 is host code, and
-this synchronization is a real, per-iteration PCIe latency that
-dominates traversals with many near-empty iterations (road networks).
+``traverse_bfs`` / ``traverse_sssp`` keep their original signatures,
+and the engine's datatypes and frame helpers are re-exported so
+existing imports (``from repro.kernels.frame import TraversalResult``)
+keep working.
 
 Reliability seams (used by :mod:`repro.reliability`): the unordered
 frames accept a *watchdog* (iteration/deadline budgets, raising
@@ -30,26 +24,40 @@ frames accept a *watchdog* (iteration/deadline budgets, raising
 a *resume_from* checkpoint (continue a retried query from its last good
 iteration instead of restarting), and a *fault_hook* (per-iteration
 fault-injection callback).  All default to ``None`` and cost nothing
-when absent.  A resumed traversal's :class:`TraversalResult` carries
-the full iteration history (prior records come from the checkpoint) but
-its timeline covers only the work executed by this attempt — the
-guarded runner accounts for time across attempts.
+when absent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import KernelError, NonConvergenceError
+from repro.engine.driver import (  # noqa: F401  (re-exported frame helpers)
+    FrameContext,
+    _charge_workset,
+    _final_transfers,
+    _initial_transfers,
+    _observe_iteration,
+    _offer_checkpoint,
+    _readback,
+    _restore_state,
+    _tpb_for,
+    run_frame,
+)
+from repro.engine.registry import AlgorithmInfo, register_algorithm
+from repro.engine.spec import AlgorithmSpec, FrameState, StepOutcome
+from repro.engine.types import (  # noqa: F401  (re-exported datatypes)
+    HOST_INIT_PER_NODE_S,
+    IterationRecord,
+    StaticPolicy,
+    TraversalResult,
+    VariantPolicy,
+)
+from repro.errors import KernelError
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import DeviceSpec, TESLA_C2070
-from repro.gpusim.kernel import CostModel, CostParams, KernelTally
-from repro.gpusim.memory import traversal_state_bytes
-from repro.gpusim.timeline import Timeline
-from repro.gpusim.transfer import record_transfer
+from repro.gpusim.kernel import CostParams
 from repro.kernels.computation import (
     INF,
     OrderedSsspState,
@@ -59,9 +67,8 @@ from repro.kernels.computation import (
     sssp_step,
 )
 from repro.kernels.findmin import findmin, findmin_tallies
-from repro.kernels.variants import Ordering, Variant, WorksetRepr
-from repro.kernels.workset import Workset, workset_gen_tallies
-from repro.obs.context import current_observer
+from repro.kernels.variants import Variant, WorksetRepr
+from repro.kernels.workset import Workset
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpusim.allocator import MemoryBudget
@@ -73,277 +80,160 @@ __all__ = [
     "TraversalResult",
     "VariantPolicy",
     "StaticPolicy",
+    "BfsSpec",
+    "SsspSpec",
+    "OrderedSsspSpec",
     "traverse_bfs",
     "traverse_sssp",
 ]
 
-#: host-side bookkeeping per traversal node (allocation + init), seconds
-HOST_INIT_PER_NODE_S = 1.0e-9
+
+class BfsSpec(AlgorithmSpec):
+    """Level-synchronous BFS: ``values`` are levels (int64, -1 unreached)."""
+
+    name = "bfs"
+    ordered_support = True
+
+    def init_state(self, ctx: FrameContext) -> FrameState:
+        levels = np.full(ctx.graph.num_nodes, UNSET_LEVEL, dtype=np.int64)
+        levels[ctx.source] = 0
+        frontier = np.array([ctx.source], dtype=np.int64)
+        return FrameState(levels, frontier)
+
+    def default_cap(self, graph: CSRGraph) -> int:
+        return 4 * graph.num_nodes + 64
+
+    def cap_message(self, cap: int) -> str:
+        return (
+            f"BFS exceeded its iteration budget of {cap} iterations "
+            "(non-convergence)"
+        )
+
+    def compute(self, ctx, state, variant, tpb) -> StepOutcome:
+        workset = Workset.from_update_ids(state.frontier, variant.workset)
+        step = bfs_step(ctx.graph, workset, state.values, variant, tpb, ctx.device)
+        ctx.price(step.tally)
+        return StepOutcome(
+            next_frontier=step.updated,
+            updated_count=int(step.updated.size),
+            processed=step.processed,
+            edges_scanned=step.edges_scanned,
+            improved_relaxations=step.improved_relaxations,
+        )
+
+    def result_algorithm(self, policy: VariantPolicy) -> str:
+        return "bfs_ordered" if policy.is_ordered() else "bfs"
 
 
-@dataclass(frozen=True)
-class IterationRecord:
-    """Structure and cost of one ``while``-loop iteration."""
+class SsspSpec(AlgorithmSpec):
+    """Unordered SSSP: ``values`` are distances (float64, inf unreached)."""
 
-    iteration: int
-    variant: str
-    workset_size: int
-    processed: int
-    updated: int
-    edges_scanned: int
-    improved_relaxations: int
-    seconds: float
+    name = "sssp"
+    weighted = True
+    ordered_support = True
 
+    def validate(self, graph: CSRGraph, source: int) -> None:
+        super().validate(graph, source)
+        if graph.weights is None:
+            raise KernelError(
+                f"SSSP requires edge weights; graph {graph.name!r} has none"
+            )
 
-@dataclass
-class TraversalResult:
-    """Everything a traversal produced: answers, structure, simulated time."""
+    def init_state(self, ctx: FrameContext) -> FrameState:
+        dist = np.full(ctx.graph.num_nodes, INF, dtype=np.float64)
+        dist[ctx.source] = 0.0
+        frontier = np.array([ctx.source], dtype=np.int64)
+        return FrameState(dist, frontier)
 
-    algorithm: str
-    source: int
-    #: BFS levels (int64, -1 unreached) or SSSP distances (float64, inf)
-    values: np.ndarray
-    iterations: List[IterationRecord]
-    timeline: Timeline
-    device: DeviceSpec
-    policy_name: str
+    def default_cap(self, graph: CSRGraph) -> int:
+        return 16 * graph.num_nodes + 64
 
-    @property
-    def num_iterations(self) -> int:
-        return len(self.iterations)
+    def cap_message(self, cap: int) -> str:
+        return (
+            f"SSSP exceeded its iteration budget of {cap} iterations "
+            "(non-convergence)"
+        )
 
-    @property
-    def gpu_seconds(self) -> float:
-        return self.timeline.gpu_seconds
-
-    @property
-    def total_seconds(self) -> float:
-        return self.timeline.total_seconds
-
-    @property
-    def reached(self) -> int:
-        if self.values.dtype.kind == "f":
-            return int(np.isfinite(self.values).sum())
-        return int((self.values >= 0).sum())
-
-    @property
-    def total_edges_scanned(self) -> int:
-        return sum(r.edges_scanned for r in self.iterations)
-
-    def workset_curve(self) -> np.ndarray:
-        """Working-set size per iteration (Figure 2's series)."""
-        return np.array([r.workset_size for r in self.iterations], dtype=np.int64)
-
-    def variants_used(self) -> Dict[str, int]:
-        """Iteration counts per variant code (adaptive-runtime telemetry)."""
-        out: Dict[str, int] = {}
-        for r in self.iterations:
-            out[r.variant] = out.get(r.variant, 0) + 1
-        return out
-
-    def nodes_per_second(self) -> float:
-        """Processing speed in traversed nodes per simulated second
-        (Figure 12's metric)."""
-        if self.total_seconds <= 0:
-            return 0.0
-        return self.reached / self.total_seconds
+    def compute(self, ctx, state, variant, tpb) -> StepOutcome:
+        workset = Workset.from_update_ids(state.frontier, variant.workset)
+        step = sssp_step(ctx.graph, workset, state.values, variant, tpb, ctx.device)
+        ctx.price(step.tally)
+        return StepOutcome(
+            next_frontier=step.updated,
+            updated_count=int(step.updated.size),
+            processed=step.processed,
+            edges_scanned=step.edges_scanned,
+            improved_relaxations=step.improved_relaxations,
+        )
 
 
-class VariantPolicy:
-    """Chooses the implementation variant for each traversal iteration.
+class OrderedSsspSpec(SsspSpec):
+    """Ordered SSSP (GPU Dijkstra): a findmin reduction each iteration
+    retires every (node, key) pair at the current minimum key.
 
-    The frame calls :meth:`choose` for iteration ``i + 1`` right after
-    iteration ``i``'s computation kernel, when the next working-set size
-    is known but before the generation kernel materializes it — the
-    paper's decision point, which is what makes representation switches
-    free (the generation kernel simply emits the other representation
-    from the shared update vector).
+    The working-set structure depends on the representation: a queue
+    holds the pair multiset verbatim; a bitmap dedupes via per-node
+    atomicMin slots.  The representation is fixed by the policy's first
+    choice (ordered traversals are static in the paper), and the policy
+    is consulted at the loop top each iteration.
     """
 
-    name = "policy"
+    checkpointable = False
+    adaptive_eligible = False
+    chooses_at_top = True
+    #: ordered queues hold (node, key) pairs: 8 B per element
+    workset_entry_bytes = 8
 
-    def choose(self, iteration: int, workset_size: int) -> Variant:  # pragma: no cover
-        raise NotImplementedError
+    def init_state(self, ctx: FrameContext) -> FrameState:
+        first_variant = ctx.policy.choose(0, 1)
+        dedupe = first_variant.workset is WorksetRepr.BITMAP
+        ordered = OrderedSsspState.initial(
+            ctx.graph.num_nodes, ctx.source, dedupe=dedupe
+        )
+        return FrameState(
+            ordered.dist, np.empty(0, dtype=np.int64), ordered=ordered
+        )
 
-    def is_ordered(self) -> bool:
-        """Whether this policy selects ordered variants (decides which
-        SSSP frame runs).  Adaptive policies are unordered-only
-        (Section VI.A), so the default is False."""
-        return False
+    def default_cap(self, graph: CSRGraph) -> int:
+        # Each iteration retires every pair at the current minimum key,
+        # so iterations are bounded by the number of pair insertions <= m.
+        return 16 * graph.num_edges + 64
 
-    def notify(self, record: IterationRecord) -> None:
-        """Called after each iteration (for monitoring policies)."""
+    def cap_message(self, cap: int) -> str:
+        return (
+            f"ordered SSSP exceeded its iteration budget of {cap} "
+            "iterations (non-convergence)"
+        )
 
-    def overhead_tallies(
-        self, iteration: int, workset_size: int, num_nodes: int, device: DeviceSpec
-    ) -> List["KernelTally"]:
-        """Extra monitoring kernels this policy ran this iteration (the
-        graph inspector's working-set profiling); priced into the
-        traversal's timeline by the frame."""
-        return []
+    def work_remaining(self, state: FrameState) -> int:
+        return int(state.ordered.workset_size)
 
+    def compute(self, ctx, state, variant, tpb) -> StepOutcome:
+        ordered = state.ordered
+        ws_size = ordered.workset_size
+        # findmin reduction over the working-set keys.
+        min_key = findmin(ordered.ws_keys)
+        for tally in findmin_tallies(
+            ws_size, ctx.graph.num_nodes, variant.workset, ctx.device
+        ):
+            ctx.price(tally)
+        step = sssp_ordered_step(ctx.graph, ordered, min_key, variant, tpb, ctx.device)
+        ctx.price(step.tally)
+        return StepOutcome(
+            next_frontier=None,
+            updated_count=int(ordered.workset_size),
+            processed=step.settled,
+            edges_scanned=step.edges_scanned,
+            improved_relaxations=step.improved_relaxations,
+            gen_count=min(ordered.workset_size, ctx.graph.num_nodes),
+        )
 
-class StaticPolicy(VariantPolicy):
-    """Always the same variant — the paper's static implementations."""
-
-    def __init__(self, variant: Variant):
-        self.variant = variant
-        self.name = variant.code
-
-    def choose(self, iteration: int, workset_size: int) -> Variant:
-        return self.variant
-
-    def is_ordered(self) -> bool:
-        return self.variant.ordering is Ordering.ORDERED
+    def result_algorithm(self, policy: VariantPolicy) -> str:
+        return "sssp_ordered"
 
 
 # ----------------------------------------------------------------------
-# Shared frame pieces
-# ----------------------------------------------------------------------
-
-def _observe_iteration(observer, record: IterationRecord) -> None:
-    """Report one finished iteration into the current observer.
-
-    Called only when an observer is installed (:mod:`repro.obs`); the
-    span advance keeps the profiler's simulated clock aligned with the
-    kernel stream so spans and kernels merge onto one Perfetto axis.
-    """
-    metrics = observer.metrics
-    metrics.counter("frame.iterations").inc()
-    metrics.counter("frame.processed_nodes").inc(record.processed)
-    metrics.counter("frame.edges_scanned").inc(record.edges_scanned)
-    metrics.histogram("frame.workset_size").observe(record.workset_size)
-    observer.spans.add_span(
-        "iteration",
-        sim_seconds=record.seconds,
-        iteration=record.iteration,
-        variant=record.variant,
-        workset_size=record.workset_size,
-    )
-
-
-def _initial_transfers(
-    graph: CSRGraph,
-    timeline: Timeline,
-    device: DeviceSpec,
-    memory: Optional["MemoryBudget"] = None,
-) -> None:
-    n = graph.num_nodes
-    if memory is not None:
-        # Budgeted path: the CSR arrays and traversal state are charged
-        # as resident (never-spillable) allocations; the per-iteration
-        # working set is charged separately by the loop.  An overflow
-        # raises DeviceOOMError — survivable by the guard's OOM ladder,
-        # unlike the hard KernelError below.
-        memory.allocate(
-            graph.device_bytes(), "graph", label=f"CSR arrays of {graph.name!r}"
-        )
-        memory.allocate(
-            traversal_state_bytes(n), "state", label="traversal state arrays"
-        )
-        # Same initial h2d payload as the legacy path below (state init
-        # includes zeroing the workset capacity), so a budget is
-        # time-neutral until it actually intervenes.
-        total_bytes = graph.device_bytes() + 4 * n + n + 4 * n + n // 8
-        timeline.add_transfer(record_transfer("h2d", total_bytes, device))
-        timeline.add_host_seconds(n * HOST_INIT_PER_NODE_S)
-        return
-    # Legacy (unbudgeted) capacity check: graph arrays + state array
-    # (4 B/node) + update flags (1 B/node) + queue capacity (4 B/node)
-    # + bitmap (1 bit/node).
-    state_bytes = 4 * n + n + 4 * n + n // 8
-    total_bytes = graph.device_bytes() + state_bytes
-    if total_bytes > device.global_mem_bytes:
-        raise KernelError(
-            f"graph {graph.name!r} needs {total_bytes / 2**30:.2f} GiB of device "
-            f"memory but {device.name} has {device.global_mem_bytes / 2**30:.2f} GiB "
-            "(the paper's system keeps the whole CSR resident)"
-        )
-    timeline.add_transfer(record_transfer("h2d", total_bytes, device))
-    timeline.add_host_seconds(n * HOST_INIT_PER_NODE_S)
-
-
-def _final_transfers(graph: CSRGraph, timeline: Timeline, device: DeviceSpec) -> None:
-    timeline.add_transfer(record_transfer("d2h", 4 * graph.num_nodes, device))
-
-
-def _readback(timeline: Timeline, device: DeviceSpec) -> None:
-    """The per-iteration working-set-size readback (loop condition)."""
-    timeline.add_transfer(record_transfer("d2h", 4, device))
-
-
-def _tpb_for(variant: Variant, graph: CSRGraph, device: DeviceSpec) -> int:
-    return variant.threads_per_block(graph.avg_out_degree, device)
-
-
-def _restore_state(resume_from: "TraversalCheckpoint", algorithm: str, source: int):
-    """Private copies of a checkpoint's state, ready to resume from."""
-    if not resume_from.matches(algorithm, source):
-        raise KernelError(
-            f"checkpoint holds a {resume_from.algorithm!r} query from source "
-            f"{resume_from.source}; cannot resume {algorithm!r} from {source}"
-        )
-    return (
-        resume_from.values.copy(),
-        resume_from.frontier.copy(),
-        list(resume_from.records),
-        resume_from.next_iteration,
-    )
-
-
-def _offer_checkpoint(
-    keeper: Optional["CheckpointKeeper"],
-    timeline: Timeline,
-    device: DeviceSpec,
-    memory: Optional["MemoryBudget"] = None,
-    **state,
-) -> None:
-    """Let the keeper snapshot post-iteration state; price the copy."""
-    if keeper is None:
-        return
-    nbytes = keeper.offer(**state)
-    if not nbytes:
-        return
-    observer = current_observer()
-    if observer is not None:
-        observer.metrics.counter("frame.checkpoint_bytes").inc(nbytes)
-    if memory is not None:
-        # The staging buffer lives on the device only for the copy's
-        # duration; under spill mode the part that does not fit stages
-        # from host memory directly and costs nothing extra (the d2h
-        # copy below moves every byte off-device regardless).
-        with memory.transient(nbytes, "checkpoint", label="checkpoint staging"):
-            timeline.add_transfer(record_transfer("d2h", nbytes, device))
-        return
-    timeline.add_transfer(record_transfer("d2h", nbytes, device))
-
-
-def _charge_workset(
-    memory: Optional["MemoryBudget"],
-    variant: Variant,
-    workset_size: int,
-    graph: CSRGraph,
-    timeline: Timeline,
-    device: DeviceSpec,
-    *,
-    entry_bytes: int = 4,
-) -> None:
-    """Charge this iteration's materialized working set against the
-    budget.  In spill mode the overflow lives in host memory: the frame
-    prices it as one write-out plus one read-back over PCIe (the
-    generation kernel emits it, the computation kernel consumes it)."""
-    if memory is None:
-        return
-    spilled = memory.charge_workset(
-        variant.workset, workset_size, graph.num_nodes, entry_bytes=entry_bytes
-    )
-    if spilled:
-        timeline.add_transfer(record_transfer("d2h", spilled, device))
-        timeline.add_transfer(record_transfer("h2d", spilled, device))
-
-
-# ----------------------------------------------------------------------
-# BFS / unordered SSSP frame
+# Entry points
 # ----------------------------------------------------------------------
 
 def traverse_bfs(
@@ -374,116 +264,20 @@ def traverse_bfs(
     staging copies are charged against it, raising
     :class:`~repro.errors.DeviceOOMError` on overflow (or pricing the
     spilled bytes as PCIe traffic in spill mode)."""
-    graph._check_node(source)
-    model = CostModel(device, cost_params)
-    timeline = Timeline()
-    _initial_transfers(graph, timeline, device, memory)
-    observer = current_observer()
-    if observer is not None:
-        # Keep the profiler's simulated clock aligned with the Chrome
-        # trace layout, which lays the opening h2d copies before kernels.
-        observer.spans.advance_sim(timeline.transfer_seconds)
-
-    if resume_from is not None:
-        levels, frontier, records, iteration = _restore_state(
-            resume_from, "bfs", source
-        )
-    else:
-        levels = np.full(graph.num_nodes, UNSET_LEVEL, dtype=np.int64)
-        levels[source] = 0
-        frontier = np.array([source], dtype=np.int64)
-        records = []
-        iteration = 0
-    cap = max_iterations if max_iterations is not None else 4 * graph.num_nodes + 64
-    elapsed_s = 0.0
-    variant = (
-        policy.choose(iteration, int(frontier.size)) if frontier.size else None
-    )
-
-    while frontier.size:
-        if iteration >= cap:
-            raise NonConvergenceError(
-                f"BFS exceeded its iteration budget of {cap} iterations "
-                "(non-convergence)"
-            )
-        if watchdog is not None:
-            watchdog.check(iteration, elapsed_s)
-        if fault_hook is not None:
-            fault_hook.on_iteration(iteration, levels, frontier)
-        tpb = _tpb_for(variant, graph, device)
-        workset = Workset.from_update_ids(frontier, variant.workset)
-        _charge_workset(memory, variant, workset.size, graph, timeline, device)
-
-        step = bfs_step(graph, workset, levels, variant, tpb, device)
-        comp_cost = model.price(step.tally)
-        timeline.add_kernel(iteration, step.tally, comp_cost, variant.code)
-        seconds = comp_cost.seconds
-
-        # Decide the next iteration's variant now: the generation kernel
-        # below materializes whichever representation it will read.
-        next_size = int(step.updated.size)
-        next_variant = policy.choose(iteration + 1, next_size) if next_size else variant
-        for tally in policy.overhead_tallies(
-            iteration, workset.size, graph.num_nodes, device
-        ):
-            cost = model.price(tally)
-            timeline.add_kernel(iteration, tally, cost, variant.code)
-            seconds += cost.seconds
-
-        for tally in workset_gen_tallies(
-            graph.num_nodes, next_size, next_variant.workset, device,
-            scheme=queue_gen,
-        ):
-            cost = model.price(tally)
-            timeline.add_kernel(iteration, tally, cost, variant.code)
-            seconds += cost.seconds
-        _readback(timeline, device)
-
-        record = IterationRecord(
-            iteration=iteration,
-            variant=variant.code,
-            workset_size=workset.size,
-            processed=step.processed,
-            updated=next_size,
-            edges_scanned=step.edges_scanned,
-            improved_relaxations=step.improved_relaxations,
-            seconds=seconds,
-        )
-        records.append(record)
-        policy.notify(record)
-        if observer is not None:
-            _observe_iteration(observer, record)
-        elapsed_s += seconds
-        _offer_checkpoint(
-            checkpoint_keeper,
-            timeline,
-            device,
-            memory,
-            algorithm="bfs",
-            source=source,
-            iteration=iteration,
-            values=levels,
-            frontier=step.updated,
-            variant_code=next_variant.code,
-            records=records,
-            seconds=seconds,
-        )
-        frontier = step.updated
-        variant = next_variant
-        iteration += 1
-
-    if memory is not None:
-        memory.release_workset()
-    _final_transfers(graph, timeline, device)
-    algo = "bfs_ordered" if _is_ordered(policy) else "bfs"
-    return TraversalResult(
-        algorithm=algo,
-        source=source,
-        values=levels,
-        iterations=records,
-        timeline=timeline,
+    return run_frame(
+        graph,
+        source,
+        policy,
+        BfsSpec(),
         device=device,
-        policy_name=policy.name,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
+        queue_gen=queue_gen,
+        watchdog=watchdog,
+        checkpoint_keeper=checkpoint_keeper,
+        resume_from=resume_from,
+        fault_hook=fault_hook,
+        memory=memory,
     )
 
 
@@ -515,20 +309,29 @@ def traverse_sssp(
         raise KernelError(
             f"SSSP requires edge weights; graph {graph.name!r} has none"
         )
-    if _is_ordered(policy):
+    if policy.is_ordered():
         if checkpoint_keeper is not None or resume_from is not None or fault_hook is not None:
             raise KernelError(
                 "checkpoint/resume and fault hooks are only supported by the "
                 "unordered SSSP frame"
             )
-        return _traverse_sssp_ordered(
-            graph, source, policy, device, cost_params, max_iterations,
-            queue_gen, watchdog, memory,
-        )
-    return _traverse_sssp_unordered(
-        graph, source, policy, device, cost_params, max_iterations,
-        queue_gen, watchdog, checkpoint_keeper, resume_from, fault_hook,
-        memory,
+        spec = OrderedSsspSpec()
+    else:
+        spec = SsspSpec()
+    return run_frame(
+        graph,
+        source,
+        policy,
+        spec,
+        device=device,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
+        queue_gen=queue_gen,
+        watchdog=watchdog,
+        checkpoint_keeper=checkpoint_keeper,
+        resume_from=resume_from,
+        fault_hook=fault_hook,
+        memory=memory,
     )
 
 
@@ -536,210 +339,43 @@ def _is_ordered(policy: VariantPolicy) -> bool:
     return policy.is_ordered()
 
 
-def _traverse_sssp_unordered(
-    graph, source, policy, device, cost_params, max_iterations,
-    queue_gen="atomic", watchdog=None, checkpoint_keeper=None,
-    resume_from=None, fault_hook=None, memory=None,
-) -> TraversalResult:
-    model = CostModel(device, cost_params)
-    timeline = Timeline()
-    _initial_transfers(graph, timeline, device, memory)
-    observer = current_observer()
-    if observer is not None:
-        observer.spans.advance_sim(timeline.transfer_seconds)
+# ----------------------------------------------------------------------
+# Registry entries
+# ----------------------------------------------------------------------
 
-    if resume_from is not None:
-        dist, frontier, records, iteration = _restore_state(
-            resume_from, "sssp", source
-        )
-    else:
-        dist = np.full(graph.num_nodes, INF, dtype=np.float64)
-        dist[source] = 0.0
-        frontier = np.array([source], dtype=np.int64)
-        records = []
-        iteration = 0
-    cap = max_iterations if max_iterations is not None else 16 * graph.num_nodes + 64
-    elapsed_s = 0.0
-    variant = (
-        policy.choose(iteration, int(frontier.size)) if frontier.size else None
+def _cpu_bfs_reference(graph, source, **params):
+    from repro.cpu import cpu_bfs
+
+    result = cpu_bfs(graph, source)
+    return result.levels, result
+
+
+def _cpu_sssp_reference(graph, source, **params):
+    from repro.cpu import cpu_dijkstra
+
+    result = cpu_dijkstra(graph, source)
+    return result.distances, result
+
+
+register_algorithm(
+    AlgorithmInfo(
+        name="bfs",
+        summary="breadth-first search: levels from a source node",
+        make_spec=BfsSpec,
+        traverse=traverse_bfs,
+        cpu_run=_cpu_bfs_reference,
+        ordered_support=True,
     )
+)
 
-    while frontier.size:
-        if iteration >= cap:
-            raise NonConvergenceError(
-                f"SSSP exceeded its iteration budget of {cap} iterations "
-                "(non-convergence)"
-            )
-        if watchdog is not None:
-            watchdog.check(iteration, elapsed_s)
-        if fault_hook is not None:
-            fault_hook.on_iteration(iteration, dist, frontier)
-        tpb = _tpb_for(variant, graph, device)
-        workset = Workset.from_update_ids(frontier, variant.workset)
-        _charge_workset(memory, variant, workset.size, graph, timeline, device)
-
-        step = sssp_step(graph, workset, dist, variant, tpb, device)
-        comp_cost = model.price(step.tally)
-        timeline.add_kernel(iteration, step.tally, comp_cost, variant.code)
-        seconds = comp_cost.seconds
-
-        next_size = int(step.updated.size)
-        next_variant = policy.choose(iteration + 1, next_size) if next_size else variant
-        for tally in policy.overhead_tallies(
-            iteration, workset.size, graph.num_nodes, device
-        ):
-            cost = model.price(tally)
-            timeline.add_kernel(iteration, tally, cost, variant.code)
-            seconds += cost.seconds
-
-        for tally in workset_gen_tallies(
-            graph.num_nodes, next_size, next_variant.workset, device,
-            scheme=queue_gen,
-        ):
-            cost = model.price(tally)
-            timeline.add_kernel(iteration, tally, cost, variant.code)
-            seconds += cost.seconds
-        _readback(timeline, device)
-
-        record = IterationRecord(
-            iteration=iteration,
-            variant=variant.code,
-            workset_size=workset.size,
-            processed=step.processed,
-            updated=next_size,
-            edges_scanned=step.edges_scanned,
-            improved_relaxations=step.improved_relaxations,
-            seconds=seconds,
-        )
-        records.append(record)
-        policy.notify(record)
-        if observer is not None:
-            _observe_iteration(observer, record)
-        elapsed_s += seconds
-        _offer_checkpoint(
-            checkpoint_keeper,
-            timeline,
-            device,
-            memory,
-            algorithm="sssp",
-            source=source,
-            iteration=iteration,
-            values=dist,
-            frontier=step.updated,
-            variant_code=next_variant.code,
-            records=records,
-            seconds=seconds,
-        )
-        frontier = step.updated
-        variant = next_variant
-        iteration += 1
-
-    if memory is not None:
-        memory.release_workset()
-    _final_transfers(graph, timeline, device)
-    return TraversalResult(
-        algorithm="sssp",
-        source=source,
-        values=dist,
-        iterations=records,
-        timeline=timeline,
-        device=device,
-        policy_name=policy.name,
+register_algorithm(
+    AlgorithmInfo(
+        name="sssp",
+        summary="single-source shortest paths over weighted edges",
+        make_spec=SsspSpec,
+        traverse=traverse_sssp,
+        cpu_run=_cpu_sssp_reference,
+        weighted=True,
+        ordered_support=True,
     )
-
-
-def _traverse_sssp_ordered(
-    graph, source, policy, device, cost_params, max_iterations,
-    queue_gen="atomic", watchdog=None, memory=None,
-) -> TraversalResult:
-    model = CostModel(device, cost_params)
-    timeline = Timeline()
-    _initial_transfers(graph, timeline, device, memory)
-    observer = current_observer()
-    if observer is not None:
-        observer.spans.advance_sim(timeline.transfer_seconds)
-
-    # The working-set structure depends on the representation: a queue
-    # holds the (node, key) pair multiset verbatim; a bitmap dedupes via
-    # per-node atomicMin slots.  The representation is fixed by the
-    # policy's first choice (ordered traversals are static in the paper).
-    first_variant = policy.choose(0, 1)
-    dedupe = first_variant.workset is WorksetRepr.BITMAP
-    state = OrderedSsspState.initial(graph.num_nodes, source, dedupe=dedupe)
-    records: List[IterationRecord] = []
-    iteration = 0
-    # Each iteration retires every pair at the current minimum key, so
-    # iterations are bounded by the number of pair insertions <= m.
-    cap = max_iterations if max_iterations is not None else 16 * graph.num_edges + 64
-
-    elapsed_s = 0.0
-    while state.workset_size:
-        if iteration >= cap:
-            raise NonConvergenceError(
-                f"ordered SSSP exceeded its iteration budget of {cap} "
-                "iterations (non-convergence)"
-            )
-        if watchdog is not None:
-            watchdog.check(iteration, elapsed_s)
-        ws_size = state.workset_size
-        variant = policy.choose(iteration, ws_size)
-        tpb = _tpb_for(variant, graph, device)
-        # Ordered queues hold (node, key) pairs: 8 B per element.
-        _charge_workset(
-            memory, variant, ws_size, graph, timeline, device, entry_bytes=8
-        )
-
-        # findmin reduction over the working-set keys.
-        min_key = findmin(state.ws_keys)
-        seconds = 0.0
-        for tally in findmin_tallies(
-            ws_size, graph.num_nodes, variant.workset, device
-        ):
-            cost = model.price(tally)
-            timeline.add_kernel(iteration, tally, cost, variant.code)
-            seconds += cost.seconds
-
-        step = sssp_ordered_step(graph, state, min_key, variant, tpb, device)
-        comp_cost = model.price(step.tally)
-        timeline.add_kernel(iteration, step.tally, comp_cost, variant.code)
-        seconds += comp_cost.seconds
-
-        gen_count = min(state.workset_size, graph.num_nodes)
-        for tally in workset_gen_tallies(
-            graph.num_nodes, gen_count, variant.workset, device,
-            scheme=queue_gen,
-        ):
-            cost = model.price(tally)
-            timeline.add_kernel(iteration, tally, cost, variant.code)
-            seconds += cost.seconds
-        _readback(timeline, device)
-
-        record = IterationRecord(
-            iteration=iteration,
-            variant=variant.code,
-            workset_size=ws_size,
-            processed=step.settled,
-            updated=state.workset_size,
-            edges_scanned=step.edges_scanned,
-            improved_relaxations=step.improved_relaxations,
-            seconds=seconds,
-        )
-        records.append(record)
-        policy.notify(record)
-        if observer is not None:
-            _observe_iteration(observer, record)
-        elapsed_s += seconds
-        iteration += 1
-
-    if memory is not None:
-        memory.release_workset()
-    _final_transfers(graph, timeline, device)
-    return TraversalResult(
-        algorithm="sssp_ordered",
-        source=source,
-        values=state.dist,
-        iterations=records,
-        timeline=timeline,
-        device=device,
-        policy_name=policy.name,
-    )
+)

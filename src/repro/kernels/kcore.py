@@ -11,39 +11,40 @@ The working-set trajectory is a sawtooth: each k-stage starts with a
 burst (all sub-k nodes at once), cascades briefly, and drains —
 repeating up to the maximum coreness.  It is the most switch-intensive
 trajectory in the repository and a stress test for cheap switching.
+
+On the generic engine (:mod:`repro.engine`) the multi-phase structure
+maps onto the :meth:`~repro.engine.spec.AlgorithmSpec.refill` hook: when
+a k-stage drains, :class:`KcoreSpec` prices the filter kernel and seeds
+the next stage, or reports convergence when nothing is left alive.  The
+checkpoint payload carries the remaining-degree array, the alive mask
+and the current k, so a faulted decomposition resumes mid-sawtooth.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.engine.driver import FrameContext, run_frame
+from repro.engine.registry import AlgorithmInfo, register_algorithm
+from repro.engine.spec import AlgorithmSpec, FrameState, StepOutcome
+from repro.engine.types import StaticPolicy, TraversalResult, VariantPolicy
 from repro.errors import KernelError
 from repro.graph.csr import CSRGraph
 from repro.graph.properties import _ragged_gather_indices, is_symmetric
 from repro.graph.transforms import symmetrize
 from repro.gpusim.device import DeviceSpec, TESLA_C2070
-from repro.gpusim.kernel import CostModel, CostParams, KernelTally
+from repro.gpusim.kernel import CostParams, KernelTally
 from repro.gpusim.launch import LaunchConfig
-from repro.gpusim.timeline import Timeline
 from repro.kernels import costs
 from repro.kernels.computation import StepResult
-from repro.kernels.frame import (
-    IterationRecord,
-    StaticPolicy,
-    TraversalResult,
-    VariantPolicy,
-    _final_transfers,
-    _initial_transfers,
-    _readback,
-    _tpb_for,
-)
 from repro.kernels.mapping import ComputationShape, computation_tally
 from repro.kernels.variants import Variant
-from repro.kernels.workset import GEN_TPB, Workset, workset_gen_tallies
+from repro.kernels.workset import GEN_TPB, Workset
+from repro.obs.context import observing
 
-__all__ = ["kcore_peel_step", "traverse_kcore", "run_kcore"]
+__all__ = ["kcore_peel_step", "KcoreSpec", "traverse_kcore", "run_kcore"]
 
 
 def kcore_peel_step(
@@ -121,6 +122,80 @@ def _filter_tally(num_nodes: int, device: DeviceSpec) -> KernelTally:
     )
 
 
+class KcoreSpec(AlgorithmSpec):
+    """Iterative peeling: ``values`` are the per-node core numbers.
+
+    Multi-phase: the engine's :meth:`refill` hook runs the per-stage
+    filter kernel; ``state.k`` starts at 0 so the first refill seeds the
+    k=1 stage."""
+
+    name = "kcore"
+    source_based = False
+    default_variant = "U_B_QU"
+
+    def init_state(self, ctx: FrameContext) -> FrameState:
+        n = ctx.graph.num_nodes
+        return FrameState(
+            np.zeros(n, dtype=np.int64),  # coreness
+            np.empty(0, dtype=np.int64),  # filled by the first refill
+            degree=ctx.graph.out_degrees.copy().astype(np.int64),
+            alive=np.ones(n, dtype=bool),
+            k=0,
+        )
+
+    def prepare(self, graph: CSRGraph):
+        work = graph if is_symmetric(graph) else symmetrize(graph)
+        return work, (0.0 if work is graph else work.num_edges * 12e-9)
+
+    def default_cap(self, graph: CSRGraph) -> int:
+        return 8 * graph.num_nodes + 64
+
+    def cap_message(self, cap: int) -> str:
+        return f"k-core exceeded {cap} iterations"
+
+    def first_choose_size(self, state: FrameState) -> int:
+        return max(1, int(state.values.size))
+
+    def refill(self, ctx: FrameContext, state: FrameState):
+        if not state.alive.any():
+            return None
+        state.k += 1
+        # Stage seed: a filter kernel over the alive set.  On the
+        # timeline (at the current iteration, under the current variant
+        # label) but outside any iteration record, like the original
+        # outer-loop seed.
+        ctx.price_unattributed(_filter_tally(ctx.graph.num_nodes, ctx.device))
+        ctx.readback()
+        return np.flatnonzero(state.alive & (state.degree < state.k)).astype(np.int64)
+
+    def compute(self, ctx, state, variant, tpb) -> StepOutcome:
+        workset = Workset.from_update_ids(state.frontier, variant.workset)
+        step = kcore_peel_step(
+            ctx.graph, workset, state.degree, state.alive, state.values,
+            state.k, variant, tpb, ctx.device,
+        )
+        ctx.price(step.tally)
+        return StepOutcome(
+            next_frontier=step.updated,
+            updated_count=int(step.updated.size),
+            processed=step.processed,
+            edges_scanned=step.edges_scanned,
+            improved_relaxations=step.improved_relaxations,
+        )
+
+    def checkpoint_extra(self, state: FrameState) -> dict:
+        return {"degree": state.degree, "alive": state.alive, "k": state.k}
+
+    def resume_state(self, values, frontier, checkpoint) -> FrameState:
+        return FrameState(
+            values,
+            frontier,
+            degree=self._checkpoint_scalar(checkpoint, "degree"),
+            alive=self._checkpoint_scalar(checkpoint, "alive"),
+            k=self._checkpoint_scalar(checkpoint, "k"),
+        )
+
+
 def traverse_kcore(
     graph: CSRGraph,
     policy: VariantPolicy,
@@ -129,91 +204,31 @@ def traverse_kcore(
     cost_params: Optional[CostParams] = None,
     max_iterations: Optional[int] = None,
     queue_gen: str = "atomic",
+    watchdog=None,
+    checkpoint_keeper=None,
+    resume_from=None,
+    fault_hook=None,
+    memory=None,
 ) -> TraversalResult:
     """k-core decomposition under *policy*; ``result.values`` are the
     per-node core numbers (direction ignored; directed inputs are
-    symmetrized on the host first)."""
-    work = graph if is_symmetric(graph) else symmetrize(graph)
-    host_prep = 0.0 if work is graph else work.num_edges * 12e-9
-
-    model = CostModel(device, cost_params)
-    timeline = Timeline()
-    _initial_transfers(work, timeline, device)
-    timeline.add_host_seconds(host_prep)
-
-    n = work.num_nodes
-    degree = work.out_degrees.copy().astype(np.int64)
-    alive = np.ones(n, dtype=bool)
-    coreness = np.zeros(n, dtype=np.int64)
-    records: List[IterationRecord] = []
-    iteration = 0
-    cap = max_iterations if max_iterations is not None else 8 * n + 64
-    variant = policy.choose(0, max(1, n))
-    k = 1
-
-    while alive.any():
-        # Stage seed: a filter kernel over the alive set.
-        tally = _filter_tally(n, device)
-        cost = model.price(tally)
-        timeline.add_kernel(iteration, tally, cost, variant.code)
-        _readback(timeline, device)
-        frontier = np.flatnonzero(alive & (degree < k)).astype(np.int64)
-
-        while frontier.size:
-            if iteration >= cap:
-                raise KernelError(f"k-core exceeded {cap} iterations")
-            tpb = _tpb_for(variant, work, device)
-            workset = Workset.from_update_ids(frontier, variant.workset)
-            step = kcore_peel_step(
-                work, workset, degree, alive, coreness, k, variant, tpb, device
-            )
-            comp_cost = model.price(step.tally)
-            timeline.add_kernel(iteration, step.tally, comp_cost, variant.code)
-            seconds = comp_cost.seconds
-
-            next_size = int(step.updated.size)
-            next_variant = (
-                policy.choose(iteration + 1, next_size) if next_size else variant
-            )
-            for tally in policy.overhead_tallies(iteration, workset.size, n, device):
-                cost = model.price(tally)
-                timeline.add_kernel(iteration, tally, cost, variant.code)
-                seconds += cost.seconds
-            for tally in workset_gen_tallies(
-                n, next_size, next_variant.workset, device, scheme=queue_gen
-            ):
-                cost = model.price(tally)
-                timeline.add_kernel(iteration, tally, cost, variant.code)
-                seconds += cost.seconds
-            _readback(timeline, device)
-
-            records.append(
-                IterationRecord(
-                    iteration=iteration,
-                    variant=variant.code,
-                    workset_size=workset.size,
-                    processed=step.processed,
-                    updated=next_size,
-                    edges_scanned=step.edges_scanned,
-                    improved_relaxations=step.improved_relaxations,
-                    seconds=seconds,
-                )
-            )
-            policy.notify(records[-1])
-            frontier = step.updated
-            variant = next_variant
-            iteration += 1
-        k += 1
-
-    _final_transfers(work, timeline, device)
-    return TraversalResult(
-        algorithm="kcore",
-        source=-1,
-        values=coreness,
-        iterations=records,
-        timeline=timeline,
+    symmetrized on the host first).  The reliability keywords and
+    *memory* are engine pass-throughs, as in
+    :func:`~repro.kernels.frame.traverse_bfs`."""
+    return run_frame(
+        graph,
+        -1,
+        policy,
+        KcoreSpec(),
         device=device,
-        policy_name=policy.name,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
+        queue_gen=queue_gen,
+        watchdog=watchdog,
+        checkpoint_keeper=checkpoint_keeper,
+        resume_from=resume_from,
+        fault_hook=fault_hook,
+        memory=memory,
     )
 
 
@@ -225,15 +240,42 @@ def run_kcore(
     cost_params: Optional[CostParams] = None,
     max_iterations: Optional[int] = None,
     queue_gen: str = "atomic",
+    observe=None,
 ) -> TraversalResult:
-    """Run one static k-core variant."""
+    """Run one static k-core variant.
+
+    *observe* installs an :class:`~repro.obs.Observer` for the run, as
+    in :func:`~repro.kernels.bfs.run_bfs`."""
     if isinstance(variant, str):
         variant = Variant.parse(variant)
-    return traverse_kcore(
-        graph,
-        StaticPolicy(variant),
-        device=device,
-        cost_params=cost_params,
-        max_iterations=max_iterations,
-        queue_gen=queue_gen,
+    with observing(observe):
+        return traverse_kcore(
+            graph,
+            StaticPolicy(variant),
+            device=device,
+            cost_params=cost_params,
+            max_iterations=max_iterations,
+            queue_gen=queue_gen,
+        )
+
+
+def _cpu_kcore_reference(graph, source, **params):
+    from repro.cpu import cpu_kcore
+
+    result = cpu_kcore(graph)
+    return result.coreness, result
+
+
+register_algorithm(
+    AlgorithmInfo(
+        name="kcore",
+        summary="iterative-peeling k-core decomposition (core numbers)",
+        make_spec=KcoreSpec,
+        traverse=lambda graph, source, policy, **kw: traverse_kcore(
+            graph, policy, **kw
+        ),
+        cpu_run=_cpu_kcore_reference,
+        source_based=False,
+        default_variant="U_B_QU",
     )
+)

@@ -13,37 +13,37 @@ nodes* (everyone holds initial residual), collapses quickly as
 low-degree regions converge, then trickles for many iterations around
 hubs — a mid-traversal mix that exercises every region of the decision
 space in one run.
+
+Expressed as :class:`PagerankSpec` on the generic engine
+(:mod:`repro.engine`), the traversal inherits the reliability seams
+(watchdog, checkpoint/resume — the checkpoint payload carries the
+residual array — and fault hooks), memory-budget charging and observer
+metrics that used to be BFS/SSSP-only.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.engine.driver import FrameContext, run_frame
+from repro.engine.registry import AlgorithmInfo, register_algorithm
+from repro.engine.spec import AlgorithmSpec, FrameState, StepOutcome
+from repro.engine.types import StaticPolicy, TraversalResult, VariantPolicy
 from repro.errors import KernelError
 from repro.graph.csr import CSRGraph
 from repro.graph.properties import _ragged_gather_indices
 from repro.gpusim.device import DeviceSpec, TESLA_C2070
-from repro.gpusim.kernel import CostModel, CostParams
-from repro.gpusim.timeline import Timeline
+from repro.gpusim.kernel import CostParams
 from repro.kernels import costs
 from repro.kernels.computation import StepResult
-from repro.kernels.frame import (
-    IterationRecord,
-    StaticPolicy,
-    TraversalResult,
-    VariantPolicy,
-    _final_transfers,
-    _initial_transfers,
-    _readback,
-    _tpb_for,
-)
 from repro.kernels.mapping import ComputationShape, computation_tally
 from repro.kernels.variants import Variant
-from repro.kernels.workset import Workset, workset_gen_tallies
+from repro.kernels.workset import Workset
+from repro.obs.context import observing
 
-__all__ = ["pagerank_step", "traverse_pagerank", "run_pagerank"]
+__all__ = ["pagerank_step", "PagerankSpec", "traverse_pagerank", "run_pagerank"]
 
 
 def pagerank_step(
@@ -121,6 +121,64 @@ def pagerank_step(
     )
 
 
+class PagerankSpec(AlgorithmSpec):
+    """Residual-push PageRank: ``values`` are the ranks (float64)."""
+
+    name = "pagerank"
+    source_based = False
+    #: the serial reference accumulates float pushes in a different
+    #: order, so CPU ranks match GPU ranks only to tolerance
+    cpu_exact = False
+
+    def __init__(self, damping: float = 0.85, tolerance: float = 1e-6):
+        if not 0 < damping < 1:
+            raise KernelError(f"damping must be in (0, 1), got {damping}")
+        if tolerance <= 0:
+            raise KernelError(f"tolerance must be > 0, got {tolerance}")
+        self.damping = damping
+        self.tolerance = tolerance
+
+    def init_state(self, ctx: FrameContext) -> FrameState:
+        n = ctx.graph.num_nodes
+        rank = np.zeros(n, dtype=np.float64)
+        residual = np.full(n, (1.0 - self.damping) / max(1, n), dtype=np.float64)
+        frontier = np.flatnonzero(residual >= self.tolerance).astype(np.int64)
+        return FrameState(rank, frontier, residual=residual)
+
+    def default_cap(self, graph: CSRGraph) -> int:
+        return 1000 * max(1, int(np.log2(max(2, graph.num_nodes))))
+
+    def cap_message(self, cap: int) -> str:
+        return f"pagerank exceeded {cap} iterations; lower the tolerance"
+
+    def first_choose_size(self, state: FrameState) -> int:
+        return max(1, int(state.frontier.size))
+
+    def compute(self, ctx, state, variant, tpb) -> StepOutcome:
+        workset = Workset.from_update_ids(state.frontier, variant.workset)
+        step = pagerank_step(
+            ctx.graph, workset, state.values, state.residual,
+            self.damping, self.tolerance, variant, tpb, ctx.device,
+        )
+        ctx.price(step.tally)
+        return StepOutcome(
+            next_frontier=step.updated,
+            updated_count=int(step.updated.size),
+            processed=step.processed,
+            edges_scanned=step.edges_scanned,
+            improved_relaxations=step.improved_relaxations,
+        )
+
+    def checkpoint_extra(self, state: FrameState) -> dict:
+        return {"residual": state.residual}
+
+    def resume_state(self, values, frontier, checkpoint) -> FrameState:
+        return FrameState(
+            values, frontier,
+            residual=self._checkpoint_scalar(checkpoint, "residual"),
+        )
+
+
 def traverse_pagerank(
     graph: CSRGraph,
     policy: VariantPolicy,
@@ -131,82 +189,31 @@ def traverse_pagerank(
     cost_params: Optional[CostParams] = None,
     max_iterations: Optional[int] = None,
     queue_gen: str = "atomic",
+    watchdog=None,
+    checkpoint_keeper=None,
+    resume_from=None,
+    fault_hook=None,
+    memory=None,
 ) -> TraversalResult:
-    """Push PageRank under *policy*; ``result.values`` are the ranks."""
-    if not 0 < damping < 1:
-        raise KernelError(f"damping must be in (0, 1), got {damping}")
-    if tolerance <= 0:
-        raise KernelError(f"tolerance must be > 0, got {tolerance}")
-    model = CostModel(device, cost_params)
-    timeline = Timeline()
-    _initial_transfers(graph, timeline, device)
+    """Push PageRank under *policy*; ``result.values`` are the ranks.
 
-    n = graph.num_nodes
-    rank = np.zeros(n, dtype=np.float64)
-    residual = np.full(n, (1.0 - damping) / max(1, n), dtype=np.float64)
-    frontier = np.flatnonzero(residual >= tolerance).astype(np.int64)
-    records: List[IterationRecord] = []
-    iteration = 0
-    cap = max_iterations if max_iterations is not None else 1000 * max(
-        1, int(np.log2(max(2, n)))
-    )
-    variant = policy.choose(0, max(1, int(frontier.size)))
-
-    while frontier.size:
-        if iteration >= cap:
-            raise KernelError(
-                f"pagerank exceeded {cap} iterations; lower the tolerance"
-            )
-        tpb = _tpb_for(variant, graph, device)
-        workset = Workset.from_update_ids(frontier, variant.workset)
-
-        step = pagerank_step(
-            graph, workset, rank, residual, damping, tolerance,
-            variant, tpb, device,
-        )
-        comp_cost = model.price(step.tally)
-        timeline.add_kernel(iteration, step.tally, comp_cost, variant.code)
-        seconds = comp_cost.seconds
-
-        next_size = int(step.updated.size)
-        next_variant = policy.choose(iteration + 1, next_size) if next_size else variant
-        for tally in policy.overhead_tallies(iteration, workset.size, n, device):
-            cost = model.price(tally)
-            timeline.add_kernel(iteration, tally, cost, variant.code)
-            seconds += cost.seconds
-        for tally in workset_gen_tallies(
-            n, next_size, next_variant.workset, device, scheme=queue_gen
-        ):
-            cost = model.price(tally)
-            timeline.add_kernel(iteration, tally, cost, variant.code)
-            seconds += cost.seconds
-        _readback(timeline, device)
-
-        record = IterationRecord(
-            iteration=iteration,
-            variant=variant.code,
-            workset_size=workset.size,
-            processed=step.processed,
-            updated=next_size,
-            edges_scanned=step.edges_scanned,
-            improved_relaxations=step.improved_relaxations,
-            seconds=seconds,
-        )
-        records.append(record)
-        policy.notify(record)
-        frontier = step.updated
-        variant = next_variant
-        iteration += 1
-
-    _final_transfers(graph, timeline, device)
-    return TraversalResult(
-        algorithm="pagerank",
-        source=-1,
-        values=rank,
-        iterations=records,
-        timeline=timeline,
+    The reliability keywords (*watchdog*, *checkpoint_keeper*,
+    *resume_from*, *fault_hook*) and *memory* are engine pass-throughs,
+    as in :func:`~repro.kernels.frame.traverse_bfs`."""
+    return run_frame(
+        graph,
+        -1,
+        policy,
+        PagerankSpec(damping=damping, tolerance=tolerance),
         device=device,
-        policy_name=policy.name,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
+        queue_gen=queue_gen,
+        watchdog=watchdog,
+        checkpoint_keeper=checkpoint_keeper,
+        resume_from=resume_from,
+        fault_hook=fault_hook,
+        memory=memory,
     )
 
 
@@ -220,17 +227,48 @@ def run_pagerank(
     cost_params: Optional[CostParams] = None,
     max_iterations: Optional[int] = None,
     queue_gen: str = "atomic",
+    observe=None,
 ) -> TraversalResult:
-    """Run one static PageRank variant."""
+    """Run one static PageRank variant.
+
+    *observe* installs an :class:`~repro.obs.Observer` for the run, as
+    in :func:`~repro.kernels.bfs.run_bfs`."""
     if isinstance(variant, str):
         variant = Variant.parse(variant)
-    return traverse_pagerank(
-        graph,
-        StaticPolicy(variant),
-        damping=damping,
-        tolerance=tolerance,
-        device=device,
-        cost_params=cost_params,
-        max_iterations=max_iterations,
-        queue_gen=queue_gen,
+    with observing(observe):
+        return traverse_pagerank(
+            graph,
+            StaticPolicy(variant),
+            damping=damping,
+            tolerance=tolerance,
+            device=device,
+            cost_params=cost_params,
+            max_iterations=max_iterations,
+            queue_gen=queue_gen,
+        )
+
+
+def _cpu_pagerank_reference(graph, source, *, damping=0.85, tolerance=1e-6, **params):
+    from repro.cpu import cpu_pagerank
+
+    # The "fast" engine processes whole above-tolerance sweeps, mirroring
+    # the GPU kernel's iteration structure, so its fixpoint tracks the
+    # GPU ranks far tighter than the FIFO engine's push ordering does.
+    result = cpu_pagerank(graph, damping=damping, tolerance=tolerance, method="fast")
+    return result.ranks, result
+
+
+register_algorithm(
+    AlgorithmInfo(
+        name="pagerank",
+        summary="residual-push PageRank: ranks to a tolerance",
+        make_spec=PagerankSpec,
+        traverse=lambda graph, source, policy, **kw: traverse_pagerank(
+            graph, policy, **kw
+        ),
+        cpu_run=_cpu_pagerank_reference,
+        source_based=False,
+        cpu_exact=False,
+        param_names=("damping", "tolerance"),
     )
+)

@@ -200,9 +200,9 @@ def build_manifest(
     result,
     *,
     graph: CSRGraph,
-    algorithm: str,
+    algorithm: Optional[str] = None,
     mode: str,
-    source: int,
+    source: Optional[int] = None,
     device=None,
     config=None,
     observer=None,
@@ -213,12 +213,23 @@ def build_manifest(
     plain :class:`~repro.kernels.frame.TraversalResult`, or a
     :class:`~repro.reliability.ResilientResult`; decisions, faults,
     memory and the recovery story are pulled from whichever parts the
-    result carries.  Pass the run's :class:`~repro.obs.Observer` to
-    embed its metrics snapshot and spans.
+    result carries.  *algorithm* and *source* default to what the
+    result itself reports, so any registered algorithm's result can be
+    manifested without restating them.  Pass the run's
+    :class:`~repro.obs.Observer` to embed its metrics snapshot and
+    spans.
     """
     trace = getattr(result, "trace", None)
     inner = getattr(result, "result", result)  # ResilientResult unwrap
     traversal = getattr(inner, "traversal", inner)
+    if algorithm is None:
+        algorithm = getattr(result, "algorithm", None) or getattr(
+            traversal, "algorithm", "unknown"
+        )
+    if source is None:
+        source = getattr(result, "source", None)
+        if source is None:
+            source = getattr(traversal, "source", -1)
     if getattr(traversal, "timeline", None) is None:
         traversal = None  # CPU-degraded: no simulated timeline
 

@@ -32,6 +32,7 @@ from repro.reliability.guard import (
     GuardConfig,
     ResilientResult,
     resilient_bfs,
+    resilient_run,
     resilient_sssp,
 )
 from repro.reliability.watchdog import Watchdog
@@ -47,6 +48,7 @@ __all__ = [
     "Watchdog",
     "GuardConfig",
     "ResilientResult",
+    "resilient_run",
     "resilient_bfs",
     "resilient_sssp",
 ]

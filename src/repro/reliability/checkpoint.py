@@ -34,6 +34,16 @@ from repro.gpusim.transfer import transfer_seconds
 __all__ = ["TraversalCheckpoint", "CheckpointKeeper"]
 
 
+def _extra_bytes(extra: Optional[dict]) -> int:
+    """Device bytes of an algorithm-private checkpoint payload (scalars
+    count as one 8-byte word)."""
+    if not extra:
+        return 0
+    return sum(
+        int(v.nbytes) if isinstance(v, np.ndarray) else 8 for v in extra.values()
+    )
+
+
 @dataclass(frozen=True)
 class TraversalCheckpoint:
     """Resumable traversal state as of the end of one iteration."""
@@ -52,11 +62,16 @@ class TraversalCheckpoint:
     variant_code: str
     #: iteration records 0..next_iteration-1 (immutable snapshot)
     records: Tuple
+    #: algorithm-private payload beyond (values, frontier) — PageRank's
+    #: residuals, k-core's degrees (private copies; None for BFS/SSSP)
+    extra: Optional[dict] = None
 
     @property
     def state_bytes(self) -> int:
         """Device bytes a real runtime would copy out for this state."""
-        return int(self.values.nbytes + self.frontier.nbytes + 8)
+        return int(self.values.nbytes + self.frontier.nbytes + 8) + _extra_bytes(
+            self.extra
+        )
 
     def matches(self, algorithm: str, source: int) -> bool:
         return self.algorithm == algorithm and self.source == source
@@ -122,12 +137,17 @@ class CheckpointKeeper:
         variant_code: str,
         records: Sequence,
         seconds: float,
+        extra: Optional[dict] = None,
     ) -> int:
         """Consider checkpointing after *iteration* finished; return the
-        bytes to charge to the timeline (0 if no checkpoint was taken)."""
+        bytes to charge to the timeline (0 if no checkpoint was taken).
+
+        *extra* is the algorithm's private payload beyond (values,
+        frontier) — arrays are deep-copied like the core state and their
+        bytes are charged too."""
         self._since_last_s += float(seconds)
         self.work_seconds += float(seconds)
-        state_bytes = int(values.nbytes + frontier.nbytes + 8)
+        state_bytes = int(values.nbytes + frontier.nbytes + 8) + _extra_bytes(extra)
         if not self._should_save(iteration, state_bytes):
             return 0
         self.latest = TraversalCheckpoint(
@@ -138,6 +158,12 @@ class CheckpointKeeper:
             frontier=frontier.copy(),
             variant_code=variant_code,
             records=tuple(records),
+            extra=None
+            if extra is None
+            else {
+                k: (v.copy() if isinstance(v, np.ndarray) else v)
+                for k, v in extra.items()
+            },
         )
         self.saves += 1
         self._since_last_s = 0.0

@@ -1,6 +1,7 @@
 """Guarded traversal execution: retry, fall back, degrade — but answer.
 
-``resilient_bfs`` / ``resilient_sssp`` wrap the adaptive runtime
+``resilient_run`` wraps any registered algorithm (``resilient_bfs`` /
+``resilient_sssp`` are its named wrappers) under the adaptive runtime
 (:mod:`repro.core.runtime`) in a recovery ladder:
 
 1. **retry** — a transient failure (injected or genuine launch error)
@@ -47,10 +48,11 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.core.config import RuntimeConfig
-from repro.core.runtime import adaptive_bfs, adaptive_sssp, run_static
+from repro.core.runtime import adaptive_run, run_static
 from repro.core.telemetry import DecisionTrace, FaultEvent
-from repro.cpu import cpu_bfs, cpu_dijkstra
+from repro.engine.registry import get_algorithm
 from repro.errors import (
+    KernelError,
     DeviceOOMError,
     MemoryFaultError,
     NonConvergenceError,
@@ -67,7 +69,13 @@ from repro.reliability.checkpoint import CheckpointKeeper
 from repro.reliability.faults import FaultInjector, FaultPlan
 from repro.reliability.watchdog import Watchdog
 
-__all__ = ["GuardConfig", "ResilientResult", "resilient_bfs", "resilient_sssp"]
+__all__ = [
+    "GuardConfig",
+    "ResilientResult",
+    "resilient_run",
+    "resilient_bfs",
+    "resilient_sssp",
+]
 
 
 @dataclass(frozen=True)
@@ -177,6 +185,45 @@ class ResilientResult:
         return self.trace.recovery_actions()
 
 
+def resilient_run(
+    graph: CSRGraph,
+    algorithm: str = "bfs",
+    source: Optional[int] = None,
+    *,
+    config: Optional[RuntimeConfig] = None,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    guard: Optional[GuardConfig] = None,
+    plan: Optional[FaultPlan] = None,
+    observe=None,
+    **params,
+) -> ResilientResult:
+    """Run any registered *algorithm* with the full recovery ladder.
+
+    The ladder's stages come from the registry's capability flags: an
+    adaptive-eligible algorithm starts on the adaptive policy and falls
+    back through the unordered static variants; an algorithm without
+    variants (DOBFS) runs its default entry point, then degrades
+    straight to the CPU.  Whole-graph algorithms ignore *source*.
+
+    *observe* installs an :class:`~repro.obs.Observer` for the run, so
+    guard metrics (attempts, faults, OOM rung, degradations) land in it
+    alongside the traversal's own metrics and spans.  Extra keyword
+    arguments (*params*) are forwarded to the algorithm (PageRank's
+    ``damping``/``tolerance``)."""
+    info = get_algorithm(algorithm)
+    if info.source_based:
+        if source is None:
+            raise KernelError(f"{algorithm!r} requires a source node")
+    else:
+        source = -1
+    with observing(observe):
+        return _resilient(
+            algorithm, graph, source, config, device, cost_params, guard, plan,
+            params,
+        )
+
+
 def resilient_bfs(
     graph: CSRGraph,
     source: int,
@@ -188,15 +235,11 @@ def resilient_bfs(
     plan: Optional[FaultPlan] = None,
     observe=None,
 ) -> ResilientResult:
-    """BFS under the adaptive runtime with the full recovery ladder.
-
-    *observe* installs an :class:`~repro.obs.Observer` for the run, so
-    guard metrics (attempts, faults, OOM rung, degradations) land in it
-    alongside the traversal's own metrics and spans."""
-    with observing(observe):
-        return _resilient(
-            "bfs", graph, source, config, device, cost_params, guard, plan
-        )
+    """BFS with the full recovery ladder (see :func:`resilient_run`)."""
+    return resilient_run(
+        graph, "bfs", source, config=config, device=device,
+        cost_params=cost_params, guard=guard, plan=plan, observe=observe,
+    )
 
 
 def resilient_sssp(
@@ -210,12 +253,11 @@ def resilient_sssp(
     plan: Optional[FaultPlan] = None,
     observe=None,
 ) -> ResilientResult:
-    """SSSP under the adaptive runtime with the full recovery ladder.
-    The *observe* keyword is as in :func:`resilient_bfs`."""
-    with observing(observe):
-        return _resilient(
-            "sssp", graph, source, config, device, cost_params, guard, plan
-        )
+    """SSSP with the full recovery ladder (see :func:`resilient_run`)."""
+    return resilient_run(
+        graph, "sssp", source, config=config, device=device,
+        cost_params=cost_params, guard=guard, plan=plan, observe=observe,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -241,6 +283,20 @@ def _observe_guard(attempts: int, num_faults: int, oom_rung: int, degraded: bool
 _OOM_ACTIONS = ("workset_spill", "force_bitmap", "checkpoint_relief")
 
 
+def _stages_for(info) -> List[str]:
+    """The failure ladder's implementation rungs, per capability flags."""
+    stages: List[str] = []
+    if info.adaptive_eligible:
+        stages.append("adaptive")
+    if info.supports_variants:
+        stages.extend(v.code for v in unordered_variants())
+    if not stages:
+        # No variant axis to fall back along (DOBFS): retry the default
+        # entry point, then degrade.
+        stages.append("default")
+    return stages
+
+
 def _resilient(
     algorithm: str,
     graph: CSRGraph,
@@ -250,8 +306,11 @@ def _resilient(
     cost_params: Optional[CostParams],
     guard: Optional[GuardConfig],
     plan: Optional[FaultPlan],
+    params: Optional[dict] = None,
 ) -> ResilientResult:
     guard = guard or GuardConfig()
+    params = params or {}
+    info = get_algorithm(algorithm)
     injector = FaultInjector(plan) if plan is not None and not plan.is_empty else None
     watchdog = Watchdog(
         max_iterations=guard.max_iterations, deadline_s=guard.deadline_s
@@ -261,7 +320,7 @@ def _resilient(
         budget=guard.checkpoint_budget,
         device=device,
     )
-    stages = ["adaptive"] + [v.code for v in unordered_variants()]
+    stages = _stages_for(info)
     jitter_rng = np.random.default_rng(guard.seed)
 
     events: List[FaultEvent] = []
@@ -299,13 +358,13 @@ def _resilient(
                     outcome = _run_stage(
                         algorithm, stage, graph, source, run_config, device,
                         cost_params, watchdog, run_keeper, resume, injector,
-                        memory, force_bitmap,
+                        memory, force_bitmap, params,
                     )
             else:
                 outcome = _run_stage(
                     algorithm, stage, graph, source, run_config, device,
                     cost_params, watchdog, run_keeper, resume, None,
-                    memory, force_bitmap,
+                    memory, force_bitmap, params,
                 )
         except DeviceOOMError as exc:
             last_error = exc
@@ -332,7 +391,7 @@ def _resilient(
                     raise
                 return _degrade(
                     algorithm, graph, source, keeper, events, attempts,
-                    backoff_total, oom_rung=oom_rung,
+                    backoff_total, oom_rung=oom_rung, params=params,
                 )
             continue
         except NonConvergenceError as exc:
@@ -352,7 +411,7 @@ def _resilient(
                 raise
             return _degrade(
                 algorithm, graph, source, keeper, events, attempts,
-                backoff_total,
+                backoff_total, params=params,
             )
         except ReproError as exc:
             last_error = exc
@@ -408,7 +467,7 @@ def _resilient(
                     raise
                 return _degrade(
                     algorithm, graph, source, keeper, events, attempts,
-                    backoff_total,
+                    backoff_total, params=params,
                 )
             backoff_total += _backoff(guard, no_progress, jitter_rng)
             continue
@@ -446,7 +505,9 @@ def _resilient(
 def _run_stage(
     algorithm, stage, graph, source, config, device, cost_params,
     watchdog, keeper, resume, injector, memory=None, force_bitmap=False,
+    params=None,
 ):
+    params = params or {}
     kwargs = dict(
         device=device,
         cost_params=cost_params,
@@ -455,10 +516,15 @@ def _run_stage(
         resume_from=resume,
         fault_hook=injector,
         memory=memory,
+        **params,
     )
     if stage == "adaptive":
-        runner = adaptive_bfs if algorithm == "bfs" else adaptive_sssp
-        return runner(graph, source, config=config, **kwargs)
+        return adaptive_run(graph, algorithm, source, config=config, **kwargs)
+    if stage == "default":
+        # Variant-less algorithms (DOBFS) run their registered default
+        # entry point; the OOM ladder's bitmap pin does not apply.
+        run_default = get_algorithm(algorithm).run_default
+        return run_default(graph, source, **kwargs)
     variant = Variant.parse(stage)
     if force_bitmap and variant.workset is not WorksetRepr.BITMAP:
         # The OOM ladder's bitmap pin applies to static stages too.
@@ -522,15 +588,10 @@ def _backoff(guard: GuardConfig, consecutive: int, rng: np.random.Generator) -> 
 
 def _degrade(
     algorithm, graph, source, keeper, events, attempts, backoff_total,
-    oom_rung: int = 0,
+    oom_rung: int = 0, params=None,
 ) -> ResilientResult:
-    """Last rung: answer from the serial CPU baseline."""
-    if algorithm == "bfs":
-        cpu = cpu_bfs(graph, source)
-        values = cpu.levels
-    else:
-        cpu = cpu_dijkstra(graph, source)
-        values = cpu.distances
+    """Last rung: answer from the registered serial CPU baseline."""
+    values, cpu = get_algorithm(algorithm).cpu_run(graph, source, **(params or {}))
     trace = DecisionTrace()
     for event in events:
         trace.record_fault(event)

@@ -42,6 +42,55 @@ class TestListingCommands:
         assert "Tesla C2070" in out
         assert "14" in out
 
+    def test_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("bfs", "sssp", "pagerank", "cc", "kcore", "dobfs"):
+            assert name in out
+        for column in ("ordered", "checkpoint", "adaptive", "variants"):
+            assert column in out
+        # DOBFS owns its policy: no variant codes, not adaptive-eligible.
+        dobfs_row = next(l for l in out.splitlines() if "dobfs" in l)
+        assert "no" in dobfs_row
+        assert "U_T_BM" not in dobfs_row
+
+
+class TestRunSubcommand:
+    def test_run_pagerank_adaptive(self, capsys):
+        rc = main(
+            ["run", "--algorithm", "pagerank", "--dataset", "citeseer",
+             "--scale", "0.02", "--tolerance", "1e-5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pagerank on" in out
+        assert "verified vs CPU reference" in out
+        assert "MISMATCH" not in out
+
+    def test_run_dobfs_defaults_to_own_driver(self, capsys):
+        rc = main(
+            ["run", "--algorithm", "dobfs", "--dataset", "citeseer",
+             "--scale", "0.02"]
+        )
+        assert rc == 0
+        assert "(default)" in capsys.readouterr().out
+
+    def test_run_cc_static_variant(self, capsys):
+        rc = main(
+            ["run", "--algorithm", "cc", "--dataset", "p2p",
+             "--scale", "0.05", "--mode", "U_B_QU"]
+        )
+        assert rc == 0
+        assert "(U_B_QU)" in capsys.readouterr().out
+
+    def test_run_resilient_mode(self, capsys):
+        rc = main(
+            ["run", "--algorithm", "kcore", "--dataset", "p2p",
+             "--scale", "0.05", "--mode", "resilient"]
+        )
+        assert rc == 0
+        assert "guarded KCORE" in capsys.readouterr().out
+
 
 class TestCharacterize:
     def test_dataset(self, capsys):

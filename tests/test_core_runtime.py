@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import Graph, RuntimeConfig, adaptive_bfs, adaptive_sssp, run_static
 from repro.cpu import cpu_bfs, cpu_dijkstra
-from repro.errors import GraphError
+from repro.errors import GraphError, KernelError
 from repro.graph.generators import (
     attach_uniform_weights,
     balanced_tree,
@@ -85,9 +85,20 @@ class TestRunStatic:
         r = run_static(medium_weighted, 0, "sssp", "U_B_QU")
         assert np.allclose(r.values, cpu_dijkstra(medium_weighted, 0).distances)
 
+    def test_registry_dispatch(self, medium_graph):
+        # Registered extension algorithms dispatch through run_static too.
+        from repro.cpu import cpu_connected_components
+
+        r = run_static(medium_graph, 0, "cc", "U_T_BM")
+        assert np.array_equal(r.values, cpu_connected_components(medium_graph).labels)
+
     def test_unknown_algorithm(self, medium_graph):
-        with pytest.raises(ValueError, match="unknown algorithm"):
-            run_static(medium_graph, 0, "pagerank", "U_T_BM")
+        with pytest.raises(KernelError, match="unknown algorithm"):
+            run_static(medium_graph, 0, "tricount", "U_T_BM")
+
+    def test_variantless_algorithm_rejected(self, medium_graph):
+        with pytest.raises(KernelError, match="static"):
+            run_static(medium_graph, 0, "dobfs", "U_T_BM")
 
 
 class TestGraphApi:

@@ -134,3 +134,24 @@ class TestAdaptiveCc:
         g = Graph.from_edges([(0, 1)], num_nodes=3, symmetric=True)
         r = g.connected_components(mode="U_B_QU")
         assert r.values.tolist() == [0, 0, 2]
+
+
+class TestObservedCc:
+    def test_run_cc_accepts_observe(self):
+        from repro.obs import Observer
+
+        g = erdos_renyi_graph(800, 4000, seed=4)
+        observer = Observer()
+        result = run_cc(g, "U_T_BM", observe=observer)
+        snap = observer.metrics.snapshot()
+        assert snap["frame.iterations"]["value"] == result.num_iterations
+        assert snap["gpusim.kernel_launches"]["value"] > 0
+
+    def test_observation_does_not_change_result(self):
+        from repro.obs import Observer
+
+        g = erdos_renyi_graph(800, 4000, seed=4)
+        plain = run_cc(g, "U_B_QU")
+        observed = run_cc(g, "U_B_QU", observe=Observer())
+        assert np.array_equal(plain.values, observed.values)
+        assert plain.total_seconds == observed.total_seconds

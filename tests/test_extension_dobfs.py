@@ -123,3 +123,26 @@ class TestDirectionOptimizingBfs:
         r = direction_optimizing_bfs(chain_graph(5), 0)
         assert r.algorithm == "dobfs"
         assert r.policy_name == "direction-optimizing"
+
+
+class TestObservedDobfs:
+    def test_dobfs_accepts_observe(self):
+        from repro.obs import Observer
+
+        g = power_law_graph(4000, alpha=1.9, max_degree=200, seed=6)
+        observer = Observer()
+        result = direction_optimizing_bfs(g, 0, observe=observer)
+        snap = observer.metrics.snapshot()
+        assert snap["frame.iterations"]["value"] == result.num_iterations
+        assert snap["gpusim.kernel_launches"]["value"] > 0
+        names = [s.name for s in observer.spans.spans]
+        assert names.count("iteration") == result.num_iterations
+
+    def test_observation_does_not_change_result(self):
+        from repro.obs import Observer
+
+        g = power_law_graph(4000, alpha=1.9, max_degree=200, seed=6)
+        plain = direction_optimizing_bfs(g, 0)
+        observed = direction_optimizing_bfs(g, 0, observe=Observer())
+        assert np.array_equal(plain.values, observed.values)
+        assert plain.total_seconds == observed.total_seconds

@@ -108,3 +108,24 @@ class TestAdaptiveKCore:
         assert np.array_equal(r.values, nx_coreness(g))
         # The sawtooth trajectory repeatedly crosses decision regions.
         assert r.num_switches >= 2
+
+
+class TestObservedKcore:
+    def test_run_kcore_accepts_observe(self):
+        from repro.obs import Observer
+
+        g = erdos_renyi_graph(800, 4000, seed=5)
+        observer = Observer()
+        result = run_kcore(g, observe=observer)
+        snap = observer.metrics.snapshot()
+        assert snap["frame.iterations"]["value"] == result.num_iterations
+        assert snap["gpusim.kernel_launches"]["value"] > 0
+
+    def test_observation_does_not_change_result(self):
+        from repro.obs import Observer
+
+        g = erdos_renyi_graph(800, 4000, seed=5)
+        plain = run_kcore(g)
+        observed = run_kcore(g, observe=Observer())
+        assert np.array_equal(plain.values, observed.values)
+        assert plain.total_seconds == observed.total_seconds

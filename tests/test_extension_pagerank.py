@@ -124,3 +124,26 @@ class TestAdaptivePagerank:
         g = Graph.from_edges([(0, 1), (1, 0)], num_nodes=2)
         r = g.pagerank(mode="U_B_QU")
         assert r.policy_name == "U_B_QU"
+
+
+class TestObservedPagerank:
+    def test_run_pagerank_accepts_observe(self):
+        from repro.obs import Observer
+
+        g = erdos_renyi_graph(800, 4000, seed=3)
+        observer = Observer()
+        result = run_pagerank(g, "U_B_QU", observe=observer)
+        snap = observer.metrics.snapshot()
+        assert snap["frame.iterations"]["value"] == result.num_iterations
+        assert snap["gpusim.kernel_launches"]["value"] > 0
+        names = [s.name for s in observer.spans.spans]
+        assert names.count("iteration") == result.num_iterations
+
+    def test_observation_does_not_change_result(self):
+        from repro.obs import Observer
+
+        g = erdos_renyi_graph(800, 4000, seed=3)
+        plain = run_pagerank(g, "U_T_BM")
+        observed = run_pagerank(g, "U_T_BM", observe=Observer())
+        assert np.array_equal(plain.values, observed.values)
+        assert plain.total_seconds == observed.total_seconds

@@ -34,6 +34,7 @@ LINKED_DOCS = (
     "docs/api.md",
     "docs/architecture.md",
     "docs/adaptive-runtime.md",
+    "docs/engine.md",
     "docs/memory.md",
     "docs/observability.md",
     "docs/paper-map.md",

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Generate the golden engine-parity fixtures.
+
+The fixtures pin the *observable* behaviour of every traversal entry
+point — values, per-iteration records and simulated times — so the
+iteration-engine refactor (and any future one) can prove bit-identical
+results against the pre-refactor implementation.  The committed
+``tests/fixtures/engine_parity.json`` was produced by running this
+script against the pre-engine code; ``tests/test_engine_parity.py``
+re-runs the same workloads and diffs against it, and CI's
+``engine-parity`` job keeps the diff honest.
+
+Regenerate (only when behaviour is *meant* to change) with::
+
+    PYTHONPATH=src python tools/make_parity_fixtures.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import (  # noqa: E402
+    adaptive_bfs,
+    adaptive_cc,
+    adaptive_kcore,
+    adaptive_pagerank,
+    adaptive_sssp,
+    resilient_bfs,
+    run_bfs,
+    run_cc,
+    run_kcore,
+    run_pagerank,
+    run_sssp,
+)
+from repro.graph.datasets import make_dataset  # noqa: E402
+from repro.kernels.dobfs import direction_optimizing_bfs  # noqa: E402
+from repro.reliability import FaultPlan, GuardConfig  # noqa: E402
+
+FIXTURE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "fixtures", "engine_parity.json"
+)
+
+#: the two fixture workloads: one sparse road-like graph, one denser
+#: power-law graph — both tiny enough for CI but multi-iteration.
+WORKLOADS = {
+    "p2p": dict(key="p2p", scale=0.25, seed=7, source=0),
+    "citeseer": dict(key="citeseer", scale=0.04, seed=3, source=1),
+}
+
+
+def _digest(arr: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+
+def _records(result) -> list:
+    return [
+        [
+            r.iteration,
+            r.variant,
+            r.workset_size,
+            r.processed,
+            r.updated,
+            r.edges_scanned,
+            r.improved_relaxations,
+            float(r.seconds).hex(),
+        ]
+        for r in result.iterations
+    ]
+
+
+def _traversal(result) -> dict:
+    tl = result.timeline
+    return {
+        "algorithm": result.algorithm,
+        "policy": result.policy_name,
+        "values_sha256": _digest(result.values),
+        "values_dtype": str(result.values.dtype),
+        "num_iterations": len(result.iterations),
+        "records": _records(result),
+        "gpu_seconds": float(tl.gpu_seconds).hex(),
+        "transfer_seconds": float(tl.transfer_seconds).hex(),
+        "host_seconds": float(tl.host_seconds).hex(),
+        "total_seconds": float(tl.total_seconds).hex(),
+        "num_kernels": len(tl.kernels),
+        "num_transfers": len(tl.transfers),
+    }
+
+
+def build() -> dict:
+    out = {"schema": 1, "workloads": {}}
+    for label, spec in WORKLOADS.items():
+        graph = make_dataset(
+            spec["key"], scale=spec["scale"], weighted=True, seed=spec["seed"]
+        )
+        source = spec["source"]
+        entry = {
+            "dataset": spec,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "runs": {},
+        }
+        runs = entry["runs"]
+        runs["run_bfs_U_T_BM"] = _traversal(run_bfs(graph, source, "U_T_BM"))
+        runs["run_bfs_U_B_QU"] = _traversal(run_bfs(graph, source, "U_B_QU"))
+        runs["run_sssp_U_T_QU"] = _traversal(run_sssp(graph, source, "U_T_QU"))
+        runs["run_sssp_O_T_QU"] = _traversal(run_sssp(graph, source, "O_T_QU"))
+        runs["adaptive_bfs"] = _traversal(adaptive_bfs(graph, source).traversal)
+        runs["adaptive_sssp"] = _traversal(adaptive_sssp(graph, source).traversal)
+        runs["adaptive_cc"] = _traversal(adaptive_cc(graph).traversal)
+        runs["adaptive_pagerank"] = _traversal(adaptive_pagerank(graph).traversal)
+        runs["adaptive_kcore"] = _traversal(adaptive_kcore(graph).traversal)
+        runs["run_pagerank"] = _traversal(run_pagerank(graph))
+        runs["run_cc"] = _traversal(run_cc(graph))
+        runs["run_kcore"] = _traversal(run_kcore(graph))
+        runs["dobfs"] = _traversal(direction_optimizing_bfs(graph, source))
+
+        plan = FaultPlan(seed=13, memory_fault_rate=0.25, max_faults=2)
+        res = resilient_bfs(
+            graph,
+            source,
+            guard=GuardConfig(checkpoint_every=2, seed=5),
+            plan=plan,
+        )
+        runs["resilient_bfs_faulted"] = {
+            "values_sha256": _digest(res.values),
+            "attempts": res.attempts,
+            "num_faults": len(res.faults),
+            "degraded": res.degraded,
+            "stage": res.stage,
+            "final_seconds": float(res.final_seconds).hex(),
+        }
+        out["workloads"][label] = entry
+    return out
+
+
+def main() -> int:
+    fixture = build()
+    os.makedirs(os.path.dirname(FIXTURE_PATH), exist_ok=True)
+    with open(FIXTURE_PATH, "w", encoding="utf-8") as fh:
+        json.dump(fixture, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    n_runs = sum(len(w["runs"]) for w in fixture["workloads"].values())
+    print(f"wrote {FIXTURE_PATH} ({n_runs} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
