@@ -1,0 +1,111 @@
+"""Batched multi-source traversal — amortizing the host loop's overheads.
+
+The paper's host loop (Figure 8) pays a PCIe-latency readback, kernel
+launch overheads and the graph's h2d copy *per query*.  The serving
+layer (:mod:`repro.serve`) stacks a batch of same-graph queries into one
+multi-source loop that pays them once per super-iteration / per batch.
+This bench quantifies the claim on two opposite workload shapes:
+
+- **co-road**: high diameter, hundreds of tiny-frontier iterations —
+  readback-latency dominated, the best case for the fused readback;
+- **sns**: scale-free, few iterations — transfer/launch dominated, the
+  amortization comes from sharing the graph copy and fusing launches.
+
+For each dataset it runs batch sizes 4..32 of multi-source adaptive BFS,
+compares against running the same sources sequentially (single-source
+adaptive runs), and asserts the two contracted properties: batch-32 is
+at least 2x faster in simulated time, and every batched query's value
+array is SHA-256-identical to its single-source run.
+"""
+
+import hashlib
+
+import numpy as np
+
+from common import bench_graph, write_report
+from repro.core import adaptive_run
+from repro.serve import BatchQuery, BatchRunner, GraphSession
+from repro.utils.tables import Table
+
+DATASETS = ("co-road", "sns")
+BATCH_SIZES = (4, 8, 16, 32)
+MAX_BATCH = max(BATCH_SIZES)
+
+
+def _sha(values) -> str:
+    return hashlib.sha256(np.ascontiguousarray(values).tobytes()).hexdigest()
+
+
+def _sources(graph, count: int):
+    rng = np.random.default_rng(7)
+    return [int(s) for s in rng.choice(graph.num_nodes, size=count, replace=False)]
+
+
+def build_report():
+    table = Table(
+        ["dataset", "batch", "sequential (ms)", "batched (ms)", "speedup",
+         "launches saved", "readbacks saved"],
+        title=f"multi-source BFS batching vs sequential runs (batch up to {MAX_BATCH})",
+    )
+    stats = {}
+    for key in DATASETS:
+        graph = bench_graph(key)
+        sources = _sources(graph, MAX_BATCH)
+        session = GraphSession(graph)
+        runner = BatchRunner(session)
+
+        # Sequential baseline: the same queries as independent
+        # single-source adaptive runs, each paying its own transfers,
+        # launches and per-iteration readbacks.
+        singles = {s: adaptive_run(graph, "bfs", s) for s in sources}
+        seq_seconds = {
+            size: sum(singles[s].total_seconds for s in sources[:size])
+            for size in BATCH_SIZES
+        }
+
+        for size in BATCH_SIZES:
+            batch = runner.run(
+                [BatchQuery("bfs", s, "adaptive") for s in sources[:size]]
+            )
+            assert batch.ok_count == size
+            speedup = seq_seconds[size] / batch.total_seconds
+            table.add_row(
+                [key, size, f"{seq_seconds[size] * 1e3:.3f}",
+                 f"{batch.total_seconds * 1e3:.3f}", f"{speedup:.2f}x",
+                 batch.launches_saved, batch.readbacks_saved]
+            )
+            stats[(key, size)] = (batch, speedup)
+
+        # Contract 1: every batched answer is bit-identical (SHA-256)
+        # to its single-source run — batching fuses pricing, not math.
+        batch32, _ = stats[(key, MAX_BATCH)]
+        for result in batch32.queries:
+            single = singles[result.query.source]
+            assert result.values_sha256 == _sha(single.values), (
+                key, result.query.source
+            )
+
+    return table.render(), stats
+
+
+def test_batch_amortization(benchmark):
+    content, stats = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    rows = {
+        f"{key}@{size}": {
+            "speedup": speedup,
+            "batch_seconds": batch.total_seconds,
+            "launches_saved": batch.launches_saved,
+            "readbacks_saved": batch.readbacks_saved,
+        }
+        for (key, size), (batch, speedup) in stats.items()
+    }
+    write_report("batch_amortization", content, data={"rows": rows})
+
+    for key in DATASETS:
+        batch, speedup = stats[(key, MAX_BATCH)]
+        # Contract 2: batch-32 multi-source BFS is at least 2x the
+        # sequential throughput in simulated time on both shapes.
+        assert speedup >= 2.0, (key, speedup)
+        # Amortization monotonicity: bigger batches never save less.
+        saved = [stats[(key, size)][0].readbacks_saved for size in BATCH_SIZES]
+        assert saved == sorted(saved), (key, saved)

@@ -15,6 +15,9 @@
         --fault-plan '{"seed": 7, "launch_failure_rate": 0.1}'
     python -m repro profile examples/roadnet.snap.txt \
         --out manifest.json --trace trace.json
+    python -m repro batch --file examples/roadnet.snap.txt \
+        --queries examples/batch_queries.jsonl --manifest batch.json
+    python -m repro serve --dataset co_road < queries.jsonl
 
 ``--file`` loads a real DIMACS / SNAP / MatrixMarket graph instead of a
 synthetic analogue.
@@ -108,7 +111,7 @@ def _io_mode(args) -> Optional[str]:
     return None
 
 
-def _resolve_workload(args, *, weighted: bool):
+def _resolve_workload(args, *, weighted: bool, resolve_source: bool = True):
     if args.dataset:
         graph = make_dataset(
             args.dataset, scale=args.scale, weighted=weighted, seed=args.seed
@@ -134,12 +137,18 @@ def _resolve_workload(args, *, weighted: bool):
                 print(f"[ingest] note: {note}")
         if weighted and not graph.has_weights:
             graph = attach_uniform_weights(graph, seed=args.seed)
-    source = (
-        args.source
-        if args.source is not None
-        else largest_out_component_node(graph, seed=0)
-    )
     device = device_registry()[args.device]
+    if not resolve_source:
+        # Batch-style commands: every query carries its own source, so
+        # skip the (BFS-powered) well-connected-source search entirely.
+        return graph, None, device
+    if args.source is not None:
+        # Fail a bad --source here with one clear GraphError (exit 2)
+        # instead of a raw IndexError deep in the kernels.
+        graph._check_node(args.source)
+        source = args.source
+    else:
+        source = largest_out_component_node(graph, seed=0)
     return graph, source, device
 
 
@@ -817,6 +826,143 @@ def cmd_sweep_t3(args) -> int:
     return 0
 
 
+def _batch_weighted(queries) -> bool:
+    """Whether any query's algorithm needs edge weights (unknown
+    algorithm names are isolated later, not here)."""
+    from repro.engine import get_algorithm
+
+    for query in queries:
+        try:
+            if get_algorithm(query.algorithm).weighted:
+                return True
+        except ReproError:
+            continue
+    return False
+
+
+def _print_batch(batch, cache, title: str) -> None:
+    table = Table(
+        ["#", "algorithm", "source", "mode", "path", "iters", "result"],
+        title=title,
+    )
+    for q in batch.queries:
+        result = (
+            f"sha256:{q.values_sha256[:12]}" if q.ok else f"error: {q.error}"
+        )
+        table.add_row(
+            [q.index, q.query.algorithm, q.query.source, q.query.mode,
+             "batched" if q.batched else "fallback", q.iterations, result]
+        )
+    print(table.render())
+
+    summary = Table(["metric", "value"], title="batch amortization")
+    summary.add_row(["queries ok", f"{batch.ok_count} / {len(batch.queries)}"])
+    summary.add_row(["simulated time", format_seconds(batch.total_seconds)])
+    summary.add_row(["  fused batch", format_seconds(batch.batch_seconds)])
+    summary.add_row(["  fallback runs", format_seconds(batch.fallback_seconds)])
+    summary.add_row(["super-iterations", batch.super_iterations])
+    summary.add_row(["fused launches", batch.fused_launches])
+    summary.add_row(["launches saved", batch.launches_saved])
+    summary.add_row(["readbacks saved", batch.readbacks_saved])
+    summary.add_row(
+        ["session cache", f"{cache.hits} hits / {cache.misses} misses"]
+    )
+    print(summary.render())
+
+
+def cmd_batch(args) -> int:
+    """Answer a JSONL file of queries in one batched multi-source run."""
+    from repro.obs import Observer, observing
+    from repro.serve import BatchRunner, SessionCache, load_queries_jsonl
+
+    queries = load_queries_jsonl(args.queries)
+    graph, _, device = _resolve_workload(
+        args, weighted=_batch_weighted(queries), resolve_source=False
+    )
+    observer = Observer()
+    cache = SessionCache(capacity=args.cache_size)
+    with observing(observer):
+        session = cache.get(graph, device=device, config=RuntimeConfig())
+        runner = BatchRunner(session, max_iterations=args.max_iterations)
+        batch = runner.run(queries)
+
+    if args.manifest:
+        manifest = runner.to_manifest(batch, observer=observer)
+        manifest.write(args.manifest)
+
+    _print_batch(
+        batch, cache,
+        f"batch: {len(batch.queries)} queries on {graph.name} "
+        f"(digest {batch.graph_digest[:12]})",
+    )
+    if args.manifest:
+        print(f"[manifest written to {args.manifest}]")
+    return 0 if batch.ok_count == len(batch.queries) else 1
+
+
+def cmd_serve(args) -> int:
+    """Serve queries from stdin: JSONL requests in, JSON answers out.
+
+    Reads query objects line by line, groups them into batches of
+    ``--batch-size``, and answers each batch through the session cache;
+    one JSON result object is written per query, in input order.
+    Malformed lines become error objects, never a crash.
+    """
+    import json as _json
+
+    from repro.obs import Observer, observing
+    from repro.serve import BatchQuery, BatchRunner, SessionCache
+
+    graph, _, device = _resolve_workload(
+        args, weighted=True, resolve_source=False
+    )
+    observer = Observer()
+    cache = SessionCache(capacity=args.cache_size)
+    served = 0
+
+    def flush(pending) -> None:
+        nonlocal served
+        if not pending:
+            return
+        with observing(observer):
+            session = cache.get(graph, device=device, config=RuntimeConfig())
+            batch = BatchRunner(session).run([q for _, q in pending])
+        for (lineno, _), result in zip(pending, batch.queries):
+            doc = result.summary()
+            doc["line"] = lineno
+            print(_json.dumps(doc, sort_keys=True), flush=True)
+            served += 1
+        pending.clear()
+
+    pending = []
+    for lineno, line in enumerate(sys.stdin, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = _json.loads(line)
+            if not isinstance(doc, dict):
+                raise ValueError("query line must be a JSON object")
+            query = BatchQuery.from_dict(doc)
+        except (ValueError, ReproError) as exc:
+            print(
+                _json.dumps({"line": lineno, "ok": False, "error": str(exc)},
+                            sort_keys=True),
+                flush=True,
+            )
+            continue
+        pending.append((lineno, query))
+        if len(pending) >= args.batch_size:
+            flush(pending)
+    flush(pending)
+    print(
+        f"[served {served} queries; cache {cache.hits} hits / "
+        f"{cache.misses} misses]",
+        file=sys.stderr,
+    )
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -955,6 +1101,42 @@ def build_parser() -> argparse.ArgumentParser:
                    "(inline JSON or a file path)")
     p.set_defaults(func=cmd_profile, strict_io=False, lenient_io=False,
                    max_edges=None)
+
+    p = sub.add_parser(
+        "batch",
+        help="answer a JSONL file of queries in one batched multi-source "
+        "run over a shared graph session",
+        description="Ingest the graph once (a GraphSession), then answer "
+        "every query of a JSONL file: batch-capable queries share one "
+        "fused multi-source host loop (amortizing per-iteration "
+        "readbacks and kernel launches), the rest fall back to guarded "
+        "single-source runs.  Failed queries are isolated, reported per "
+        "row, and turn the exit code to 1 without stopping the batch.",
+    )
+    _add_workload_args(p)
+    p.add_argument("--queries", required=True, metavar="FILE",
+                   help="JSONL query file: one JSON object per line with "
+                   "keys algorithm (default 'bfs'), source (required), "
+                   "mode (default 'adaptive')")
+    p.add_argument("--manifest", default=None, metavar="FILE",
+                   help="write the batch RunManifest JSON here")
+    p.add_argument("--cache-size", type=int, default=4,
+                   help="session-cache LRU capacity")
+    p.add_argument("--max-iterations", type=int, default=None,
+                   help="per-query iteration budget")
+    p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve queries from stdin against a cached graph session "
+        "(JSONL requests in, JSON answers out)",
+    )
+    _add_workload_args(p)
+    p.add_argument("--batch-size", type=int, default=32,
+                   help="queries grouped into one fused batch")
+    p.add_argument("--cache-size", type=int, default=4,
+                   help="session-cache LRU capacity")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("sweep-t3", help="Figure-13-style T3 sensitivity sweep")
     _add_workload_args(p)

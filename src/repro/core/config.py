@@ -116,5 +116,20 @@ class RuntimeConfig:
             return float(self.t1_low)
         return device.warp_size / 8.0
 
+    def resolve_thresholds(self, device: DeviceSpec, num_nodes: int):
+        """All four thresholds for one (graph, device) pair, with the
+        degenerate-ordering clamp applied (``T3 >= T2`` — tiny graphs
+        otherwise resolve T3 below T2 and invert the Figure-11 regions).
+        """
+        from repro.core.decision import Thresholds
+
+        t1 = self.resolve_t1(device)
+        return Thresholds(
+            t1=t1,
+            t2=self.resolve_t2(device),
+            t3=self.resolve_t3(num_nodes),
+            t1_low=min(self.resolve_t1_low(device), t1),
+        ).resolved()
+
     def with_overrides(self, **kwargs) -> "RuntimeConfig":
         return replace(self, **kwargs)

@@ -18,6 +18,7 @@ unordered versions of SSSP and BFS" (Section VI.A).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -41,14 +42,31 @@ class Thresholds:
     t1_low: float = 4.0
 
     def __post_init__(self):
-        if self.t1 <= 0:
-            raise RuntimeConfigError(f"T1 must be > 0, got {self.t1}")
+        if not math.isfinite(self.t1) or self.t1 <= 0:
+            raise RuntimeConfigError(f"T1 must be finite and > 0, got {self.t1}")
         if self.t2 < 0 or self.t3 < 0:
             raise RuntimeConfigError("T2 and T3 must be >= 0")
         if not 0 < self.t1_low <= self.t1:
             raise RuntimeConfigError(
                 f"t1_low must be in (0, T1]; got {self.t1_low} with T1={self.t1}"
             )
+
+    def resolved(self) -> "Thresholds":
+        """Clamp ``T3 >= T2`` so the Figure-11 regions stay ordered.
+
+        On tiny graphs the T3 fraction of ``num_nodes`` can resolve
+        below T2, inverting the mid/large working-set regions (a size in
+        ``[T3, T2)`` would read as both "small" and "large").  Clamping
+        changes no decision outcome — the T3 comparison is only reached
+        when ``size >= T2``, where a clamped ``T3 == T2`` still selects
+        the bitmap — but keeps the region labels and any downstream
+        consumer of the thresholds consistent with the paper's picture.
+        """
+        if self.t3 >= self.t2:
+            return self
+        return Thresholds(
+            t1=self.t1, t2=self.t2, t3=self.t2, t1_low=self.t1_low
+        )
 
 
 class DecisionMaker:
@@ -105,6 +123,25 @@ class DecisionMaker:
     def under_pressure(self, memory_pressure: float) -> bool:
         return memory_pressure >= self.pressure_threshold
 
+    @staticmethod
+    def _check_inputs(workset_size: int, avg_out_degree: float) -> None:
+        """Reject inputs outside the decision space's domain.
+
+        A NaN average outdegree would silently fall through every
+        threshold comparison into the thread-mapped region; fail loudly
+        instead.  A zero average outdegree is valid input (an
+        all-zero-outdegree working set) and lands in the thread-mapped
+        region by design — below any sensible T1.
+        """
+        if workset_size < 0:
+            raise RuntimeConfigError(
+                f"workset_size must be >= 0, got {workset_size}"
+            )
+        if not math.isfinite(avg_out_degree) or avg_out_degree < 0:
+            raise RuntimeConfigError(
+                f"avg_out_degree must be finite and >= 0, got {avg_out_degree}"
+            )
+
     def decide(
         self,
         workset_size: int,
@@ -113,6 +150,7 @@ class DecisionMaker:
         memory_pressure: float = 0.0,
     ) -> Variant:
         """The Figure-11 region lookup, with a memory-pressure override."""
+        self._check_inputs(workset_size, avg_out_degree)
         t = self.thresholds
         if workset_size < t.t2:
             mapping = Mapping.BLOCK
@@ -132,6 +170,7 @@ class DecisionMaker:
         self, workset_size: int, avg_out_degree: float, *, memory_pressure: float = 0.0
     ) -> str:
         """Human-readable region label (telemetry / debugging)."""
+        self._check_inputs(workset_size, avg_out_degree)
         t = self.thresholds
         suffix = "/mem-pressure" if self.under_pressure(memory_pressure) else ""
         if workset_size < t.t2:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.config import RuntimeConfig
-from repro.core.decision import DecisionMaker, Thresholds
+from repro.core.decision import DecisionMaker
 from repro.core.inspector import GraphInspector
 from repro.core.telemetry import Decision, DecisionTrace
 from repro.graph.csr import CSRGraph
@@ -58,14 +58,7 @@ class AdaptivePolicy(VariantPolicy):
             sampling_interval=self.config.sampling_interval,
             monitor_workset_degree=self.config.monitor_workset_degree,
         )
-        self.thresholds = Thresholds(
-            t1=self.config.resolve_t1(device),
-            t2=self.config.resolve_t2(device),
-            t3=self.config.resolve_t3(graph.num_nodes),
-            t1_low=min(
-                self.config.resolve_t1_low(device), self.config.resolve_t1(device)
-            ),
-        )
+        self.thresholds = self.config.resolve_thresholds(device, graph.num_nodes)
         self.decision_maker = DecisionMaker(
             self.thresholds,
             use_warp_mapping=self.config.use_warp_mapping,

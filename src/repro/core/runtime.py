@@ -131,6 +131,9 @@ def adaptive_run(
     if info.source_based:
         if source is None:
             raise KernelError(f"{algorithm!r} requires a source node")
+        # Validate up front: a bad source must fail with one clear
+        # GraphError, not a raw IndexError deep in the kernels.
+        graph._check_node(source)
     else:
         source = -1
     policy = AdaptivePolicy(graph, config, device=device, memory=memory)
@@ -225,6 +228,8 @@ def run_static(
     if isinstance(variant, str):
         variant = Variant.parse(variant)
     policy = StaticPolicy(variant)
+    if info.source_based:
+        graph._check_node(source)
     src = source if info.source_based else -1
     kwargs = dict(
         device=device,

@@ -7,6 +7,12 @@ and capability flags so the adaptive runtime, the guarded runner, the
 manifest builder and the CLI stay algorithm-generic.
 """
 
+from repro.engine.batch import (
+    BatchFrameResult,
+    BatchQueryResult,
+    QueryPlan,
+    run_batch_frame,
+)
 from repro.engine.driver import FrameContext, run_frame
 from repro.engine.registry import (
     AlgorithmInfo,
@@ -25,6 +31,10 @@ from repro.engine.types import (
 
 __all__ = [
     "AlgorithmInfo",
+    "BatchFrameResult",
+    "BatchQueryResult",
+    "QueryPlan",
+    "run_batch_frame",
     "AlgorithmSpec",
     "FrameContext",
     "FrameState",

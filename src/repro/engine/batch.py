@@ -1,0 +1,387 @@
+"""The batched multi-source driver: many queries, one Figure-8 loop.
+
+:func:`run_batch_frame` executes a batch of ``(spec, source, policy)``
+queries over one device-resident graph by stacking the per-query
+frontiers into rows of a single host loop.  Each *super-iteration*
+advances every still-active query by exactly one iteration:
+
+- queries currently running the same variant share one **fused
+  computation launch** (:func:`repro.kernels.multisource.fused_computation_tally`),
+- queries generating the same next representation share one **fused
+  workset-generation launch**, and
+- the whole batch shares one **fused size readback** per super-iteration
+  instead of one 4-byte PCIe round trip per query — the dominant saving
+  on latency-bound traversals, where the paper's per-iteration readback
+  is most of the wall clock.
+
+Everything *functional* stays per-query: each row owns its value array,
+frontier, variant policy and decision trace, and the driver mirrors
+:func:`repro.engine.driver.run_frame`'s decision points exactly — the
+pre-loop choice, then ``choose(iteration + 1, next_size)`` after each
+computation step — so a batched query's values and decision trace are
+bit-identical to its single-source run.  Only the *pricing* is fused.
+
+Failure isolation: a query that fails validation or exceeds its
+iteration budget is marked failed and dropped from subsequent
+super-iterations; the rest of the batch completes normally.
+
+Per-query :class:`~repro.engine.types.IterationRecord` entries carry
+``seconds=0.0``: fused launches are shared, so simulated time lives on
+the batch's single timeline rather than being attributed per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.spec import AlgorithmSpec, FrameState
+from repro.engine.types import HOST_INIT_PER_NODE_S, IterationRecord, VariantPolicy
+from repro.errors import KernelError, ReproError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.kernel import CostModel, CostParams
+from repro.gpusim.timeline import Timeline
+from repro.gpusim.transfer import record_transfer
+from repro.kernels.multisource import (
+    RowRelaxation,
+    fused_computation_tally,
+    fused_readback_bytes,
+    fused_workset_gen_tallies,
+)
+from repro.kernels.variants import Variant
+from repro.obs.context import current_observer
+
+__all__ = ["QueryPlan", "BatchQueryResult", "BatchFrameResult", "run_batch_frame"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """One query of a batch: the algorithm spec, its source node, and a
+    private variant policy (policies are stateful — never share one
+    across queries)."""
+
+    spec: AlgorithmSpec
+    source: int
+    policy: VariantPolicy
+
+
+@dataclass
+class BatchQueryResult:
+    """One query's outcome inside a batch."""
+
+    index: int
+    algorithm: str
+    source: int
+    policy_name: str
+    #: the algorithm's answer array; None when the query failed
+    values: Optional[np.ndarray]
+    iterations: List[IterationRecord]
+    #: why the query failed (validation or non-convergence); None = ok
+    error: Optional[str] = None
+    #: the policy's decision trace when it keeps one (AdaptivePolicy)
+    trace: Optional[object] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+
+@dataclass
+class BatchFrameResult:
+    """Everything one batched run produced."""
+
+    queries: List[BatchQueryResult]
+    timeline: Timeline
+    device: DeviceSpec
+    #: host-loop passes (== the longest surviving query's iterations)
+    super_iterations: int
+    #: fused kernel launches actually priced
+    fused_launches: int
+    #: launches a sequential run would have made minus the fused ones
+    launches_saved: int
+    #: per-iteration readbacks avoided by the fused size readback
+    readbacks_saved: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.timeline.total_seconds
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for q in self.queries if q.ok)
+
+
+class _Row:
+    """Mutable per-query loop state (private to the driver)."""
+
+    def __init__(self, index: int, plan: QueryPlan):
+        self.index = index
+        self.spec = plan.spec
+        self.source = plan.source
+        self.policy = plan.policy
+        self.state: Optional[FrameState] = None
+        self.variant: Optional[Variant] = None
+        self.records: List[IterationRecord] = []
+        self.iteration = 0
+        self.cap = 0
+        self.error: Optional[str] = None
+        self.pending = None  # (updated, improved, edges, size) within a pass
+
+    def result(self) -> BatchQueryResult:
+        values = None
+        if self.error is None and self.state is not None:
+            values = self.spec.final_values(self.state)
+        return BatchQueryResult(
+            index=self.index,
+            algorithm=self.spec.name,
+            source=self.source,
+            policy_name=self.policy.name,
+            values=values,
+            iterations=self.records,
+            error=self.error,
+            trace=getattr(self.policy, "trace", None),
+        )
+
+
+class _RowContext:
+    """The minimal FrameContext stand-in ``spec.init_state`` reads."""
+
+    def __init__(self, graph: CSRGraph, device: DeviceSpec, source: int,
+                 policy: VariantPolicy):
+        self.graph = graph
+        self.device = device
+        self.source = source
+        self.policy = policy
+
+
+def run_batch_frame(
+    graph: CSRGraph,
+    plans: Sequence[QueryPlan],
+    *,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    queue_gen: str = "atomic",
+) -> BatchFrameResult:
+    """Run every query of *plans* on the batched multi-source frame.
+
+    Every spec must be :attr:`~repro.engine.spec.AlgorithmSpec.batchable`
+    (callers route non-batchable algorithms through the single-source
+    fallback instead — that is a dispatch decision, not a per-query
+    fault, so it raises).  Mixed-algorithm batches are fine: only
+    same-variant same-algorithm rows fuse into one launch.
+    """
+    if not plans:
+        raise KernelError("run_batch_frame needs at least one query")
+    for plan in plans:
+        if not plan.spec.batchable:
+            raise KernelError(
+                f"{plan.spec.name} does not support batched multi-source "
+                "execution (route it through the single-source fallback)"
+            )
+    model = CostModel(device, cost_params)
+    timeline = Timeline()
+    rows = [_Row(i, plan) for i, plan in enumerate(plans)]
+
+    # Per-query validation: a bad query is isolated, not fatal.
+    for row in rows:
+        try:
+            row.spec.validate(graph, row.source)
+        except ReproError as exc:
+            row.error = str(exc)
+    live = [r for r in rows if r.error is None]
+
+    # One initial transfer for the whole batch: the graph goes up once,
+    # plus every query's state block, behind a single PCIe latency.
+    n = graph.num_nodes
+    state_bytes = 4 * n + n + 4 * n + n // 8
+    if live:
+        total_bytes = graph.device_bytes() + len(live) * state_bytes
+        if total_bytes > device.global_mem_bytes:
+            raise KernelError(
+                f"batch of {len(live)} queries on {graph.name!r} needs "
+                f"{total_bytes / 2**30:.2f} GiB of device memory but "
+                f"{device.name} has {device.global_mem_bytes / 2**30:.2f} GiB "
+                "(shrink the batch)"
+            )
+        timeline.add_transfer(record_transfer("h2d", total_bytes, device))
+        timeline.add_host_seconds(len(live) * n * HOST_INIT_PER_NODE_S)
+
+    # Per-query init + the pre-loop variant choice, mirroring run_frame:
+    # the paper's decision point is after each computation kernel, so the
+    # pre-loop choice covers iteration 0 only.
+    for row in live:
+        ctx = _RowContext(graph, device, row.source, row.policy)
+        row.state = row.spec.init_state(ctx)
+        row.cap = (
+            max_iterations
+            if max_iterations is not None
+            else row.spec.default_cap(graph)
+        )
+        hint = row.spec.first_choose_size(row.state)
+        if hint is not None:
+            row.variant = row.policy.choose(0, hint)
+        elif row.spec.work_remaining(row.state):
+            row.variant = row.policy.choose(0, row.spec.work_remaining(row.state))
+
+    fused_launches = 0
+    launches_saved = 0
+    readbacks_saved = 0
+    super_it = 0
+
+    while True:
+        active = [
+            r for r in live
+            if r.error is None and r.spec.work_remaining(r.state)
+        ]
+        if not active:
+            break
+        for row in active:
+            if row.iteration >= row.cap:
+                row.error = row.spec.cap_message(row.cap)
+        active = [r for r in active if r.error is None]
+        if not active:
+            break
+
+        # --- fused computation: group rows by (algorithm, variant, tpb)
+        groups: dict = {}
+        for row in active:
+            tpb = row.spec.tpb(row.variant, graph, device)
+            key = (row.spec.name, row.variant.code, tpb)
+            groups.setdefault(key, []).append(row)
+
+        pass_seconds = 0.0
+        for (alg, code, tpb), members in groups.items():
+            relaxations = []
+            for row in members:
+                size = int(row.spec.work_remaining(row.state))
+                updated, degrees, improved, edges = row.spec.batch_relax(
+                    graph, row.state
+                )
+                row.pending = (updated, improved, edges, size)
+                relaxations.append(
+                    RowRelaxation(
+                        active_ids=row.state.frontier,
+                        degrees=degrees,
+                        improved=improved,
+                        updated_count=int(updated.size),
+                    )
+                )
+            edge_cost, weight_streams = members[0].spec.batch_kernel_profile()
+            tally = fused_computation_tally(
+                relaxations,
+                members[0].variant,
+                tpb,
+                n,
+                device,
+                edge_cost=edge_cost,
+                weight_streams=weight_streams,
+                name=f"batch_{alg}_comp",
+            )
+            cost = model.price(tally)
+            timeline.add_kernel(super_it, tally, cost, f"batch:{code}")
+            pass_seconds += cost.seconds
+            fused_launches += 1
+            launches_saved += len(members) - 1
+
+        # --- per-query decision point + bookkeeping (exactly run_frame's
+        # sequence: choose(iteration + 1, next_size) when work remains,
+        # keep the current variant when the query just drained)
+        gen_groups: dict = {}
+        for row in active:
+            updated, improved, edges, size = row.pending
+            row.pending = None
+            next_size = int(updated.size)
+            next_variant = (
+                row.policy.choose(row.iteration + 1, next_size)
+                if next_size
+                else row.variant
+            )
+            for tally in row.policy.overhead_tallies(
+                row.iteration, size, n, device
+            ):
+                cost = model.price(tally)
+                timeline.add_kernel(
+                    super_it, tally, cost, f"batch:{row.variant.code}"
+                )
+                pass_seconds += cost.seconds
+            gen_groups.setdefault(next_variant.workset, []).append(next_size)
+            record = IterationRecord(
+                iteration=row.iteration,
+                variant=row.variant.code,
+                workset_size=size,
+                processed=size,
+                updated=next_size,
+                edges_scanned=edges,
+                improved_relaxations=improved,
+                seconds=0.0,
+            )
+            row.records.append(record)
+            row.policy.notify(record)
+            row.state.frontier = updated
+            row.variant = next_variant
+            row.iteration += 1
+
+        # --- fused workset generation: one launch per emitted
+        # representation, covering every row headed there (rows that just
+        # drained still sweep — discovering emptiness is the kernel's job,
+        # exactly as in the single-source frame)
+        for representation, counts in gen_groups.items():
+            for tally in fused_workset_gen_tallies(
+                n, counts, representation, device, scheme=queue_gen
+            ):
+                cost = model.price(tally)
+                timeline.add_kernel(super_it, tally, cost, "batch:gen")
+                pass_seconds += cost.seconds
+            fused_launches += 1
+            launches_saved += len(counts) - 1
+
+        # --- one fused readback for the whole batch: every active row's
+        # 4-byte working-set size behind a single PCIe latency
+        timeline.add_transfer(
+            record_transfer("d2h", fused_readback_bytes(len(active)), device)
+        )
+        readbacks_saved += len(active) - 1
+        super_it += 1
+
+    # One final d2h for every completed query's value array.
+    done_ok = [r for r in live if r.error is None]
+    if done_ok:
+        timeline.add_transfer(
+            record_transfer("d2h", len(done_ok) * 4 * n, device)
+        )
+
+    observer = current_observer()
+    if observer is not None:
+        metrics = observer.metrics
+        metrics.counter("batch.queries").inc(len(rows))
+        metrics.counter("batch.queries_failed").inc(
+            sum(1 for r in rows if r.error is not None)
+        )
+        metrics.counter("batch.super_iterations").inc(super_it)
+        metrics.counter("batch.fused_launches").inc(fused_launches)
+        metrics.counter("batch.launches_saved").inc(launches_saved)
+        metrics.counter("batch.readbacks_saved").inc(readbacks_saved)
+        observer.spans.add_span(
+            "batch_frame",
+            sim_seconds=timeline.total_seconds,
+            queries=len(rows),
+            super_iterations=super_it,
+        )
+
+    return BatchFrameResult(
+        queries=[r.result() for r in rows],
+        timeline=timeline,
+        device=device,
+        super_iterations=super_it,
+        fused_launches=fused_launches,
+        launches_saved=launches_saved,
+        readbacks_saved=readbacks_saved,
+    )

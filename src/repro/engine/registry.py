@@ -58,6 +58,10 @@ class AlgorithmInfo:
     default_variant: str = "U_T_BM"
     #: CPU reference reproduces GPU values bit-identically
     cpu_exact: bool = True
+    #: the spec supports the batched multi-source frame
+    #: (:mod:`repro.serve` stacks per-query frontiers into one loop);
+    #: algorithms without it fall back to per-query single-source runs
+    batchable: bool = False
     #: names of the spec-level parameters ``**params`` may carry
     param_names: Tuple[str, ...] = field(default_factory=tuple)
 
@@ -71,6 +75,7 @@ class AlgorithmInfo:
             "adaptive_eligible": self.adaptive_eligible,
             "supports_variants": self.supports_variants,
             "cpu_exact": self.cpu_exact,
+            "batchable": self.batchable,
         }
 
 

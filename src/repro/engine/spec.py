@@ -109,6 +109,11 @@ class AlgorithmSpec:
     #: current size (ordered frames) instead of after the computation
     #: kernel with the next size (the paper's unordered decision point)
     chooses_at_top: bool = False
+    #: supports the batched multi-source frame
+    #: (:func:`repro.engine.batch.run_batch_frame`): the spec's step
+    #: decomposes into :meth:`batch_relax` (per-query functional update)
+    #: plus one fused multi-source computation launch
+    batchable: bool = False
     #: the CPU reference reproduces GPU values bit-identically (floats
     #: accumulated in a different order are only close, e.g. PageRank)
     cpu_exact: bool = True
@@ -167,6 +172,27 @@ class AlgorithmSpec:
         *ctx*, describe the outcome.  Return None to terminate the loop
         immediately (DOBFS's drained pull sweep)."""
         raise NotImplementedError  # pragma: no cover
+
+    # -- batched multi-source execution --------------------------------
+
+    def batch_relax(self, graph: CSRGraph, state: FrameState):
+        """One query-row relaxation of the batched multi-source frame.
+
+        Mutates ``state.values`` in place exactly as the single-source
+        computation kernel would (so batched values stay bit-identical)
+        and returns ``(updated_ids, degrees, improved_count,
+        edges_scanned)``.  Only meaningful when :attr:`batchable`.
+        """
+        raise KernelError(
+            f"{self.name} does not support batched multi-source execution"
+        )
+
+    def batch_kernel_profile(self):
+        """``(edge_cost, weight_streams)`` of the fused multi-source
+        computation launch (see :func:`repro.kernels.multisource`)."""
+        raise KernelError(
+            f"{self.name} does not support batched multi-source execution"
+        )
 
     # -- results & reliability -----------------------------------------
 

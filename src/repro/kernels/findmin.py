@@ -23,11 +23,17 @@ __all__ = ["findmin", "findmin_tallies"]
 
 
 def findmin(keys: np.ndarray) -> float:
-    """Functional result: the minimum key in the working set."""
+    """Functional result: the minimum key in the working set.
+
+    A working set with no finite keys (every slot +inf — reachable when
+    the last queue-to-bitmap switch races the final relaxation) yields
+    ``+inf``: the reduction's identity element, which the ordered step
+    treats as clean convergence rather than a crash.
+    """
     arr = np.asarray(keys, dtype=np.float64)
     finite = arr[np.isfinite(arr)]
     if finite.size == 0:
-        raise ValueError("findmin over a working set with no finite keys")
+        return float("inf")
     return float(finite.min())
 
 

@@ -93,6 +93,7 @@ class BfsSpec(AlgorithmSpec):
 
     name = "bfs"
     ordered_support = True
+    batchable = True
 
     def init_state(self, ctx: FrameContext) -> FrameState:
         levels = np.full(ctx.graph.num_nodes, UNSET_LEVEL, dtype=np.int64)
@@ -124,6 +125,16 @@ class BfsSpec(AlgorithmSpec):
     def result_algorithm(self, policy: VariantPolicy) -> str:
         return "bfs_ordered" if policy.is_ordered() else "bfs"
 
+    def batch_relax(self, graph: CSRGraph, state: FrameState):
+        from repro.kernels.computation import bfs_relax
+
+        return bfs_relax(graph, state.frontier, state.values, ordered=False)
+
+    def batch_kernel_profile(self):
+        from repro.kernels import costs
+
+        return costs.C_EDGE, 0
+
 
 class SsspSpec(AlgorithmSpec):
     """Unordered SSSP: ``values`` are distances (float64, inf unreached)."""
@@ -131,6 +142,7 @@ class SsspSpec(AlgorithmSpec):
     name = "sssp"
     weighted = True
     ordered_support = True
+    batchable = True
 
     def validate(self, graph: CSRGraph, source: int) -> None:
         super().validate(graph, source)
@@ -166,10 +178,23 @@ class SsspSpec(AlgorithmSpec):
             improved_relaxations=step.improved_relaxations,
         )
 
+    def batch_relax(self, graph: CSRGraph, state: FrameState):
+        from repro.kernels.computation import sssp_relax
+
+        return sssp_relax(graph, state.frontier, state.values)
+
+    def batch_kernel_profile(self):
+        from repro.kernels import costs
+
+        return costs.C_EDGE_WEIGHTED, 1
+
 
 class OrderedSsspSpec(SsspSpec):
     """Ordered SSSP (GPU Dijkstra): a findmin reduction each iteration
     retires every (node, key) pair at the current minimum key.
+
+    Not batchable: the findmin reduction and the pair multiset are
+    per-query structures the multi-source frame does not stack.
 
     The working-set structure depends on the representation: a queue
     holds the pair multiset verbatim; a bitmap dedupes via per-node
@@ -181,6 +206,7 @@ class OrderedSsspSpec(SsspSpec):
     checkpointable = False
     adaptive_eligible = False
     chooses_at_top = True
+    batchable = False
     #: ordered queues hold (node, key) pairs: 8 B per element
     workset_entry_bytes = 8
 
@@ -217,6 +243,12 @@ class OrderedSsspSpec(SsspSpec):
             ws_size, ctx.graph.num_nodes, variant.workset, ctx.device
         ):
             ctx.price(tally)
+        if not np.isfinite(min_key):
+            # Every remaining slot is +inf: only stale entries for nodes
+            # settled via shorter paths remain, so the traversal has
+            # converged — terminate cleanly (the reduction above still
+            # ran and is priced).
+            return None
         step = sssp_ordered_step(ctx.graph, ordered, min_key, variant, tpb, ctx.device)
         ctx.price(step.tally)
         return StepOutcome(
@@ -365,6 +397,7 @@ register_algorithm(
         traverse=traverse_bfs,
         cpu_run=_cpu_bfs_reference,
         ordered_support=True,
+        batchable=True,
     )
 )
 
@@ -377,5 +410,6 @@ register_algorithm(
         cpu_run=_cpu_sssp_reference,
         weighted=True,
         ordered_support=True,
+        batchable=True,
     )
 )

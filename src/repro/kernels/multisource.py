@@ -1,0 +1,130 @@
+"""Multi-source (batched) computation and workset-generation kernels.
+
+The serving layer (:mod:`repro.serve`) stacks many queries' per-query
+state into one 2-D batch — one row per query over the same device-resident
+graph — so one ``run_frame``-style loop serves the whole batch.  The
+*functional* update of each row is exactly the single-source relaxation
+(:func:`~repro.kernels.computation.bfs_relax` /
+:func:`~repro.kernels.computation.sssp_relax` on the row's own frontier
+and value array), which is what keeps batched answers bit-identical to
+single-source runs.  What changes is the *cost*: rows that run the same
+variant in the same super-iteration share one fused kernel launch whose
+grid covers every row's slots, so the per-launch overheads (driver
+launch latency, block dispatch) are paid once per group instead of once
+per query — and small frontiers stacked together supply each other's
+memory-latency hiding, exactly the effect that makes batching pay on a
+real GPU.
+
+Fused pricing maps each row into its own ``num_nodes``-sized slab of a
+conceptual ``rows x n`` grid (node ``v`` of row ``q`` occupies slot
+``q * n + v``), so warp attribution and membership traffic scale with
+the true fused launch shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import KernelTally
+from repro.kernels import costs
+from repro.kernels.mapping import ComputationShape, computation_tally
+from repro.kernels.variants import Variant, WorksetRepr
+from repro.kernels.workset import workset_gen_tallies
+
+__all__ = [
+    "RowRelaxation",
+    "fused_computation_tally",
+    "fused_workset_gen_tallies",
+    "fused_readback_bytes",
+]
+
+
+@dataclass(frozen=True)
+class RowRelaxation:
+    """One query row's structural profile inside a fused launch."""
+
+    #: the row's active node ids (its frontier, ascending)
+    active_ids: np.ndarray
+    #: outdegree of each active node (parallel to active_ids)
+    degrees: np.ndarray
+    #: improving relaxations the row performed
+    improved: int
+    #: distinct nodes of the row whose state improved
+    updated_count: int
+
+
+def fused_computation_tally(
+    rows: Sequence[RowRelaxation],
+    variant: Variant,
+    tpb: int,
+    num_nodes: int,
+    device: DeviceSpec,
+    *,
+    edge_cost: float = costs.C_EDGE,
+    weight_streams: int = 0,
+    name: str = "batch_comp",
+) -> KernelTally:
+    """Price one fused multi-source computation launch.
+
+    The fused grid covers ``len(rows)`` row-slabs of ``num_nodes`` slots
+    each; row *q*'s active ids are offset into slab *q* so divergence,
+    membership traffic and atomic diversity reflect the stacked shape.
+    Every row must run the same *variant* (callers group by variant).
+    """
+    if not rows:
+        raise ValueError("fused_computation_tally needs at least one row")
+    active = np.concatenate(
+        [row.active_ids + q * num_nodes for q, row in enumerate(rows)]
+    )
+    degrees = np.concatenate([row.degrees for row in rows])
+    shape = ComputationShape(
+        name=name,
+        num_nodes=num_nodes * len(rows),
+        active_ids=active,
+        degrees=degrees,
+        edge_cost=edge_cost,
+        improved=sum(row.improved for row in rows),
+        updated_count=sum(row.updated_count for row in rows),
+        weight_streams=weight_streams,
+    )
+    return computation_tally(
+        shape, variant.mapping, variant.workset, tpb, device
+    )
+
+
+def fused_workset_gen_tallies(
+    num_nodes: int,
+    updated_counts: Sequence[int],
+    representation: WorksetRepr,
+    device: DeviceSpec,
+    *,
+    scheme: str = "atomic",
+    name: str = "batch_workset_gen",
+) -> List[KernelTally]:
+    """Tallies of one fused multi-source generation launch.
+
+    One thread-mapped sweep over the stacked ``rows x n`` update matrix
+    emits every row's next working set (each row's slab feeds its own
+    queue counter / bitmap), replacing one generation launch per query.
+    """
+    if not updated_counts:
+        return []
+    return workset_gen_tallies(
+        num_nodes * len(updated_counts),
+        int(sum(updated_counts)),
+        representation,
+        device,
+        scheme=scheme,
+        name=name,
+    )
+
+
+def fused_readback_bytes(num_active_rows: int) -> int:
+    """Payload of the fused per-super-iteration size readback: the 4-byte
+    working-set size of every still-active row in one d2h copy (one PCIe
+    latency per super-iteration instead of one per query)."""
+    return 4 * max(1, int(num_active_rows))

@@ -40,6 +40,7 @@ from repro.obs.context import current_observer, observing
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
     RunManifest,
+    build_batch_manifest,
     build_manifest,
     graph_fingerprint,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "RunManifest",
     "MANIFEST_SCHEMA_VERSION",
     "build_manifest",
+    "build_batch_manifest",
     "graph_fingerprint",
     "combined_trace_events",
     "export_combined_trace",

@@ -38,7 +38,12 @@ from typing import List, Optional, Union
 
 from repro.graph.csr import CSRGraph
 
-__all__ = ["MANIFEST_SCHEMA_VERSION", "RunManifest", "build_manifest"]
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "RunManifest",
+    "build_manifest",
+    "build_batch_manifest",
+]
 
 #: bump when the document shape changes incompatibly
 MANIFEST_SCHEMA_VERSION = 1
@@ -273,4 +278,39 @@ def build_manifest(
         memory=memory,
         spans=observer.spans.to_dicts() if observer is not None else [],
         reliability=reliability,
+    )
+
+
+def build_batch_manifest(
+    result: dict,
+    *,
+    graph: CSRGraph,
+    device=None,
+    config=None,
+    observer=None,
+    decisions: Optional[List[dict]] = None,
+) -> RunManifest:
+    """Assemble a manifest for one *batched* multi-source run.
+
+    A batch has no single source or algorithm, so the document uses
+    ``algorithm="batch"``, ``mode="batch"`` and ``source=-1``; the whole
+    batch story — per-query summaries, amortization counters, cache
+    stats — rides in the free-form ``result`` dict (the schema stays at
+    version :data:`MANIFEST_SCHEMA_VERSION`, so existing readers
+    round-trip batch manifests unchanged).  *result* must already be
+    JSON-shaped; *decisions* may carry the concatenation of the
+    per-query decision traces, each entry tagged with its query index.
+    """
+    return RunManifest(
+        schema_version=MANIFEST_SCHEMA_VERSION,
+        algorithm="batch",
+        mode="batch",
+        source=-1,
+        graph=graph_fingerprint(graph),
+        device=_device_dict(device),
+        config=_config_dict(config),
+        result=result,
+        decisions=list(decisions or []),
+        metrics=observer.metrics.snapshot() if observer is not None else {},
+        spans=observer.spans.to_dicts() if observer is not None else [],
     )

@@ -95,6 +95,30 @@ METRICS_CATALOG: Tuple[MetricSpec, ...] = (
                "repro.reliability.guard", "highest OOM-ladder rung reached"),
     MetricSpec("guard.cpu_degradations", "counter", "queries",
                "repro.reliability.guard", "queries answered by the CPU baseline"),
+    MetricSpec("guard.query_failures", "counter", "queries",
+               "repro.reliability.guard",
+               "batch queries isolated after raising a ReproError"),
+    MetricSpec("batch.queries", "counter", "queries",
+               "repro.engine.batch", "queries entering the batched frame"),
+    MetricSpec("batch.queries_failed", "counter", "queries",
+               "repro.engine.batch",
+               "batched queries isolated (validation or non-convergence)"),
+    MetricSpec("batch.super_iterations", "counter", "iterations",
+               "repro.engine.batch", "batched host-loop passes"),
+    MetricSpec("batch.fused_launches", "counter", "launches",
+               "repro.engine.batch", "fused multi-query kernel launches priced"),
+    MetricSpec("batch.launches_saved", "counter", "launches",
+               "repro.engine.batch",
+               "kernel launches amortized away by fusing same-variant queries"),
+    MetricSpec("batch.readbacks_saved", "counter", "transfers",
+               "repro.engine.batch",
+               "per-iteration size readbacks amortized by the fused readback"),
+    MetricSpec("serve.cache.hits", "counter", "lookups",
+               "repro.serve.session", "session-cache digest hits"),
+    MetricSpec("serve.cache.misses", "counter", "lookups",
+               "repro.serve.session", "session-cache misses (fresh ingest)"),
+    MetricSpec("serve.cache.evictions", "counter", "sessions",
+               "repro.serve.session", "sessions evicted past LRU capacity"),
 )
 
 _CATALOG_BY_NAME: Dict[str, MetricSpec] = {s.name: s for s in METRICS_CATALOG}

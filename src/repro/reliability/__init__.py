@@ -31,6 +31,7 @@ from repro.reliability.faults import (
 from repro.reliability.guard import (
     GuardConfig,
     ResilientResult,
+    guarded_query,
     resilient_bfs,
     resilient_run,
     resilient_sssp,
@@ -51,4 +52,5 @@ __all__ = [
     "resilient_run",
     "resilient_bfs",
     "resilient_sssp",
+    "guarded_query",
 ]

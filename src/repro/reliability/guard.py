@@ -75,6 +75,7 @@ __all__ = [
     "resilient_run",
     "resilient_bfs",
     "resilient_sssp",
+    "guarded_query",
 ]
 
 
@@ -215,6 +216,11 @@ def resilient_run(
     if info.source_based:
         if source is None:
             raise KernelError(f"{algorithm!r} requires a source node")
+        # An invalid source is a bad request, not a transient fault:
+        # reject it here instead of burning the whole retry/fallback
+        # ladder (and its backoff sleeps) on a query that can never
+        # succeed.
+        graph._check_node(source)
     else:
         source = -1
     with observing(observe):
@@ -258,6 +264,27 @@ def resilient_sssp(
         graph, "sssp", source, config=config, device=device,
         cost_params=cost_params, guard=guard, plan=plan, observe=observe,
     )
+
+
+def guarded_query(run, *, label: str = "query"):
+    """Run one query's entry point with batch-grade failure isolation.
+
+    The batched serving path (:mod:`repro.serve`) executes many queries
+    in one process; one query failing — an invalid request, a
+    non-converging traversal, an OOM — must not take its batchmates
+    down.  ``guarded_query(run)`` calls *run()* and returns
+    ``(result, None)`` on success or ``(None, message)`` when it raised
+    a :class:`~repro.errors.ReproError`, reporting the failure into the
+    current observer under ``guard.query_failures``.  Non-``ReproError``
+    exceptions propagate: those are bugs, not query faults.
+    """
+    try:
+        return run(), None
+    except ReproError as exc:
+        observer = current_observer()
+        if observer is not None:
+            observer.metrics.counter("guard.query_failures").inc()
+        return None, f"{label}: {exc}"
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,42 @@
+"""repro.serve — the batched multi-source traversal service.
+
+A traversal *service* answers many queries against the same graph, so
+the expensive work should happen once per graph, not once per query:
+
+- :class:`GraphSession` ingests a graph once and caches everything
+  query-independent — CSR arrays, property profile, resolved decision
+  thresholds, device spec — under a content digest;
+- :class:`SessionCache` is the LRU of sessions a long-lived server
+  keeps (hit = skip ingestion entirely; answers from a cached session
+  are bit-identical to a cold ingest);
+- :class:`BatchRunner` answers a list of :class:`BatchQuery` requests,
+  stacking every batch-capable query into one fused multi-source host
+  loop (:func:`repro.engine.batch.run_batch_frame`) that amortizes the
+  per-iteration readback, kernel-launch overhead and the graph's h2d
+  copy across the batch, while isolating faulting queries and falling
+  back to guarded single-source runs for algorithms without batch
+  support.
+
+CLI: ``repro batch`` (one JSONL query file, one manifest) and
+``repro serve`` (JSONL queries on stdin, JSON answers on stdout).
+See ``docs/serving.md``.
+"""
+
+from repro.serve.batch import (
+    BatchQuery,
+    BatchResult,
+    BatchRunner,
+    QueryResult,
+    load_queries_jsonl,
+)
+from repro.serve.session import GraphSession, SessionCache
+
+__all__ = [
+    "BatchQuery",
+    "BatchResult",
+    "BatchRunner",
+    "GraphSession",
+    "QueryResult",
+    "SessionCache",
+    "load_queries_jsonl",
+]

@@ -1,0 +1,122 @@
+"""Graph sessions: ingest once, serve many queries.
+
+A :class:`GraphSession` pins everything a query needs that does not
+depend on the query itself: the CSR arrays, the Table-1 property
+profile, the resolved decision :class:`~repro.core.decision.Thresholds`
+and the :class:`~repro.gpusim.device.DeviceSpec`.  Building one is the
+expensive part of answering a graph query (ingestion, characterization,
+threshold resolution); answering the query itself is cheap — so a
+serving process keeps sessions in a :class:`SessionCache`, an LRU keyed
+by the graph's *content digest* (the same blake2b digest run manifests
+carry).  Two graphs with identical CSR content share a session no
+matter how they were loaded or named; any content change — scale, seed,
+repair — changes the digest and misses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.core.config import RuntimeConfig
+from repro.errors import RuntimeConfigError
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import characterize
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.obs.context import current_observer
+from repro.obs.manifest import graph_fingerprint
+
+__all__ = ["GraphSession", "SessionCache"]
+
+
+class GraphSession:
+    """One ingested graph plus every query-independent derived artifact."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        device: DeviceSpec = TESLA_C2070,
+        config: Optional[RuntimeConfig] = None,
+    ):
+        self.graph = graph
+        self.device = device
+        self.config = config or RuntimeConfig()
+        #: manifest-compatible fingerprint (name, sizes, content digest)
+        self.fingerprint = graph_fingerprint(graph)
+        #: the cache key: blake2b digest of the CSR arrays
+        self.digest: str = self.fingerprint["digest"]
+        #: Table-1 property profile (degree stats etc.)
+        self.profile = characterize(graph)
+        #: decision thresholds resolved once for (device, graph size) —
+        #: already clamped to a consistent ordering
+        self.thresholds = self.config.resolve_thresholds(device, graph.num_nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.graph.num_nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GraphSession({self.graph.name!r}, n={self.graph.num_nodes}, "
+            f"digest={self.digest[:8]}..., device={self.device.name!r})"
+        )
+
+
+class SessionCache:
+    """LRU cache of :class:`GraphSession` objects keyed by content digest.
+
+    ``get`` is the only entry point: it returns the cached session when
+    the graph's digest (and device) match, otherwise ingests a fresh
+    session and evicts the least-recently-used one past *capacity*.
+    A digest hit under a *different* device is a miss — thresholds are
+    device-resolved — and replaces the stale session.
+    """
+
+    def __init__(self, capacity: int = 4):
+        if capacity < 1:
+            raise RuntimeConfigError(
+                f"session cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._sessions: "OrderedDict[str, GraphSession]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def digests(self):
+        """Cached digests from least- to most-recently used."""
+        return list(self._sessions)
+
+    def get(
+        self,
+        graph: CSRGraph,
+        *,
+        device: DeviceSpec = TESLA_C2070,
+        config: Optional[RuntimeConfig] = None,
+    ) -> GraphSession:
+        digest = graph_fingerprint(graph)["digest"]
+        session = self._sessions.get(digest)
+        if session is not None and session.device is device:
+            self._sessions.move_to_end(digest)
+            self.hits += 1
+            self._observe("hits")
+            return session
+        self.misses += 1
+        self._observe("misses")
+        session = GraphSession(graph, device=device, config=config)
+        self._sessions[digest] = session
+        self._sessions.move_to_end(digest)
+        while len(self._sessions) > self.capacity:
+            self._sessions.popitem(last=False)
+            self.evictions += 1
+            self._observe("evictions")
+        return session
+
+    def _observe(self, event: str) -> None:
+        observer = current_observer()
+        if observer is not None:
+            observer.metrics.counter(f"serve.cache.{event}").inc()

@@ -489,3 +489,90 @@ class TestProfile:
         match = re.search(r"```text\n(usage: repro profile.*?)```", doc, re.S)
         assert match, "docs/observability.md lost its pasted --help block"
         assert match.group(1).strip() == help_text
+
+
+class TestBatchCommand:
+    def _graph_file(self, tmp_path):
+        g = attach_uniform_weights(erdos_renyi_graph(60, 300, seed=1), seed=2)
+        path = tmp_path / "little.gr"
+        write_dimacs(g, path)
+        return str(path)
+
+    def _queries_file(self, tmp_path, lines):
+        path = tmp_path / "queries.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_batch_answers_and_writes_manifest(self, tmp_path, capsys):
+        import json
+
+        manifest_path = tmp_path / "batch.json"
+        rc = main(
+            ["batch", "--file", self._graph_file(tmp_path),
+             "--queries", self._queries_file(tmp_path, [
+                 '{"source": 0}',
+                 '{"algorithm": "sssp", "source": 5}',
+                 '{"algorithm": "sssp", "source": 9, "mode": "O_T_QU"}',
+             ]),
+             "--manifest", str(manifest_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sha256:" in out
+        assert "batched" in out and "fallback" in out
+        doc = json.loads(manifest_path.read_text())
+        assert doc["algorithm"] == "batch"
+        assert doc["result"]["ok"] == 3
+
+    def test_failing_query_isolated_and_exits_1(self, tmp_path, capsys):
+        rc = main(
+            ["batch", "--file", self._graph_file(tmp_path),
+             "--queries", self._queries_file(tmp_path, [
+                 '{"source": 0}',
+                 '{"source": 5000}',
+             ])]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "error:" in out
+        assert "1 / 2" in out  # the good query still answered
+
+    def test_bad_query_file_exits_2(self, tmp_path, capsys):
+        rc = main(
+            ["batch", "--file", self._graph_file(tmp_path),
+             "--queries", self._queries_file(tmp_path, ["not json"])]
+        )
+        assert rc == 2
+        assert ":1:" in capsys.readouterr().err
+
+    def test_source_out_of_range_exits_2(self, tmp_path, capsys):
+        rc = main(["bfs", "--file", self._graph_file(tmp_path),
+                   "--source", "99"])
+        assert rc == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_serve_round_trip(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                '{"source": 0}\n'
+                "not json\n"
+                '{"algorithm": "sssp", "source": 3}\n'
+            ),
+        )
+        rc = main(["serve", "--file", self._graph_file(tmp_path),
+                   "--batch-size", "2"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        answers = [json.loads(line) for line in captured.out.splitlines()
+                   if line.startswith("{")]
+        by_line = {doc["line"]: doc for doc in answers}
+        assert by_line[1]["ok"] and by_line[1]["values_sha256"]
+        assert not by_line[2]["ok"] and "error" in by_line[2]
+        assert by_line[3]["ok"] and by_line[3]["algorithm"] == "sssp"
+        # The malformed line is answered with an error object but only
+        # real queries count as served.
+        assert "served 2 queries" in captured.err

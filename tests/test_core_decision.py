@@ -96,3 +96,71 @@ class TestRuntimeConfig:
     def test_with_overrides(self):
         cfg = RuntimeConfig().with_overrides(sampling_interval=4)
         assert cfg.sampling_interval == 4
+
+
+class TestDecisionInputAudit:
+    """Regression: NaN or negative decision inputs used to fall silently
+    through every threshold comparison into an arbitrary region."""
+
+    def test_rejects_nan_degree(self, maker):
+        with pytest.raises(RuntimeConfigError, match="finite"):
+            maker.decide(100, float("nan"))
+
+    def test_rejects_infinite_degree(self, maker):
+        with pytest.raises(RuntimeConfigError, match="finite"):
+            maker.decide(100, float("inf"))
+
+    def test_rejects_negative_degree(self, maker):
+        with pytest.raises(RuntimeConfigError):
+            maker.decide(100, -1.0)
+
+    def test_rejects_negative_workset(self, maker):
+        with pytest.raises(RuntimeConfigError, match="workset_size"):
+            maker.decide(-1, 5.0)
+
+    def test_region_audits_too(self, maker):
+        with pytest.raises(RuntimeConfigError):
+            maker.region(10, float("nan"))
+
+    def test_empty_workset_is_valid_input(self, maker):
+        # An empty working set is a legal (terminal) state, not an error.
+        assert maker.decide(0, 0.0).code == "U_B_QU"
+
+    def test_all_zero_outdegree_workset_pins_thread_side(self, maker):
+        # Zero average outdegree sits below any sensible T1: the working
+        # set maps to threads in both the mid and large regions.
+        assert maker.decide(5000, 0.0).code == "U_T_QU"
+        assert maker.decide(50_000, 0.0).code == "U_T_BM"
+
+
+class TestThresholdOrdering:
+    """Regression: tiny graphs resolved the T3 fraction below T2,
+    inverting the Figure-11 mid/large regions."""
+
+    def test_resolved_clamps_t3_up_to_t2(self):
+        t = Thresholds(t1=32.0, t2=2688, t3=100).resolved()
+        assert t.t3 == t.t2 == 2688
+
+    def test_resolved_is_identity_when_ordered(self):
+        t = Thresholds(t1=32.0, t2=100, t3=200)
+        assert t.resolved() is t
+
+    def test_rejects_nan_t1(self):
+        with pytest.raises(RuntimeConfigError):
+            Thresholds(t1=float("nan"), t2=1, t3=1)
+
+    @pytest.mark.parametrize("num_nodes", [1, 2, 31, 200])
+    def test_resolve_thresholds_on_tiny_graphs(self, num_nodes):
+        # T3 = 6 % of a tiny node count resolves far below T2 = 2688;
+        # the resolved thresholds must still be ordered and valid.
+        t = RuntimeConfig().resolve_thresholds(TESLA_C2070, num_nodes)
+        assert t.t3 >= t.t2
+        assert 0 < t.t1_low <= t.t1
+
+    def test_clamped_thresholds_decide_consistently(self):
+        t = RuntimeConfig().resolve_thresholds(TESLA_C2070, 31)
+        maker = DecisionMaker(t)
+        # At the clamped boundary a working set is unambiguously in the
+        # bitmap region, never "both mid and large" as pre-clamp.
+        assert maker.decide(int(t.t2), 5.0).code.endswith("BM")
+        assert maker.decide(int(t.t2) - 1, 5.0).code == "U_B_QU"

@@ -149,3 +149,25 @@ class TestAdaptiveVsStaticSanity:
             for v in unordered_variants()
         )
         assert ad.total_seconds <= 2.0 * best
+
+
+class TestSourceValidation:
+    """Regression: an out-of-range source used to surface as a raw
+    IndexError (or a silent numpy wraparound for negatives) deep inside
+    the kernels instead of one clear GraphError at the entry point."""
+
+    def test_adaptive_rejects_out_of_range(self, medium_graph):
+        with pytest.raises(GraphError, match="out of range"):
+            adaptive_bfs(medium_graph, medium_graph.num_nodes)
+
+    def test_adaptive_rejects_negative(self, medium_graph):
+        with pytest.raises(GraphError, match="out of range"):
+            adaptive_bfs(medium_graph, -1)
+
+    def test_run_static_rejects_out_of_range(self, medium_graph):
+        with pytest.raises(GraphError, match="out of range"):
+            run_static(medium_graph, 10 ** 6, "bfs", "U_T_BM")
+
+    def test_run_static_rejects_negative(self, medium_weighted):
+        with pytest.raises(GraphError, match="out of range"):
+            run_static(medium_weighted, -3, "sssp", "U_T_QU")

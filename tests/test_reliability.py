@@ -492,3 +492,19 @@ class TestPagerankRecovery:
         assert [(e.kind, e.attempt, e.action) for e in a.trace.faults] == [
             (e.kind, e.attempt, e.action) for e in b.trace.faults
         ]
+
+
+class TestResilientSourceValidation:
+    """Regression: a bad source used to burn the whole retry/fallback
+    ladder (with its backoff sleeps) on a query that can never succeed."""
+
+    def test_bad_source_rejected_without_retries(self):
+        from repro.errors import GraphError
+        from repro.reliability import resilient_run
+
+        graph = erdos_renyi_graph(120, 500, seed=3)
+        slept = []
+        guard = GuardConfig(sleeper=slept.append, backoff_base_s=0.01)
+        with pytest.raises(GraphError, match="out of range"):
+            resilient_run(graph, "bfs", 10_000, guard=guard)
+        assert slept == []  # rejected up front: no backoff ladder

@@ -39,6 +39,7 @@ LINKED_DOCS = (
     "docs/observability.md",
     "docs/paper-map.md",
     "docs/reliability.md",
+    "docs/serving.md",
     "docs/simulator.md",
 )
 
