@@ -1,0 +1,158 @@
+"""Serve-loop SLO: continuous batching vs drain-then-refill.
+
+The serving layer's tentpole claim is that *continuous* batching — new
+queries join the fused multi-source frame at the next super-iteration —
+beats the classic *drain-then-refill* scheduler on tail latency: under
+drain, a query arriving just after a batch starts waits for the whole
+batch to finish before it gets a slot, so p99 simulated latency grows
+with batch duration instead of queue position.
+
+This bench replays the same seeded arrival stream through both
+schedulers of :class:`repro.serve.ServeLoop` (same graph session, same
+queries, no faults) and reports p50/p99 simulated and wall latency plus
+throughput.  A second sweep varies the admission-queue capacity under a
+bursty arrival pattern to chart the backpressure story: queue-depth
+high-water and shed-rate per capacity.
+
+The serve manifests (one per scheduler) ride along via ``write_report``
+so the SLO numbers are machine-readable next to the text table.
+"""
+
+import numpy as np
+
+from common import bench_graph, write_report
+from repro.obs import Observer, observing
+from repro.serve import BatchQuery, GraphSession, ServeLoop
+
+DATASET = "co-road"
+NUM_QUERIES = 32
+MAX_ROWS = 8
+#: queries arriving between two scheduling rounds (the offered load)
+ARRIVALS_PER_ROUND = 2
+CAPACITY_SWEEP = (4, 8, 16, 48)
+
+
+def _queries(graph, count: int):
+    rng = np.random.default_rng(11)
+    sources = rng.choice(graph.num_nodes, size=count, replace=False)
+    return [BatchQuery("bfs", int(s), "adaptive") for s in sources]
+
+
+def _run_stream(session, queries, *, scheduler, queue_capacity=256):
+    """Feed *queries* at a fixed arrival rate; return (loop, report)."""
+    loop = ServeLoop(
+        session,
+        scheduler=scheduler,
+        max_batch_rows=MAX_ROWS,
+        queue_capacity=queue_capacity,
+    )
+    pending = list(queries)
+    lineno = 0
+    while pending or loop.busy:
+        for _ in range(ARRIVALS_PER_ROUND):
+            if pending:
+                lineno += 1
+                loop.submit(pending.pop(0), line=lineno)
+        loop.pump()
+    loop.take_responses()
+    return loop, loop.finalize()
+
+
+def build_report():
+    graph = bench_graph(DATASET, scale=0.02)
+    session = GraphSession(graph)
+    queries = _queries(graph, NUM_QUERIES)
+
+    table = None
+    stats = {}
+    manifests = []
+    from repro.utils.tables import Table
+
+    table = Table(
+        ["scheduler", "p50 sim (ms)", "p99 sim (ms)", "p50 wall (ms)",
+         "p99 wall (ms)", "throughput (q/sim-s)", "super-iters"],
+        title=f"serve-loop SLO: {NUM_QUERIES} adaptive BFS queries on "
+        f"{DATASET}, {ARRIVALS_PER_ROUND} arrivals/round, "
+        f"{MAX_ROWS} frame rows",
+    )
+    for scheduler in ("continuous", "drain"):
+        observer = Observer()
+        with observing(observer):
+            loop, report = _run_stream(session, queries, scheduler=scheduler)
+        doc = report.result_dict()
+        assert doc["answered"] == NUM_QUERIES
+        assert doc["ok"] == NUM_QUERIES
+        throughput = (
+            doc["answered"] / doc["total_sim_seconds"]
+            if doc["total_sim_seconds"]
+            else 0.0
+        )
+        table.add_row(
+            [
+                scheduler,
+                f"{doc['latency_sim_s']['p50'] * 1e3:.3f}",
+                f"{doc['latency_sim_s']['p99'] * 1e3:.3f}",
+                f"{doc['latency_wall_s']['p50'] * 1e3:.3f}",
+                f"{doc['latency_wall_s']['p99'] * 1e3:.3f}",
+                f"{throughput:.0f}",
+                doc["super_iterations"],
+            ]
+        )
+        stats[scheduler] = doc
+        manifests.append(loop.to_manifest(observer=observer))
+
+    # Backpressure curve: a burst of every query at once against a
+    # bounded queue — smaller queues shed more, by design, explicitly.
+    curve = Table(
+        ["queue capacity", "admitted", "shed", "shed rate",
+         "queue high-water"],
+        title="admission-control curve: full burst arrival",
+    )
+    curve_rows = {}
+    for capacity in CAPACITY_SWEEP:
+        loop = ServeLoop(
+            session, queue_capacity=capacity, max_batch_rows=MAX_ROWS
+        )
+        for i, query in enumerate(queries, start=1):
+            loop.submit(query, line=i)
+        loop.drain()
+        loop.take_responses()
+        report = loop.finalize()
+        shed_rate = report.shed / NUM_QUERIES
+        curve.add_row(
+            [capacity, report.admitted, report.shed, f"{shed_rate:.0%}",
+             report.queue_depth_high_water]
+        )
+        curve_rows[capacity] = {
+            "admitted": report.admitted,
+            "shed": report.shed,
+            "shed_rate": shed_rate,
+            "queue_depth_high_water": report.queue_depth_high_water,
+        }
+
+    content = table.render() + "\n\n" + curve.render()
+    return content, stats, curve_rows, manifests
+
+
+def test_serve_slo(benchmark):
+    content, stats, curve_rows, manifests = benchmark.pedantic(
+        build_report, rounds=1, iterations=1
+    )
+    write_report(
+        "serve_slo",
+        content,
+        data={"schedulers": stats, "backpressure_curve": curve_rows},
+        manifest=manifests,
+    )
+
+    continuous = stats["continuous"]["latency_sim_s"]
+    drain = stats["drain"]["latency_sim_s"]
+    # Contract: continuous batching does not lose on median simulated
+    # latency and wins on the tail — the whole point of joining a
+    # running frame instead of waiting for it to drain.
+    assert continuous["p99"] <= drain["p99"], (continuous, drain)
+    # Backpressure contract: shedding is monotone in queue capacity,
+    # and an unbounded-enough queue sheds nothing.
+    rates = [curve_rows[c]["shed"] for c in CAPACITY_SWEEP]
+    assert rates == sorted(rates, reverse=True), rates
+    assert curve_rows[max(CAPACITY_SWEEP)]["shed"] == 0

@@ -29,6 +29,7 @@ Exit codes: 0 success, 1 verification mismatch, 2 a :class:`ReproError`
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -903,64 +904,190 @@ def cmd_batch(args) -> int:
 def cmd_serve(args) -> int:
     """Serve queries from stdin: JSONL requests in, JSON answers out.
 
-    Reads query objects line by line, groups them into batches of
-    ``--batch-size``, and answers each batch through the session cache;
-    one JSON result object is written per query, in input order.
-    Malformed lines become error objects, never a crash.
+    Reads query objects line by line into the resilient
+    :class:`~repro.serve.loop.ServeLoop` — a bounded admission queue
+    (overload sheds with explicit error responses), per-query deadlines
+    armed at admission, continuous batching into a fused multi-source
+    frame with per-row fault isolation, and a circuit breaker across
+    the batch/fallback paths.  One JSON result object is written per
+    query.  Malformed lines become error objects; a library failure
+    while serving becomes an error object; neither crashes the server.
+    Ctrl-C drains what was already admitted, prints the summary and
+    exits 130; a closed output pipe exits quietly.
     """
     import json as _json
 
     from repro.obs import Observer, observing
-    from repro.serve import BatchQuery, BatchRunner, SessionCache
+    from repro.serve import ServeLoop, SessionCache
 
     graph, _, device = _resolve_workload(
         args, weighted=True, resolve_source=False
     )
+    injector = None
+    if getattr(args, "fault_plan", None):
+        from repro.reliability import FaultInjector, load_fault_plan
+
+        plan = load_fault_plan(args.fault_plan)
+        if not plan.is_empty:
+            injector = FaultInjector(plan)
+
     observer = Observer()
     cache = SessionCache(capacity=args.cache_size)
     served = 0
+    interrupted = False
 
-    def flush(pending) -> None:
+    def emit(doc: dict) -> None:
+        print(_json.dumps(doc, sort_keys=True), flush=True)
+
+    def emit_responses(loop) -> None:
         nonlocal served
-        if not pending:
-            return
-        with observing(observer):
-            session = cache.get(graph, device=device, config=RuntimeConfig())
-            batch = BatchRunner(session).run([q for _, q in pending])
-        for (lineno, _), result in zip(pending, batch.queries):
-            doc = result.summary()
-            doc["line"] = lineno
-            print(_json.dumps(doc, sort_keys=True), flush=True)
+        for doc in loop.take_responses():
+            emit(doc)
             served += 1
-        pending.clear()
 
-    pending = []
-    for lineno, line in enumerate(sys.stdin, start=1):
-        line = line.strip()
-        if not line:
-            continue
+    with observing(observer):
+        session = cache.get(graph, device=device, config=RuntimeConfig())
+        loop = ServeLoop(
+            session,
+            queue_capacity=args.queue_capacity,
+            max_batch_rows=args.batch_size,
+            default_deadline_s=args.deadline_s,
+            scheduler=args.scheduler,
+            max_iterations=getattr(args, "max_iterations", None),
+            fault_injector=injector,
+        )
         try:
-            doc = _json.loads(line)
-            if not isinstance(doc, dict):
-                raise ValueError("query line must be a JSON object")
-            query = BatchQuery.from_dict(doc)
-        except (ValueError, ReproError) as exc:
+            try:
+                for lineno, line in enumerate(sys.stdin, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        doc = _json.loads(line)
+                        if not isinstance(doc, dict):
+                            raise ValueError(
+                                "query line must be a JSON object"
+                            )
+                        loop.submit(doc, line=lineno)
+                    except (ValueError, ReproError) as exc:
+                        emit({"line": lineno, "ok": False,
+                              "error": str(exc)})
+                        continue
+                    if len(loop.queue) >= args.batch_size:
+                        try:
+                            loop.pump()
+                        except ReproError as exc:
+                            # Isolated per-query failures are already
+                            # responses; this is a serving-layer fault —
+                            # report it and keep reading.
+                            emit({"line": None, "ok": False,
+                                  "error": f"serve: {exc}"})
+                    emit_responses(loop)
+                loop.drain()
+            except KeyboardInterrupt:
+                # Graceful shutdown: answer what was already admitted.
+                interrupted = True
+                try:
+                    loop.drain()
+                except (KeyboardInterrupt, ReproError):
+                    pass
+            emit_responses(loop)
+        except BrokenPipeError:
+            # Reader went away: nobody is listening — leave quietly.
+            try:
+                sys.stdout.close()
+            except BrokenPipeError:
+                pass
+            sys.stdout = open(os.devnull, "w")
+            interrupted = interrupted or False
+        report = loop.finalize()
+    if args.manifest:
+        loop.to_manifest(observer=observer).write(args.manifest)
+    try:
+        if interrupted:
             print(
-                _json.dumps({"line": lineno, "ok": False, "error": str(exc)},
-                            sort_keys=True),
-                flush=True,
+                "[interrupted: pending queries flushed, shutting down]",
+                file=sys.stderr,
             )
-            continue
-        pending.append((lineno, query))
-        if len(pending) >= args.batch_size:
-            flush(pending)
-    flush(pending)
-    print(
-        f"[served {served} queries; cache {cache.hits} hits / "
-        f"{cache.misses} misses]",
-        file=sys.stderr,
-    )
-    return 0
+        print(
+            f"[served {served} queries; cache {cache.hits} hits / "
+            f"{cache.misses} misses]",
+            file=sys.stderr,
+        )
+        wall = report.result_dict()["latency_wall_s"]
+        print(
+            f"[slo: p50 {wall['p50'] * 1e3:.1f} ms / "
+            f"p99 {wall['p99'] * 1e3:.1f} ms wall; "
+            f"shed {report.shed}; deadline misses {report.deadline_misses}; "
+            f"rows ejected {report.rows_ejected}; "
+            f"fallbacks {report.fallbacks}; "
+            f"breaker trips {loop.breaker.total_trips}]",
+            file=sys.stderr,
+        )
+        if args.manifest:
+            print(f"[manifest written to {args.manifest}]", file=sys.stderr)
+    except BrokenPipeError:  # pragma: no cover - stderr gone too
+        pass
+    return 130 if interrupted else 0
+
+
+def cmd_chaos(args) -> int:
+    """Seeded chaos soak over the serve loop; exit 0 iff every
+    invariant held (no crash, exactly-once, SHA parity)."""
+    from repro.obs import Observer, observing
+    from repro.obs.manifest import build_serve_manifest
+    from repro.serve.chaos import default_chaos_plan, run_chaos
+
+    if args.fault_plan:
+        from repro.reliability import load_fault_plan
+
+        plan = load_fault_plan(args.fault_plan)
+    else:
+        plan = default_chaos_plan(args.seed)
+
+    observer = Observer()
+    with observing(observer):
+        report = run_chaos(
+            num_queries=args.queries,
+            num_nodes=args.nodes,
+            seed=args.seed,
+            fault_plan=plan,
+            queue_capacity=args.queue_capacity,
+            max_batch_rows=args.batch_size,
+            deadline_s=args.deadline_s,
+            scheduler=args.scheduler,
+        )
+
+    doc = report.result_dict()
+    table = Table(["metric", "value"], title="chaos soak")
+    table.add_row(["queries", report.num_queries])
+    table.add_row(["faults injected", report.faults_injected])
+    table.add_row(["answered", doc["answered"]])
+    table.add_row(["ok", doc["ok"]])
+    table.add_row(["errors", doc["errors"]])
+    table.add_row(["shed", doc["shed"]])
+    table.add_row(["deadline misses", doc["deadline_misses"]])
+    table.add_row(["rows ejected", doc["rows_ejected"]])
+    table.add_row(["fallbacks", doc["fallbacks"]])
+    table.add_row(["super-iterations", doc["super_iterations"]])
+    table.add_row(["duplicates", report.duplicate_responses])
+    table.add_row(["missing", report.missing_responses])
+    table.add_row(["sha mismatches", report.sha_mismatches])
+    table.add_row(["verdict", "PASS" if report.passed else "FAIL"])
+    print(table.render())
+    for violation in report.violations:
+        print(f"violation: {violation}", file=sys.stderr)
+    if args.manifest:
+        manifest = build_serve_manifest(
+            doc,
+            graph=report.session.graph,
+            device=report.session.device,
+            config=report.session.config,
+            observer=observer,
+        )
+        manifest.write(args.manifest)
+        print(f"[manifest written to {args.manifest}]")
+    return 0 if report.passed else 1
 
 
 # ----------------------------------------------------------------------
@@ -1130,13 +1257,63 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve queries from stdin against a cached graph session "
         "(JSONL requests in, JSON answers out)",
+        description="A resilient continuous-batching server: a bounded "
+        "admission queue sheds overload with explicit error responses, "
+        "deadlines start at admission, new queries join the running "
+        "fused frame at the next super-iteration, and per-row faults "
+        "eject one query to the guarded fallback while the rest of the "
+        "batch keeps running.",
     )
     _add_workload_args(p)
     p.add_argument("--batch-size", type=int, default=32,
-                   help="queries grouped into one fused batch")
+                   help="max rows resident in the fused frame at once")
     p.add_argument("--cache-size", type=int, default=4,
                    help="session-cache LRU capacity")
+    p.add_argument("--queue-capacity", type=int, default=64,
+                   help="admission-queue bound; overload sheds with "
+                   "explicit error responses")
+    p.add_argument("--deadline-s", type=float, default=None,
+                   help="default per-query wall-clock deadline, armed at "
+                   "admission (queries may carry their own deadline_s)")
+    p.add_argument("--scheduler", choices=("continuous", "drain"),
+                   default="continuous",
+                   help="continuous batching vs drain-then-refill")
+    p.add_argument("--fault-plan", default=None, metavar="JSON|FILE",
+                   help="inject seeded faults while serving (chaos)")
+    p.add_argument("--max-iterations", type=int, default=None,
+                   help="per-query iteration budget")
+    p.add_argument("--manifest", default=None, metavar="FILE",
+                   help="write the serve RunManifest JSON here on exit")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded chaos soak over the serve loop (no crash, "
+        "exactly-once, SHA parity)",
+        description="Run a seeded query stream through the serve loop "
+        "under an aggressive fault plan, deadline pressure and a "
+        "bounded queue, then check the resilience invariants against a "
+        "fault-free reference run.  Exit 0 iff all invariants held.",
+    )
+    p.add_argument("--queries", type=int, default=200,
+                   help="queries in the soak stream")
+    p.add_argument("--nodes", type=int, default=600,
+                   help="size of the generated chaos graph")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the graph, query stream and fault plan")
+    p.add_argument("--fault-plan", default=None, metavar="JSON|FILE",
+                   help="override the default chaos fault plan")
+    p.add_argument("--queue-capacity", type=int, default=48,
+                   help="admission-queue bound during the soak")
+    p.add_argument("--batch-size", type=int, default=16,
+                   help="max rows resident in the fused frame")
+    p.add_argument("--deadline-s", type=float, default=5.0,
+                   help="deadline carried by a slice of the queries")
+    p.add_argument("--scheduler", choices=("continuous", "drain"),
+                   default="continuous")
+    p.add_argument("--manifest", default=None, metavar="FILE",
+                   help="write the soak's RunManifest JSON here")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("sweep-t3", help="Figure-13-style T3 sensitivity sweep")
     _add_workload_args(p)

@@ -8,6 +8,7 @@ manifest builder and the CLI stay algorithm-generic.
 """
 
 from repro.engine.batch import (
+    BatchFrame,
     BatchFrameResult,
     BatchQueryResult,
     QueryPlan,
@@ -31,6 +32,7 @@ from repro.engine.types import (
 
 __all__ = [
     "AlgorithmInfo",
+    "BatchFrame",
     "BatchFrameResult",
     "BatchQueryResult",
     "QueryPlan",

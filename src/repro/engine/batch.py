@@ -1,9 +1,10 @@
 """The batched multi-source driver: many queries, one Figure-8 loop.
 
-:func:`run_batch_frame` executes a batch of ``(spec, source, policy)``
+:class:`BatchFrame` executes a batch of ``(spec, source, policy)``
 queries over one device-resident graph by stacking the per-query
 frontiers into rows of a single host loop.  Each *super-iteration*
-advances every still-active query by exactly one iteration:
+(:meth:`BatchFrame.step`) advances every still-active query by exactly
+one iteration:
 
 - queries currently running the same variant share one **fused
   computation launch** (:func:`repro.kernels.multisource.fused_computation_tally`),
@@ -21,25 +22,40 @@ pre-loop choice, then ``choose(iteration + 1, next_size)`` after each
 computation step — so a batched query's values and decision trace are
 bit-identical to its single-source run.  Only the *pricing* is fused.
 
-Failure isolation: a query that fails validation or exceeds its
-iteration budget is marked failed and dropped from subsequent
-super-iterations; the rest of the batch completes normally.
+**Continuous batching**: rows do not all have to arrive up front.
+:meth:`BatchFrame.admit` can be called between super-iterations, so a
+serving loop (:mod:`repro.serve.loop`) lets new queries join the fused
+frame at the next super-iteration instead of waiting for the running
+batch to drain.  :func:`run_batch_frame` is the one-shot wrapper —
+admit everything, step until done — and prices exactly what it always
+did.
+
+**Fault isolation is per row.**  A fault attributable to one query — a
+memory fault injected into its state arrays, a launch failure of a
+fused group it rode in, a watchdog deadline armed at admission — *ejects*
+that row (``BatchQueryResult.ejected``) while the rest of the slab
+keeps running bit-identical results.  Ejected rows are the serving
+layer's cue to re-run the query through the guarded single-source
+fallback; they are never silently dropped.
 
 Per-query :class:`~repro.engine.types.IterationRecord` entries carry
 ``seconds=0.0``: fused launches are shared, so simulated time lives on
-the batch's single timeline rather than being attributed per query.
+the batch's single timeline rather than being attributed per query
+(each row does accumulate its *share* of the passes it rode in
+``BatchQueryResult.sim_seconds``, which is what SLO latency reporting
+uses).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.engine.spec import AlgorithmSpec, FrameState
 from repro.engine.types import HOST_INIT_PER_NODE_S, IterationRecord, VariantPolicy
-from repro.errors import KernelError, ReproError
+from repro.errors import KernelError, NonConvergenceError, ReproError
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import DeviceSpec, TESLA_C2070
 from repro.gpusim.kernel import CostModel, CostParams
@@ -54,7 +70,13 @@ from repro.kernels.multisource import (
 from repro.kernels.variants import Variant
 from repro.obs.context import current_observer
 
-__all__ = ["QueryPlan", "BatchQueryResult", "BatchFrameResult", "run_batch_frame"]
+__all__ = [
+    "QueryPlan",
+    "BatchQueryResult",
+    "BatchFrameResult",
+    "BatchFrame",
+    "run_batch_frame",
+]
 
 
 @dataclass(frozen=True)
@@ -79,10 +101,22 @@ class BatchQueryResult:
     #: the algorithm's answer array; None when the query failed
     values: Optional[np.ndarray]
     iterations: List[IterationRecord]
-    #: why the query failed (validation or non-convergence); None = ok
+    #: why the query failed (validation, non-convergence, or the fault
+    #: that ejected it); None = ok
     error: Optional[str] = None
     #: the policy's decision trace when it keeps one (AdaptivePolicy)
     trace: Optional[object] = None
+    #: True when a per-row fault/deadline ejected this row mid-flight;
+    #: the serving layer routes ejected queries to the single-source
+    #: fallback instead of answering the error directly
+    ejected: bool = False
+    #: what ejected the row: "fault" (retryable via fallback) or
+    #: "deadline" (the admission-armed watchdog expired); None otherwise
+    eject_kind: Optional[str] = None
+    #: the row's share of the simulated seconds of every super-iteration
+    #: it was active in (SLO latency accounting; the batch's authoritative
+    #: total stays on the shared timeline)
+    sim_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -108,6 +142,8 @@ class BatchFrameResult:
     launches_saved: int
     #: per-iteration readbacks avoided by the fused size readback
     readbacks_saved: int
+    #: rows ejected by per-row faults or admission deadlines
+    rows_ejected: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -121,17 +157,22 @@ class BatchFrameResult:
 class _Row:
     """Mutable per-query loop state (private to the driver)."""
 
-    def __init__(self, index: int, plan: QueryPlan):
+    def __init__(self, index: int, plan: QueryPlan, watchdog=None):
         self.index = index
         self.spec = plan.spec
         self.source = plan.source
         self.policy = plan.policy
+        self.watchdog = watchdog
         self.state: Optional[FrameState] = None
         self.variant: Optional[Variant] = None
         self.records: List[IterationRecord] = []
         self.iteration = 0
         self.cap = 0
         self.error: Optional[str] = None
+        self.ejected = False
+        self.eject_kind: Optional[str] = None
+        self.sim_seconds = 0.0
+        self.resident = False  # state block charged against device memory
         self.pending = None  # (updated, improved, edges, size) within a pass
 
     def result(self) -> BatchQueryResult:
@@ -147,6 +188,9 @@ class _Row:
             iterations=self.records,
             error=self.error,
             trace=getattr(self.policy, "trace", None),
+            ejected=self.ejected,
+            eject_kind=self.eject_kind,
+            sim_seconds=self.sim_seconds,
         )
 
 
@@ -161,111 +205,276 @@ class _RowContext:
         self.policy = policy
 
 
-def run_batch_frame(
-    graph: CSRGraph,
-    plans: Sequence[QueryPlan],
-    *,
-    device: DeviceSpec = TESLA_C2070,
-    cost_params: Optional[CostParams] = None,
-    max_iterations: Optional[int] = None,
-    queue_gen: str = "atomic",
-) -> BatchFrameResult:
-    """Run every query of *plans* on the batched multi-source frame.
+class BatchFrame:
+    """A running batched multi-source frame that rows can join and leave.
 
-    Every spec must be :attr:`~repro.engine.spec.AlgorithmSpec.batchable`
-    (callers route non-batchable algorithms through the single-source
-    fallback instead — that is a dispatch decision, not a per-query
-    fault, so it raises).  Mixed-algorithm batches are fine: only
-    same-variant same-algorithm rows fuse into one launch.
+    The one-shot path is :func:`run_batch_frame`; a serving loop holds a
+    ``BatchFrame`` open instead, calling :meth:`admit` between
+    :meth:`step` calls so new queries join at the next super-iteration
+    (continuous batching), and :meth:`take_finished` after each step to
+    collect rows that completed or were ejected.
+
+    *fault_hook* is the same per-iteration seam the single-source driver
+    exposes (``on_iteration(iteration, values, frontier)``); here it is
+    called once per active row per super-iteration, and a
+    :class:`~repro.errors.ReproError` it raises ejects only that row.
+    The caller owns installing any gpusim-side hook
+    (``FaultInjector.installed()``) around :meth:`step`.
     """
-    if not plans:
-        raise KernelError("run_batch_frame needs at least one query")
-    for plan in plans:
-        if not plan.spec.batchable:
-            raise KernelError(
-                f"{plan.spec.name} does not support batched multi-source "
-                "execution (route it through the single-source fallback)"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        device: DeviceSpec = TESLA_C2070,
+        cost_params: Optional[CostParams] = None,
+        max_iterations: Optional[int] = None,
+        queue_gen: str = "atomic",
+        fault_hook=None,
+    ):
+        self.graph = graph
+        self.device = device
+        self.model = CostModel(device, cost_params)
+        self.timeline = Timeline()
+        self.max_iterations = max_iterations
+        self.queue_gen = queue_gen
+        self.fault_hook = fault_hook
+        self.rows: List[_Row] = []
+        self.super_iterations = 0
+        self.fused_launches = 0
+        self.launches_saved = 0
+        self.readbacks_saved = 0
+        self.rows_ejected = 0
+        n = graph.num_nodes
+        self._n = n
+        #: per-row device footprint: values + membership + frontier + bitmap
+        self._state_bytes = 4 * n + n + 4 * n + n // 8
+        self._graph_resident = False
+        self._resident_rows = 0
+        #: rows that finished ok but whose value readback is not priced yet
+        self._unpriced: List[_Row] = []
+        #: rows finished (ok, failed or ejected) not yet handed to the caller
+        self._finished: List[_Row] = []
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        graph_bytes = self.graph.device_bytes() if self._graph_resident else 0
+        return graph_bytes + self._resident_rows * self._state_bytes
+
+    def admit(
+        self,
+        plans: Sequence[QueryPlan],
+        *,
+        watchdogs: Optional[Sequence] = None,
+        isolate_capacity: bool = False,
+    ) -> List[_Row]:
+        """Add *plans* as new rows, joining at the next super-iteration.
+
+        Non-batchable specs raise :class:`~repro.errors.KernelError` —
+        that is a dispatch bug, not a query fault.  Per-query problems
+        (bad source) mark the row failed without raising.  When the new
+        rows' state blocks do not fit device memory the whole call
+        raises, unless *isolate_capacity* is set — then overflowing rows
+        are individually marked failed (the serving layer routes them to
+        the fallback) and the rest are admitted.
+
+        *watchdogs* (parallel to *plans*) attaches per-row deadline
+        clocks; arm them at admission so queue wait counts.
+        """
+        for plan in plans:
+            if not plan.spec.batchable:
+                raise KernelError(
+                    f"{plan.spec.name} does not support batched multi-source "
+                    "execution (route it through the single-source fallback)"
+                )
+        new_rows: List[_Row] = []
+        for offset, plan in enumerate(plans):
+            watchdog = watchdogs[offset] if watchdogs is not None else None
+            row = _Row(len(self.rows), plan, watchdog=watchdog)
+            self.rows.append(row)
+            new_rows.append(row)
+            try:
+                row.spec.validate(self.graph, row.source)
+            except ReproError as exc:
+                row.error = str(exc)
+                self._finished.append(row)
+        live = [r for r in new_rows if r.error is None]
+
+        # One h2d for the admission wave: the graph (first wave only)
+        # plus every new live row's state block, behind one PCIe latency.
+        graph_bytes = 0 if self._graph_resident else self.graph.device_bytes()
+        capacity = self.device.global_mem_bytes
+        admitted: List[_Row] = []
+        for row in live:
+            needed = graph_bytes + self.resident_bytes + (
+                (len(admitted) + 1) * self._state_bytes
             )
-    model = CostModel(device, cost_params)
-    timeline = Timeline()
-    rows = [_Row(i, plan) for i, plan in enumerate(plans)]
+            if needed > capacity:
+                if not isolate_capacity:
+                    raise KernelError(
+                        f"batch of {len(live)} queries on {self.graph.name!r} "
+                        f"needs {needed / 2**30:.2f} GiB of device memory but "
+                        f"{self.device.name} has {capacity / 2**30:.2f} GiB "
+                        "(shrink the batch)"
+                    )
+                row.error = (
+                    f"admission refused: row state would exceed "
+                    f"{self.device.name}'s device memory"
+                )
+                self._finished.append(row)
+                continue
+            admitted.append(row)
+        if admitted or graph_bytes:
+            total_bytes = graph_bytes + len(admitted) * self._state_bytes
+            if admitted:
+                self.timeline.add_transfer(
+                    record_transfer("h2d", total_bytes, self.device)
+                )
+                self.timeline.add_host_seconds(
+                    len(admitted) * self._n * HOST_INIT_PER_NODE_S
+                )
+                self._graph_resident = True
+                self._resident_rows += len(admitted)
+                for row in admitted:
+                    row.resident = True
 
-    # Per-query validation: a bad query is isolated, not fatal.
-    for row in rows:
-        try:
-            row.spec.validate(graph, row.source)
-        except ReproError as exc:
-            row.error = str(exc)
-    live = [r for r in rows if r.error is None]
-
-    # One initial transfer for the whole batch: the graph goes up once,
-    # plus every query's state block, behind a single PCIe latency.
-    n = graph.num_nodes
-    state_bytes = 4 * n + n + 4 * n + n // 8
-    if live:
-        total_bytes = graph.device_bytes() + len(live) * state_bytes
-        if total_bytes > device.global_mem_bytes:
-            raise KernelError(
-                f"batch of {len(live)} queries on {graph.name!r} needs "
-                f"{total_bytes / 2**30:.2f} GiB of device memory but "
-                f"{device.name} has {device.global_mem_bytes / 2**30:.2f} GiB "
-                "(shrink the batch)"
+        # Per-query init + the pre-loop variant choice, mirroring
+        # run_frame: the paper's decision point is after each computation
+        # kernel, so the pre-loop choice covers iteration 0 only.
+        for row in admitted:
+            ctx = _RowContext(self.graph, self.device, row.source, row.policy)
+            row.state = row.spec.init_state(ctx)
+            row.cap = (
+                self.max_iterations
+                if self.max_iterations is not None
+                else row.spec.default_cap(self.graph)
             )
-        timeline.add_transfer(record_transfer("h2d", total_bytes, device))
-        timeline.add_host_seconds(len(live) * n * HOST_INIT_PER_NODE_S)
+            hint = row.spec.first_choose_size(row.state)
+            if hint is not None:
+                row.variant = row.policy.choose(0, hint)
+            elif row.spec.work_remaining(row.state):
+                row.variant = row.policy.choose(
+                    0, row.spec.work_remaining(row.state)
+                )
+        return new_rows
 
-    # Per-query init + the pre-loop variant choice, mirroring run_frame:
-    # the paper's decision point is after each computation kernel, so the
-    # pre-loop choice covers iteration 0 only.
-    for row in live:
-        ctx = _RowContext(graph, device, row.source, row.policy)
-        row.state = row.spec.init_state(ctx)
-        row.cap = (
-            max_iterations
-            if max_iterations is not None
-            else row.spec.default_cap(graph)
-        )
-        hint = row.spec.first_choose_size(row.state)
-        if hint is not None:
-            row.variant = row.policy.choose(0, hint)
-        elif row.spec.work_remaining(row.state):
-            row.variant = row.policy.choose(0, row.spec.work_remaining(row.state))
+    # ------------------------------------------------------------------
+    # Row retirement
+    # ------------------------------------------------------------------
 
-    fused_launches = 0
-    launches_saved = 0
-    readbacks_saved = 0
-    super_it = 0
+    def _retire(self, row: _Row) -> None:
+        if row.resident:
+            row.resident = False
+            self._resident_rows -= 1
+        self._finished.append(row)
 
-    while True:
-        active = [
-            r for r in live
-            if r.error is None and r.spec.work_remaining(r.state)
+    def _eject(self, row: _Row, reason: str, kind: str) -> None:
+        """Remove one faulting/expired row; the slab keeps running."""
+        row.ejected = True
+        row.eject_kind = kind
+        row.error = reason
+        row.pending = None
+        self.rows_ejected += 1
+        observer = current_observer()
+        if observer is not None:
+            observer.metrics.counter("batch.rows_ejected").inc()
+        self._retire(row)
+
+    def take_finished(self) -> List[BatchQueryResult]:
+        """Results of rows that completed, failed or were ejected since
+        the last call (continuous-serving interface).  Prices the fused
+        value readback for the ok rows taken."""
+        self._price_value_readbacks()
+        out, self._finished = self._finished, []
+        return [row.result() for row in out]
+
+    def _price_value_readbacks(self) -> None:
+        done_ok = [r for r in self._unpriced]
+        if done_ok:
+            self.timeline.add_transfer(
+                record_transfer("d2h", len(done_ok) * 4 * self._n, self.device)
+            )
+        self._unpriced = []
+
+    # ------------------------------------------------------------------
+    # The super-iteration
+    # ------------------------------------------------------------------
+
+    @property
+    def active_rows(self) -> List[_Row]:
+        return [
+            r for r in self.rows
+            if r.error is None and r.state is not None
+            and r.spec.work_remaining(r.state)
         ]
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.active_rows)
+
+    def step(self) -> bool:
+        """Advance every active row by one iteration (one fused pass).
+
+        Returns False — without stepping — when no row has work left.
+        """
+        active = self.active_rows
         if not active:
-            break
+            # Rows that drained on a previous pass retire here (the
+            # one-shot wrapper retires them in bulk at the end).
+            return False
+
+        pass_start = self.timeline.total_seconds
+
+        survivors = []
         for row in active:
             if row.iteration >= row.cap:
                 row.error = row.spec.cap_message(row.cap)
-        active = [r for r in active if r.error is None]
+                self._retire(row)
+                continue
+            if row.watchdog is not None:
+                try:
+                    row.watchdog.check(row.iteration, row.sim_seconds)
+                except NonConvergenceError as exc:
+                    self._eject(row, str(exc), kind="deadline")
+                    continue
+            if self.fault_hook is not None:
+                try:
+                    self.fault_hook.on_iteration(
+                        row.iteration, row.state.values, row.state.frontier
+                    )
+                except ReproError as exc:
+                    self._eject(row, str(exc), kind="fault")
+                    continue
+            survivors.append(row)
+        active = survivors
         if not active:
-            break
+            return False
 
         # --- fused computation: group rows by (algorithm, variant, tpb)
         groups: dict = {}
         for row in active:
-            tpb = row.spec.tpb(row.variant, graph, device)
+            tpb = row.spec.tpb(row.variant, self.graph, self.device)
             key = (row.spec.name, row.variant.code, tpb)
             groups.setdefault(key, []).append(row)
 
-        pass_seconds = 0.0
         for (alg, code, tpb), members in groups.items():
             relaxations = []
+            healthy = []
             for row in members:
                 size = int(row.spec.work_remaining(row.state))
-                updated, degrees, improved, edges = row.spec.batch_relax(
-                    graph, row.state
-                )
+                try:
+                    updated, degrees, improved, edges = row.spec.batch_relax(
+                        self.graph, row.state
+                    )
+                except ReproError as exc:
+                    self._eject(row, str(exc), kind="fault")
+                    continue
                 row.pending = (updated, improved, edges, size)
+                healthy.append(row)
                 relaxations.append(
                     RowRelaxation(
                         active_ids=row.state.frontier,
@@ -274,22 +483,37 @@ def run_batch_frame(
                         updated_count=int(updated.size),
                     )
                 )
-            edge_cost, weight_streams = members[0].spec.batch_kernel_profile()
-            tally = fused_computation_tally(
-                relaxations,
-                members[0].variant,
-                tpb,
-                n,
-                device,
-                edge_cost=edge_cost,
-                weight_streams=weight_streams,
-                name=f"batch_{alg}_comp",
-            )
-            cost = model.price(tally)
-            timeline.add_kernel(super_it, tally, cost, f"batch:{code}")
-            pass_seconds += cost.seconds
-            fused_launches += 1
-            launches_saved += len(members) - 1
+            if not healthy:
+                continue
+            edge_cost, weight_streams = healthy[0].spec.batch_kernel_profile()
+            try:
+                tally = fused_computation_tally(
+                    relaxations,
+                    healthy[0].variant,
+                    tpb,
+                    self._n,
+                    self.device,
+                    edge_cost=edge_cost,
+                    weight_streams=weight_streams,
+                    name=f"batch_{alg}_comp",
+                )
+                cost = self.model.price(tally)
+            except ReproError as exc:
+                # A launch failure hits the whole fused launch: every
+                # rider is ejected (their relaxation already mutated
+                # state, so only a from-scratch fallback rerun is
+                # bit-safe); other groups keep running.
+                for row in healthy:
+                    self._eject(
+                        row, f"fused launch failed: {exc}", kind="fault"
+                    )
+                continue
+            self.timeline.add_kernel(self.super_iterations, tally, cost,
+                                     f"batch:{code}")
+            self.fused_launches += 1
+            self.launches_saved += len(healthy) - 1
+
+        active = [r for r in active if r.pending is not None]
 
         # --- per-query decision point + bookkeeping (exactly run_frame's
         # sequence: choose(iteration + 1, next_size) when work remains,
@@ -305,14 +529,16 @@ def run_batch_frame(
                 else row.variant
             )
             for tally in row.policy.overhead_tallies(
-                row.iteration, size, n, device
+                row.iteration, size, self._n, self.device
             ):
-                cost = model.price(tally)
-                timeline.add_kernel(
-                    super_it, tally, cost, f"batch:{row.variant.code}"
+                cost = self.model.price(tally)
+                self.timeline.add_kernel(
+                    self.super_iterations, tally, cost,
+                    f"batch:{row.variant.code}",
                 )
-                pass_seconds += cost.seconds
-            gen_groups.setdefault(next_variant.workset, []).append(next_size)
+            entry = gen_groups.setdefault(next_variant.workset, ([], []))
+            entry[0].append(next_size)
+            entry[1].append(row)
             record = IterationRecord(
                 iteration=row.iteration,
                 variant=row.variant.code,
@@ -333,55 +559,124 @@ def run_batch_frame(
         # representation, covering every row headed there (rows that just
         # drained still sweep — discovering emptiness is the kernel's job,
         # exactly as in the single-source frame)
-        for representation, counts in gen_groups.items():
-            for tally in fused_workset_gen_tallies(
-                n, counts, representation, device, scheme=queue_gen
-            ):
-                cost = model.price(tally)
-                timeline.add_kernel(super_it, tally, cost, "batch:gen")
-                pass_seconds += cost.seconds
-            fused_launches += 1
-            launches_saved += len(counts) - 1
+        for representation, (counts, members) in gen_groups.items():
+            try:
+                for tally in fused_workset_gen_tallies(
+                    self._n, counts, representation, self.device,
+                    scheme=self.queue_gen,
+                ):
+                    cost = self.model.price(tally)
+                    self.timeline.add_kernel(
+                        self.super_iterations, tally, cost, "batch:gen"
+                    )
+            except ReproError as exc:
+                for row in members:
+                    if row.error is None and not row.ejected:
+                        self._eject(
+                            row, f"fused generation launch failed: {exc}",
+                            kind="fault",
+                        )
+                continue
+            self.fused_launches += 1
+            self.launches_saved += len(counts) - 1
 
-        # --- one fused readback for the whole batch: every active row's
-        # 4-byte working-set size behind a single PCIe latency
-        timeline.add_transfer(
-            record_transfer("d2h", fused_readback_bytes(len(active)), device)
-        )
-        readbacks_saved += len(active) - 1
-        super_it += 1
+        # --- one fused readback for the whole batch: every surviving
+        # row's 4-byte working-set size behind a single PCIe latency
+        survivors = [r for r in active if not r.ejected and r.error is None]
+        if survivors:
+            self.timeline.add_transfer(
+                record_transfer(
+                    "d2h", fused_readback_bytes(len(survivors)), self.device
+                )
+            )
+            self.readbacks_saved += len(survivors) - 1
+        self.super_iterations += 1
 
-    # One final d2h for every completed query's value array.
-    done_ok = [r for r in live if r.error is None]
-    if done_ok:
-        timeline.add_transfer(
-            record_transfer("d2h", len(done_ok) * 4 * n, device)
+        # Attribute this pass's simulated time to every row that rode it
+        # (shared slab: each rider experiences the whole pass latency).
+        pass_seconds = self.timeline.total_seconds - pass_start
+        for row in survivors:
+            row.sim_seconds += pass_seconds
+
+        # Rows that just drained are complete: queue their value
+        # readback and hand them to the caller.
+        for row in survivors:
+            if not row.spec.work_remaining(row.state):
+                self._unpriced.append(row)
+                self._retire(row)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def finish(self) -> BatchFrameResult:
+        """Run to completion and assemble the batch result."""
+        while self.step():
+            pass
+        self._price_value_readbacks()
+        self._finished = []
+
+        observer = current_observer()
+        if observer is not None:
+            metrics = observer.metrics
+            metrics.counter("batch.queries").inc(len(self.rows))
+            metrics.counter("batch.queries_failed").inc(
+                sum(1 for r in self.rows if r.error is not None)
+            )
+            metrics.counter("batch.super_iterations").inc(self.super_iterations)
+            metrics.counter("batch.fused_launches").inc(self.fused_launches)
+            metrics.counter("batch.launches_saved").inc(self.launches_saved)
+            metrics.counter("batch.readbacks_saved").inc(self.readbacks_saved)
+            observer.spans.add_span(
+                "batch_frame",
+                sim_seconds=self.timeline.total_seconds,
+                queries=len(self.rows),
+                super_iterations=self.super_iterations,
+            )
+
+        return BatchFrameResult(
+            queries=[r.result() for r in self.rows],
+            timeline=self.timeline,
+            device=self.device,
+            super_iterations=self.super_iterations,
+            fused_launches=self.fused_launches,
+            launches_saved=self.launches_saved,
+            readbacks_saved=self.readbacks_saved,
+            rows_ejected=self.rows_ejected,
         )
 
-    observer = current_observer()
-    if observer is not None:
-        metrics = observer.metrics
-        metrics.counter("batch.queries").inc(len(rows))
-        metrics.counter("batch.queries_failed").inc(
-            sum(1 for r in rows if r.error is not None)
-        )
-        metrics.counter("batch.super_iterations").inc(super_it)
-        metrics.counter("batch.fused_launches").inc(fused_launches)
-        metrics.counter("batch.launches_saved").inc(launches_saved)
-        metrics.counter("batch.readbacks_saved").inc(readbacks_saved)
-        observer.spans.add_span(
-            "batch_frame",
-            sim_seconds=timeline.total_seconds,
-            queries=len(rows),
-            super_iterations=super_it,
-        )
 
-    return BatchFrameResult(
-        queries=[r.result() for r in rows],
-        timeline=timeline,
+def run_batch_frame(
+    graph: CSRGraph,
+    plans: Sequence[QueryPlan],
+    *,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    queue_gen: str = "atomic",
+    fault_hook=None,
+    watchdogs: Optional[Sequence] = None,
+) -> BatchFrameResult:
+    """Run every query of *plans* on the batched multi-source frame.
+
+    Every spec must be :attr:`~repro.engine.spec.AlgorithmSpec.batchable`
+    (callers route non-batchable algorithms through the single-source
+    fallback instead — that is a dispatch decision, not a per-query
+    fault, so it raises).  Mixed-algorithm batches are fine: only
+    same-variant same-algorithm rows fuse into one launch.
+
+    This is the one-shot form of :class:`BatchFrame` — all rows admitted
+    up front, stepped until drained — and prices the same transfers and
+    launches the pre-continuous driver did.
+    """
+    if not plans:
+        raise KernelError("run_batch_frame needs at least one query")
+    frame = BatchFrame(
+        graph,
         device=device,
-        super_iterations=super_it,
-        fused_launches=fused_launches,
-        launches_saved=launches_saved,
-        readbacks_saved=readbacks_saved,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
+        queue_gen=queue_gen,
+        fault_hook=fault_hook,
     )
+    frame.admit(plans, watchdogs=watchdogs)
+    return frame.finish()

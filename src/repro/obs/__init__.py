@@ -42,6 +42,7 @@ from repro.obs.manifest import (
     RunManifest,
     build_batch_manifest,
     build_manifest,
+    build_serve_manifest,
     graph_fingerprint,
 )
 from repro.obs.metrics import (
@@ -72,6 +73,7 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "build_manifest",
     "build_batch_manifest",
+    "build_serve_manifest",
     "graph_fingerprint",
     "combined_trace_events",
     "export_combined_trace",

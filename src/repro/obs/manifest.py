@@ -43,6 +43,7 @@ __all__ = [
     "RunManifest",
     "build_manifest",
     "build_batch_manifest",
+    "build_serve_manifest",
 ]
 
 #: bump when the document shape changes incompatibly
@@ -311,6 +312,38 @@ def build_batch_manifest(
         config=_config_dict(config),
         result=result,
         decisions=list(decisions or []),
+        metrics=observer.metrics.snapshot() if observer is not None else {},
+        spans=observer.spans.to_dicts() if observer is not None else [],
+    )
+
+
+def build_serve_manifest(
+    result: dict,
+    *,
+    graph: CSRGraph,
+    device=None,
+    config=None,
+    observer=None,
+) -> RunManifest:
+    """Assemble a manifest for one *serve-loop* session.
+
+    Like a batch, a serving session spans many queries, so the document
+    uses ``algorithm="serve"``, ``mode="serve"`` and ``source=-1``.  The
+    SLO story — admission / shed / answered counts, latency percentiles,
+    breaker state, scheduler mode — rides in the free-form ``result``
+    dict (already JSON-shaped), and the ``serve.*`` / ``breaker.*``
+    catalog metrics land in the embedded metrics snapshot when the
+    session's :class:`~repro.obs.Observer` is passed.
+    """
+    return RunManifest(
+        schema_version=MANIFEST_SCHEMA_VERSION,
+        algorithm="serve",
+        mode="serve",
+        source=-1,
+        graph=graph_fingerprint(graph),
+        device=_device_dict(device),
+        config=_config_dict(config),
+        result=result,
         metrics=observer.metrics.snapshot() if observer is not None else {},
         spans=observer.spans.to_dicts() if observer is not None else [],
     )

@@ -98,6 +98,17 @@ METRICS_CATALOG: Tuple[MetricSpec, ...] = (
     MetricSpec("guard.query_failures", "counter", "queries",
                "repro.reliability.guard",
                "batch queries isolated after raising a ReproError"),
+    MetricSpec("breaker.trips", "counter", "trips",
+               "repro.reliability.breaker",
+               "circuits tripped open after repeated path failures"),
+    MetricSpec("breaker.short_circuits", "counter", "queries",
+               "repro.reliability.breaker",
+               "requests refused while a circuit was open"),
+    MetricSpec("breaker.resets", "counter", "resets",
+               "repro.reliability.breaker",
+               "circuits closed again after a successful probe"),
+    MetricSpec("breaker.open_circuits", "gauge", "circuits",
+               "repro.reliability.breaker", "currently open circuits"),
     MetricSpec("batch.queries", "counter", "queries",
                "repro.engine.batch", "queries entering the batched frame"),
     MetricSpec("batch.queries_failed", "counter", "queries",
@@ -113,12 +124,38 @@ METRICS_CATALOG: Tuple[MetricSpec, ...] = (
     MetricSpec("batch.readbacks_saved", "counter", "transfers",
                "repro.engine.batch",
                "per-iteration size readbacks amortized by the fused readback"),
+    MetricSpec("batch.rows_ejected", "counter", "queries",
+               "repro.engine.batch",
+               "rows ejected from the fused frame by per-row faults or "
+               "admission deadlines"),
     MetricSpec("serve.cache.hits", "counter", "lookups",
                "repro.serve.session", "session-cache digest hits"),
     MetricSpec("serve.cache.misses", "counter", "lookups",
                "repro.serve.session", "session-cache misses (fresh ingest)"),
     MetricSpec("serve.cache.evictions", "counter", "sessions",
                "repro.serve.session", "sessions evicted past LRU capacity"),
+    MetricSpec("serve.admitted", "counter", "queries",
+               "repro.serve.admission",
+               "queries admitted into the bounded queue"),
+    MetricSpec("serve.shed", "counter", "queries",
+               "repro.serve.admission",
+               "queries shed by backpressure or queue-deadline expiry"),
+    MetricSpec("serve.queue_depth", "gauge", "queries",
+               "repro.serve.admission",
+               "admission-queue depth (high-water mark in 'max')"),
+    MetricSpec("serve.answered", "counter", "queries",
+               "repro.serve.loop",
+               "responses emitted (values and explicit errors)"),
+    MetricSpec("serve.deadline_misses", "counter", "queries",
+               "repro.serve.loop",
+               "queries answered with a deadline-exceeded error"),
+    MetricSpec("serve.fallbacks", "counter", "queries",
+               "repro.serve.loop",
+               "queries answered by the guarded single-source fallback"),
+    MetricSpec("serve.latency_wall_s", "histogram", "seconds",
+               "repro.serve.loop", "admission-to-answer wall latency"),
+    MetricSpec("serve.latency_sim_s", "histogram", "seconds",
+               "repro.serve.loop", "admission-to-answer simulated latency"),
 )
 
 _CATALOG_BY_NAME: Dict[str, MetricSpec] = {s.name: s for s in METRICS_CATALOG}

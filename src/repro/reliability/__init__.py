@@ -15,11 +15,15 @@ production traversal service actually sees.
 - :mod:`repro.reliability.guard` — ``resilient_bfs`` /
   ``resilient_sssp``: retry with backoff, variant fallback, checkpoint
   restore and CPU degradation, every step recorded in the decision
-  trace.
+  trace;
+- :mod:`repro.reliability.breaker` — a per-(algorithm, path) circuit
+  breaker the serving layer uses to route around paths that keep
+  failing instead of re-walking the guard ladder per query.
 
 See ``docs/reliability.md`` for the fault model and guarantees.
 """
 
+from repro.reliability.breaker import BreakerOpenError, CircuitBreaker
 from repro.reliability.checkpoint import CheckpointKeeper, TraversalCheckpoint
 from repro.reliability.faults import (
     FAULT_KINDS,
@@ -53,4 +57,6 @@ __all__ = [
     "resilient_bfs",
     "resilient_sssp",
     "guarded_query",
+    "BreakerOpenError",
+    "CircuitBreaker",
 ]

@@ -339,9 +339,11 @@ def _resilient(
     params = params or {}
     info = get_algorithm(algorithm)
     injector = FaultInjector(plan) if plan is not None and not plan.is_empty else None
+    # Armed up front: the guard's deadline covers the whole ladder —
+    # every retry, backoff sleep and fallback attempt shares one clock.
     watchdog = Watchdog(
         max_iterations=guard.max_iterations, deadline_s=guard.deadline_s
-    )
+    ).arm()
     keeper = CheckpointKeeper(
         every=guard.checkpoint_every,
         budget=guard.checkpoint_budget,

@@ -16,6 +16,15 @@ Budgets:
   service-level deadline);
 - ``simulated_deadline_s`` — simulated seconds budget, useful when the
   simulated device is the thing being modelled.
+
+The deadline clock starts when the watchdog is **armed**
+(:meth:`Watchdog.arm`), not when it is constructed.  That distinction
+is what lets the serving layer start a query's deadline at *admission*
+— queue wait counts against the budget — while the guarded runner arms
+immediately and batch rows arm when their query enters the system.  A
+watchdog that is never armed explicitly arms itself on its first
+:meth:`check`, so single-query callers that just pass one into a frame
+keep their old behavior.
 """
 
 from __future__ import annotations
@@ -47,25 +56,49 @@ class Watchdog:
         self.deadline_s = deadline_s
         self.simulated_deadline_s = simulated_deadline_s
         self._clock = clock
-        self._started_at = clock()
+        self._started_at: Optional[float] = None
         self._simulated_s = 0.0
+
+    def arm(self) -> "Watchdog":
+        """Start the deadline clock.  Idempotent: the first call wins, so
+        a guard retrying a query does not reset the budget.  Returns
+        ``self`` so construction and arming can be one expression."""
+        if self._started_at is None:
+            self._started_at = self._clock()
+        return self
+
+    @property
+    def armed(self) -> bool:
+        return self._started_at is not None
 
     @property
     def elapsed_s(self) -> float:
-        """Real seconds since the watchdog was armed."""
+        """Real seconds since the watchdog was armed (0.0 before)."""
+        if self._started_at is None:
+            return 0.0
         return self._clock() - self._started_at
 
     @property
     def simulated_s(self) -> float:
         return self._simulated_s
 
+    @property
+    def remaining_s(self) -> Optional[float]:
+        """Wall-clock budget left (None without a deadline; never
+        negative — an expired budget reads 0.0)."""
+        if self.deadline_s is None:
+            return None
+        return max(0.0, self.deadline_s - self.elapsed_s)
+
     def check(self, iteration: int, simulated_seconds: float = 0.0) -> None:
         """Called at the top of each traversal iteration.
 
         *simulated_seconds* is the simulated time accumulated *this
         attempt*; the watchdog adds it to time banked by prior attempts
-        via :meth:`bank_simulated`.
+        via :meth:`bank_simulated`.  An unarmed watchdog arms itself
+        here, so direct single-query callers need no extra call.
         """
+        self.arm()
         if self.max_iterations is not None and iteration >= self.max_iterations:
             raise NonConvergenceError(
                 f"traversal exceeded its iteration budget of "

@@ -15,13 +15,24 @@ the expensive work should happen once per graph, not once per query:
   per-iteration readback, kernel-launch overhead and the graph's h2d
   copy across the batch, while isolating faulting queries and falling
   back to guarded single-source runs for algorithms without batch
-  support.
+  support;
+- :class:`ServeLoop` is the resilient continuous-batching scheduler a
+  long-running server drives: a bounded :class:`AdmissionQueue`
+  (overload sheds with explicit error responses, priorities displace),
+  per-query deadlines armed at admission, new queries joining the
+  fused frame at the next super-iteration, per-row fault isolation
+  with a guarded fallback, and a circuit breaker across both paths.
+  The chaos harness in :mod:`repro.serve.chaos` soaks the whole stack
+  under seeded faults and checks no-crash / exactly-once / SHA-parity
+  invariants.
 
-CLI: ``repro batch`` (one JSONL query file, one manifest) and
-``repro serve`` (JSONL queries on stdin, JSON answers on stdout).
+CLI: ``repro batch`` (one JSONL query file, one manifest),
+``repro serve`` (JSONL queries on stdin, JSON answers on stdout) and
+``repro chaos`` (seeded soak, exit 0 iff every invariant held).
 See ``docs/serving.md``.
 """
 
+from repro.serve.admission import AdmissionQueue, AdmittedQuery
 from repro.serve.batch import (
     BatchQuery,
     BatchResult,
@@ -29,14 +40,19 @@ from repro.serve.batch import (
     QueryResult,
     load_queries_jsonl,
 )
+from repro.serve.loop import ServeLoop, ServeReport
 from repro.serve.session import GraphSession, SessionCache
 
 __all__ = [
+    "AdmissionQueue",
+    "AdmittedQuery",
     "BatchQuery",
     "BatchResult",
     "BatchRunner",
     "GraphSession",
     "QueryResult",
+    "ServeLoop",
+    "ServeReport",
     "SessionCache",
     "load_queries_jsonl",
 ]

@@ -51,7 +51,7 @@ __all__ = [
     "load_queries_jsonl",
 ]
 
-_QUERY_FIELDS = {"algorithm", "source", "mode"}
+_QUERY_FIELDS = {"algorithm", "source", "mode", "priority", "deadline_s"}
 
 
 @dataclass(frozen=True)
@@ -59,12 +59,16 @@ class BatchQuery:
     """One request: which algorithm, from which source, in which mode.
 
     *mode* is ``"adaptive"`` or a static variant code (``"U_T_BM"``,
-    ``"O_B_QU"``, ...).
+    ``"O_B_QU"``, ...).  *priority* and *deadline_s* only matter to the
+    serving loop (:mod:`repro.serve.loop`): higher priority wins under
+    backpressure, and the deadline clock starts at admission.
     """
 
     algorithm: str = "bfs"
     source: int = 0
     mode: str = "adaptive"
+    priority: int = 0
+    deadline_s: Optional[float] = None
 
     @classmethod
     def from_dict(cls, doc: dict) -> "BatchQuery":
@@ -80,10 +84,31 @@ class BatchQuery:
             raise RuntimeConfigError(
                 f"batch-query source must be an integer, got {doc['source']!r}"
             )
+        priority = doc.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise RuntimeConfigError(
+                f"batch-query priority must be an integer, got {priority!r}"
+            )
+        deadline_s = doc.get("deadline_s")
+        if deadline_s is not None:
+            if isinstance(deadline_s, bool) or not isinstance(
+                deadline_s, (int, float)
+            ):
+                raise RuntimeConfigError(
+                    f"batch-query deadline_s must be a number, "
+                    f"got {deadline_s!r}"
+                )
+            if deadline_s <= 0:
+                raise RuntimeConfigError(
+                    f"batch-query deadline_s must be > 0, got {deadline_s}"
+                )
+            deadline_s = float(deadline_s)
         return cls(
             algorithm=str(doc.get("algorithm", "bfs")),
             source=doc["source"],
             mode=str(doc.get("mode", "adaptive")),
+            priority=priority,
+            deadline_s=deadline_s,
         )
 
     def to_dict(self) -> dict:
@@ -91,6 +116,8 @@ class BatchQuery:
             "algorithm": self.algorithm,
             "source": self.source,
             "mode": self.mode,
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
         }
 
 

@@ -1,0 +1,244 @@
+"""The chaos harness: soak the serve loop under seeded faults and
+assert the invariants a resilient service must keep.
+
+``repro chaos`` (and ``tools/chaos_serve.py``) runs two passes over the
+same seeded query stream against the same graph:
+
+1. a **fault-free reference** — every distinct ``(algorithm, source,
+   mode)`` triple answered once through the ordinary batch runner, its
+   value SHA recorded;
+2. a **chaos pass** — the full :class:`~repro.serve.loop.ServeLoop`
+   under a seeded :class:`~repro.reliability.FaultPlan`, deadline
+   pressure and a bounded admission queue.
+
+Then it checks, mechanically, the three invariants:
+
+- **no crash** — the pass returning at all is the first check; every
+  failure mode must have become a response;
+- **exactly once** — every submitted query produced exactly one
+  response (keyed by submission ``seq``), no drops, no duplicates;
+- **isolation** — every ``ok`` response's ``values_sha256`` equals the
+  fault-free reference for its triple: faults may slow queries down or
+  force them through the fallback, but they may never change an answer
+  that is delivered as a success.
+
+Violations are collected (not raised) so the CLI can print all of them
+and exit nonzero; :attr:`ChaosReport.passed` is the single verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.generators import attach_uniform_weights, power_law_graph
+from repro.obs.context import current_observer
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.faults import FaultInjector, FaultPlan
+from repro.serve.batch import BatchQuery, BatchRunner
+from repro.serve.loop import ServeLoop, ServeReport
+from repro.serve.session import GraphSession
+
+__all__ = ["ChaosReport", "default_chaos_plan", "generate_queries", "run_chaos"]
+
+#: modes the generator draws from (adaptive-heavy, some static codes)
+_CHAOS_MODES = ("adaptive", "adaptive", "adaptive", "U_T_BM", "U_B_QU")
+
+
+def default_chaos_plan(seed: int = 0) -> FaultPlan:
+    """A plan mean enough to exercise every recovery path."""
+    return FaultPlan(
+        seed=seed,
+        launch_failure_rate=0.02,
+        memory_fault_rate=0.03,
+        latency_spike_rate=0.05,
+        latency_spike_factor=4.0,
+    )
+
+
+def generate_queries(
+    num_queries: int,
+    num_nodes: int,
+    *,
+    seed: int = 0,
+    algorithms: Tuple[str, ...] = ("bfs", "sssp"),
+    deadline_s: Optional[float] = None,
+    deadline_fraction: float = 0.25,
+) -> List[BatchQuery]:
+    """A seeded, reproducible query stream: mixed algorithms and modes,
+    a spread of priorities, and (when *deadline_s* is set) a slice of
+    deadline-carrying queries."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(num_queries):
+        deadline = None
+        if deadline_s is not None and rng.random() < deadline_fraction:
+            deadline = float(deadline_s)
+        queries.append(
+            BatchQuery(
+                algorithm=str(rng.choice(algorithms)),
+                source=int(rng.integers(0, num_nodes)),
+                mode=str(rng.choice(_CHAOS_MODES)),
+                priority=int(rng.integers(0, 3)),
+                deadline_s=deadline,
+            )
+        )
+    return queries
+
+
+@dataclass
+class ChaosReport:
+    """One soak's verdict: counts, the serve report, and violations."""
+
+    num_queries: int
+    plan: dict
+    serve: ServeReport
+    #: the session the soak ran against (manifest building); not part
+    #: of :meth:`result_dict`
+    session: Optional[GraphSession] = None
+    faults_injected: int = 0
+    #: invariant breaches, human-readable; empty == the soak passed
+    violations: List[str] = field(default_factory=list)
+    duplicate_responses: int = 0
+    missing_responses: int = 0
+    sha_mismatches: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def result_dict(self) -> dict:
+        doc = self.serve.result_dict()
+        doc.update(
+            kind="chaos",
+            num_queries=self.num_queries,
+            fault_plan=self.plan,
+            faults_injected=self.faults_injected,
+            passed=self.passed,
+            violations=list(self.violations),
+            duplicate_responses=self.duplicate_responses,
+            missing_responses=self.missing_responses,
+            sha_mismatches=self.sha_mismatches,
+        )
+        return doc
+
+
+def _reference_shas(
+    session: GraphSession, queries: List[BatchQuery]
+) -> Dict[Tuple[str, int, str], Optional[str]]:
+    """Fault-free answers per distinct (algorithm, source, mode)."""
+    triples = []
+    seen = set()
+    for q in queries:
+        triple = (q.algorithm, q.source, q.mode)
+        if triple not in seen:
+            seen.add(triple)
+            triples.append(BatchQuery(*triple))
+    result = BatchRunner(session).run(triples)
+    return {
+        (r.query.algorithm, r.query.source, r.query.mode): r.values_sha256
+        for r in result.queries
+    }
+
+
+def run_chaos(
+    *,
+    num_queries: int = 200,
+    num_nodes: int = 600,
+    seed: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+    queue_capacity: int = 48,
+    max_batch_rows: int = 16,
+    deadline_s: Optional[float] = 5.0,
+    scheduler: str = "continuous",
+    session: Optional[GraphSession] = None,
+    pump_every: int = 4,
+) -> ChaosReport:
+    """Run one seeded chaos soak and return its :class:`ChaosReport`.
+
+    Submissions interleave with :meth:`~repro.serve.loop.ServeLoop.pump`
+    calls (every *pump_every* queries) so new queries genuinely join a
+    running frame, then the loop drains.  Nothing here raises on a fault
+    — an exception escaping *is* the no-crash invariant failing, and the
+    test suite treats it as such.
+    """
+    if session is None:
+        graph = attach_uniform_weights(
+            power_law_graph(num_nodes, seed=seed, name=f"chaos{num_nodes}"),
+            seed=seed,
+        )
+        session = GraphSession(graph)
+    plan = fault_plan if fault_plan is not None else default_chaos_plan(seed)
+    queries = generate_queries(
+        num_queries, session.num_nodes, seed=seed, deadline_s=deadline_s
+    )
+    reference = _reference_shas(session, queries)
+
+    injector = FaultInjector(plan) if not plan.is_empty else None
+    loop = ServeLoop(
+        session,
+        queue_capacity=queue_capacity,
+        max_batch_rows=max_batch_rows,
+        scheduler=scheduler,
+        fault_injector=injector,
+        breaker=CircuitBreaker(failure_threshold=3, cooldown_s=0.05),
+    )
+    responses: List[dict] = []
+    for i, query in enumerate(queries, start=1):
+        loop.submit(query, line=i)
+        if i % pump_every == 0:
+            loop.pump()
+            responses.extend(loop.take_responses())
+    loop.drain()
+    responses.extend(loop.take_responses())
+    serve_report = loop.finalize()
+
+    report = ChaosReport(
+        num_queries=num_queries,
+        plan=plan.to_dict(),
+        serve=serve_report,
+        session=session,
+        faults_injected=injector.num_injected if injector else 0,
+    )
+
+    # Invariant: exactly one response per submitted query.
+    seen: Dict[int, int] = {}
+    for doc in responses:
+        seen[doc["seq"]] = seen.get(doc["seq"], 0) + 1
+    for seq, count in sorted(seen.items()):
+        if count > 1:
+            report.duplicate_responses += count - 1
+            report.violations.append(
+                f"query seq {seq} answered {count} times"
+            )
+    for seq in range(1, num_queries + 1):
+        if seq not in seen:
+            report.missing_responses += 1
+            report.violations.append(f"query seq {seq} never answered")
+
+    # Invariant: delivered successes are bit-identical to fault-free.
+    by_seq = {doc["seq"]: doc for doc in responses}
+    for i, query in enumerate(queries, start=1):
+        doc = by_seq.get(i)
+        if doc is None or not doc.get("ok"):
+            continue
+        expected = reference.get((query.algorithm, query.source, query.mode))
+        if doc.get("values_sha256") != expected:
+            report.sha_mismatches += 1
+            report.violations.append(
+                f"query seq {i} ({query.algorithm} @ {query.source}, "
+                f"{query.mode}) answered sha {doc.get('values_sha256')!r}, "
+                f"fault-free reference is {expected!r}"
+            )
+
+    observer = current_observer()
+    if observer is not None:
+        observer.spans.add_span(
+            "chaos_soak",
+            sim_seconds=serve_report.total_sim_seconds,
+            queries=num_queries,
+            super_iterations=serve_report.super_iterations,
+        )
+    return report

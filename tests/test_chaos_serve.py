@@ -1,0 +1,201 @@
+"""Chaos soaks over the serve loop — in-process and through the CLI.
+
+Acceptance for the resilient serving layer: a seeded 200-query soak
+under an aggressive fault plan finishes with zero crashes, exactly one
+response per query, and SHA parity between every successful answer and
+a fault-free single-source run.  The subprocess tests additionally pin
+the stdin/stdout protocol: every input line gets exactly one JSON
+response object, nothing tracebacks, and exit codes follow the CLI
+contract.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import attach_uniform_weights, erdos_renyi_graph
+from repro.graph.io import write_dimacs
+from repro.reliability import FaultPlan
+from repro.serve.chaos import default_chaos_plan, run_chaos
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _graph_file(tmp_path):
+    g = attach_uniform_weights(erdos_renyi_graph(60, 300, seed=1), seed=2)
+    path = tmp_path / "little.gr"
+    write_dimacs(g, path)
+    return str(path)
+
+
+class TestChaosSoak:
+    def test_default_plan_is_seeded_and_aggressive(self):
+        plan = default_chaos_plan(7)
+        assert plan.seed == 7
+        assert not plan.is_empty
+        assert plan == default_chaos_plan(7)
+
+    def test_two_hundred_query_soak_passes(self):
+        report = run_chaos(num_queries=200, num_nodes=300, seed=3)
+        assert report.passed, report.violations
+        assert report.duplicate_responses == 0
+        assert report.missing_responses == 0
+        assert report.sha_mismatches == 0
+        assert report.serve.answered == 200
+        # The soak is only meaningful if chaos actually happened.
+        assert report.faults_injected > 0
+        assert report.serve.ok > 0
+
+    def test_soak_is_deterministic(self):
+        first = run_chaos(num_queries=40, num_nodes=200, seed=11)
+        second = run_chaos(num_queries=40, num_nodes=200, seed=11)
+        # Wall-clock latency is real elapsed time; everything else —
+        # outcomes, fault counts, simulated timing — replays exactly.
+        a, b = first.result_dict(), second.result_dict()
+        a.pop("latency_wall_s"), b.pop("latency_wall_s")
+        assert a == b
+
+    def test_drain_scheduler_soak_passes(self):
+        report = run_chaos(
+            num_queries=40, num_nodes=200, seed=5, scheduler="drain"
+        )
+        assert report.passed, report.violations
+
+    def test_heavy_fault_plan_still_exactly_once(self):
+        plan = FaultPlan(
+            seed=23,
+            launch_failure_rate=0.15,
+            memory_fault_rate=0.15,
+            latency_spike_rate=0.2,
+            latency_spike_factor=6.0,
+        )
+        report = run_chaos(
+            num_queries=60,
+            num_nodes=200,
+            seed=23,
+            fault_plan=plan,
+            deadline_s=2.0,
+            queue_capacity=12,
+        )
+        # Under this much pressure queries may shed, miss deadlines or
+        # error — but never crash, duplicate or silently vanish.
+        assert report.passed, report.violations
+        assert report.serve.answered == 60
+
+
+class TestChaosCommand:
+    def test_chaos_subcommand_passes(self, capsys):
+        rc = main(["chaos", "--queries", "24", "--nodes", "200",
+                   "--seed", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "faults injected" in out
+
+    def test_chaos_manifest(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        rc = main(["chaos", "--queries", "16", "--nodes", "200",
+                   "--seed", "4", "--manifest", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["algorithm"] == "serve"
+        assert doc["result"]["kind"] == "chaos"
+        assert doc["result"]["passed"] is True
+        assert doc["result"]["num_queries"] == 16
+
+
+class TestServeSubprocessSoak:
+    """The real thing: ``repro serve`` as a child process, JSONL on
+    stdin, seeded faults and tight deadlines from the flags."""
+
+    def _run_serve(self, tmp_path, lines, *extra_args):
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--file", _graph_file(tmp_path), *extra_args,
+        ]
+        env = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
+        return subprocess.run(
+            cmd, input="\n".join(lines) + "\n", capture_output=True,
+            text=True, env=env, timeout=300,
+        )
+
+    def test_faulty_soak_no_crash_exactly_once(self, tmp_path):
+        queries = [
+            json.dumps({
+                "algorithm": "bfs" if i % 2 else "sssp",
+                "source": i % 60,
+                "priority": i % 3,
+            })
+            for i in range(24)
+        ]
+        plan = json.dumps({
+            "seed": 9,
+            "launch_failure_rate": 0.05,
+            "memory_fault_rate": 0.08,
+            "latency_spike_rate": 0.1,
+        })
+        proc = self._run_serve(
+            tmp_path, queries,
+            "--fault-plan", plan, "--deadline-s", "30",
+            "--queue-capacity", "64", "--batch-size", "8",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Traceback" not in proc.stderr
+        answers = [json.loads(line) for line in proc.stdout.splitlines()
+                   if line.strip()]
+        # Exactly one response per input line, no duplicates.
+        assert sorted(a["line"] for a in answers) == list(range(1, 25))
+        for doc in answers:
+            assert doc["path"] in ("batch", "fallback", "shed",
+                                   "deadline", "error")
+            if doc["ok"]:
+                assert doc["values_sha256"]
+            else:
+                assert doc["error"]
+        assert "slo:" in proc.stderr
+
+    def test_tight_deadlines_and_tiny_queue_shed_explicitly(self, tmp_path):
+        queries = [json.dumps({"algorithm": "bfs", "source": i})
+                   for i in range(12)]
+        proc = self._run_serve(
+            tmp_path, queries,
+            "--queue-capacity", "2", "--batch-size", "2",
+        )
+        assert proc.returncode == 0, proc.stderr
+        answers = [json.loads(line) for line in proc.stdout.splitlines()
+                   if line.strip()]
+        assert len(answers) == 12
+        assert any(a["path"] == "shed" for a in answers)
+        assert all(a["ok"] or a["error"] for a in answers)
+
+    def test_malformed_lines_answered_never_fatal(self, tmp_path):
+        lines = [
+            json.dumps({"algorithm": "bfs", "source": 0}),
+            "not json at all",
+            json.dumps({"algorithm": "bfs", "source": 9999}),
+            json.dumps({"algorithm": "bfs", "source": 1}),
+        ]
+        proc = self._run_serve(tmp_path, lines)
+        assert proc.returncode == 0, proc.stderr
+        assert "Traceback" not in proc.stderr
+        answers = [json.loads(line) for line in proc.stdout.splitlines()
+                   if line.strip()]
+        by_line = {a["line"]: a for a in answers}
+        assert by_line[1]["ok"]
+        assert not by_line[2]["ok"]
+        assert not by_line[3]["ok"] and "out of range" in by_line[3]["error"]
+        assert by_line[4]["ok"]
+
+    def test_chaos_tool_wrapper(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "chaos_serve.py"),
+             "--queries", "12", "--nodes", "150", "--seed", "6"],
+            capture_output=True, text=True, timeout=300,
+            env={"PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "PASS" in proc.stdout

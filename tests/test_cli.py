@@ -576,3 +576,66 @@ class TestBatchCommand:
         # The malformed line is answered with an error object but only
         # real queries count as served.
         assert "served 2 queries" in captured.err
+
+    def test_serve_interrupt_flushes_and_exits_130(self, tmp_path, capsys,
+                                                   monkeypatch):
+        import json
+
+        class InterruptedStdin:
+            """Two good queries, then the operator hits Ctrl-C."""
+
+            def __init__(self):
+                self.lines = [
+                    '{"algorithm": "bfs", "source": 0}\n',
+                    '{"algorithm": "bfs", "source": 5}\n',
+                ]
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                if self.lines:
+                    return self.lines.pop(0)
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr("sys.stdin", InterruptedStdin())
+        rc = main(["serve", "--file", self._graph_file(tmp_path),
+                   "--batch-size", "8"])
+        assert rc == 130
+        captured = capsys.readouterr()
+        # Pending queries are flushed before exiting, not dropped.
+        answers = [json.loads(line) for line in captured.out.splitlines()
+                   if line.strip()]
+        assert sorted(a["line"] for a in answers) == [1, 2]
+        assert all(a["ok"] for a in answers)
+        assert "interrupted" in captured.err
+        assert "served 2 queries" in captured.err
+
+    def test_serve_manifest_and_slo_summary(self, tmp_path, capsys,
+                                            monkeypatch):
+        import io
+        import json
+
+        from repro.obs import RunManifest
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO('{"algorithm": "bfs", "source": 2}\n'),
+        )
+        out = tmp_path / "serve.json"
+        rc = main(["serve", "--file", self._graph_file(tmp_path),
+                   "--manifest", str(out)])
+        assert rc == 0
+        manifest = RunManifest.read(out)
+        assert manifest.algorithm == "serve"
+        assert manifest.result["answered"] == 1
+        assert "slo:" in capsys.readouterr().err
+
+    def test_serve_deadline_zero_rejected(self, tmp_path, capsys,
+                                          monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        rc = main(["serve", "--file", self._graph_file(tmp_path),
+                   "--deadline-s", "0"])
+        assert rc == 2

@@ -217,3 +217,114 @@ class TestMultisourceKernels:
         assert fused_readback_bytes(8) == 32
         # Never a zero-byte transfer: the host always reads one size.
         assert fused_readback_bytes(0) == 4
+
+
+class TestBatchFrameContinuous:
+    """The steppable frame: continuous admission, per-row ejection."""
+
+    def _drain(self, frame):
+        while frame.step():
+            pass
+        return frame.finish()
+
+    def test_late_admission_matches_single_source(self, random_graph):
+        from repro.engine.batch import BatchFrame
+
+        frame = BatchFrame(random_graph)
+        frame.admit([_adaptive_plan(random_graph, "bfs", 0)])
+        frame.step()
+        frame.step()  # first row is mid-flight when the second joins
+        frame.admit([_adaptive_plan(random_graph, "bfs", 42)])
+        result = self._drain(frame)
+        assert result.ok_count == 2
+        for outcome in result.queries:
+            single = adaptive_run(random_graph, "bfs", outcome.source)
+            assert np.array_equal(outcome.values, single.values)
+            assert _decisions(outcome.trace) == _decisions(single.trace)
+
+    def test_take_finished_hands_each_row_once(self, random_graph):
+        from repro.engine.batch import BatchFrame
+
+        frame = BatchFrame(random_graph)
+        frame.admit([
+            _adaptive_plan(random_graph, "bfs", s) for s in (0, 7, 21)
+        ])
+        seen = []
+        while frame.step():
+            seen.extend(frame.take_finished())
+        seen.extend(frame.take_finished())
+        assert sorted(o.index for o in seen) == [0, 1, 2]
+        assert frame.take_finished() == []
+
+    def test_fault_hook_ejects_one_row_only(self, random_graph):
+        from repro.engine.batch import BatchFrame
+        from repro.errors import MemoryFaultError
+
+        class OneShot:
+            fired = False
+
+            def on_iteration(self, iteration, values, frontier):
+                if not OneShot.fired:
+                    OneShot.fired = True
+                    raise MemoryFaultError("scripted row fault")
+
+        frame = BatchFrame(random_graph, fault_hook=OneShot())
+        frame.admit([
+            _adaptive_plan(random_graph, "bfs", s) for s in (0, 5, 9)
+        ])
+        result = self._drain(frame)
+        ejected = [q for q in result.queries if q.ejected]
+        survivors = [q for q in result.queries if not q.ejected]
+        assert len(ejected) == 1 and ejected[0].eject_kind == "fault"
+        assert "scripted row fault" in ejected[0].error
+        assert result.rows_ejected == 1
+        # Survivors are untouched — bit-identical to single-source runs.
+        assert len(survivors) == 2
+        for outcome in survivors:
+            assert outcome.ok
+            single = adaptive_run(random_graph, "bfs", outcome.source)
+            assert np.array_equal(outcome.values, single.values)
+
+    def test_expired_watchdog_ejects_with_deadline_kind(self, random_graph):
+        from repro.engine.batch import BatchFrame
+        from repro.reliability import Watchdog
+
+        now = [0.0]
+        dog = Watchdog(deadline_s=1.0, clock=lambda: now[0]).arm()
+        frame = BatchFrame(random_graph)
+        frame.admit(
+            [
+                _adaptive_plan(random_graph, "bfs", 0),
+                _adaptive_plan(random_graph, "bfs", 8),
+            ],
+            watchdogs=[dog, None],
+        )
+        frame.step()
+        now[0] = 5.0  # the first row's admission deadline expires
+        result = self._drain(frame)
+        timed_out, ok = result.queries
+        assert timed_out.ejected and timed_out.eject_kind == "deadline"
+        assert ok.ok
+        assert np.array_equal(
+            ok.values, adaptive_run(random_graph, "bfs", 8).values
+        )
+
+    def test_isolate_capacity_refuses_rows_individually(self, random_graph):
+        from repro.engine.batch import BatchFrame
+        from repro.gpusim.device import DeviceSpec
+
+        tiny = TESLA_C2070.__class__(
+            **{**TESLA_C2070.__dict__,
+               "global_mem_bytes": random_graph.device_bytes() + 8_000}
+        )
+        frame = BatchFrame(random_graph, device=tiny)
+        rows = frame.admit(
+            [_adaptive_plan(random_graph, "bfs", s) for s in range(6)],
+            isolate_capacity=True,
+        )
+        result = self._drain(frame)
+        refused = [q for q in result.queries
+                   if q.error and "admission refused" in q.error]
+        answered = [q for q in result.queries if q.ok]
+        assert refused and answered
+        assert len(refused) + len(answered) == 6

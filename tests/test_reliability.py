@@ -277,6 +277,54 @@ class TestWatchdog:
         with pytest.raises(NonConvergenceError):
             adaptive_bfs(graph, 0, watchdog=Watchdog(max_iterations=1))
 
+    def test_arm_starts_the_clock_explicitly(self):
+        now = [0.0]
+        dog = Watchdog(deadline_s=1.0, clock=lambda: now[0])
+        assert not dog.armed
+        now[0] = 10.0  # time before arming never counts
+        dog.arm()
+        assert dog.armed
+        assert dog.elapsed_s == 0.0
+        assert dog.remaining_s == 1.0
+        now[0] = 10.4
+        assert dog.elapsed_s == pytest.approx(0.4)
+        assert dog.remaining_s == pytest.approx(0.6)
+        dog.check(0)  # still within budget
+        now[0] = 11.5
+        with pytest.raises(NonConvergenceError):
+            dog.check(1)
+
+    def test_arm_is_idempotent(self):
+        now = [0.0]
+        dog = Watchdog(deadline_s=5.0, clock=lambda: now[0])
+        dog.arm()
+        now[0] = 2.0
+        dog.arm()  # a second arm must not restart the clock
+        assert dog.elapsed_s == pytest.approx(2.0)
+
+    def test_remaining_clamps_at_zero(self):
+        now = [0.0]
+        dog = Watchdog(deadline_s=1.0, clock=lambda: now[0])
+        dog.arm()
+        now[0] = 3.0
+        assert dog.remaining_s == 0.0
+
+    def test_unarmed_check_auto_arms(self):
+        now = [5.0]
+        dog = Watchdog(deadline_s=1.0, clock=lambda: now[0])
+        dog.check(0)  # lazily arms here, preserving legacy behavior
+        assert dog.armed
+        now[0] = 5.5
+        dog.check(1)
+        now[0] = 7.0
+        with pytest.raises(NonConvergenceError):
+            dog.check(2)
+
+    def test_remaining_without_deadline_is_none(self):
+        dog = Watchdog(max_iterations=3)
+        dog.arm()
+        assert dog.remaining_s is None
+
 
 # ----------------------------------------------------------------------
 # Guarded runners

@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Chaos-soak the serve loop from the shell: ``python tools/chaos_serve.py``.
+
+A thin wrapper over ``repro chaos`` for environments that invoke tools
+by path (CI jobs, cron); all arguments are forwarded verbatim, and the
+exit code is the soak's verdict (0 = every invariant held, 1 = a
+violation, 2 = configuration error).
+
+    python tools/chaos_serve.py --queries 200 --seed 7 \
+        --manifest chaos.json
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["chaos", *sys.argv[1:]]))
