@@ -65,7 +65,8 @@ def _add_reliability_args(parser: argparse.ArgumentParser):
     parser.add_argument("--fault-plan", default=None, metavar="JSON",
                         help="fault-injection plan: inline JSON or a file path "
                         "(keys: seed, launch_failure_rate, memory_fault_rate, "
-                        "latency_spike_rate, latency_spike_factor, max_faults)")
+                        "latency_spike_rate, latency_spike_factor, "
+                        "device_loss_rate, device, kinds, max_faults)")
     parser.add_argument("--max-retries", type=int, default=None,
                         help="consecutive no-progress failures before degrading "
                         "to the CPU baseline (default: exhaust the ladder)")
@@ -276,12 +277,92 @@ def cmd_algorithms(args) -> int:
     return 0
 
 
+def _run_sharded_cmd(args, info) -> int:
+    """`repro run --devices N`: the sharded multi-device driver."""
+    from repro.engine.shard import run_sharded
+    from repro.gpusim.interconnect import interconnect_registry
+    from repro.obs import Observer, build_shard_manifest, observing
+
+    graph, source, device = _resolve_workload(args, weighted=info.weighted)
+    params = _spec_params(args, info)
+    plan = None
+    if getattr(args, "fault_plan", None):
+        from repro.reliability import load_fault_plan
+
+        plan = load_fault_plan(args.fault_plan)
+    kwargs = {}
+    if getattr(args, "checkpoint_every", None) is not None:
+        kwargs["checkpoint_every"] = args.checkpoint_every
+    if getattr(args, "max_retries", None) is not None:
+        kwargs["max_retries"] = args.max_retries
+    if args.mem_budget is not None:
+        from repro.gpusim.allocator import parse_mem_size
+
+        kwargs["mem_budget"] = parse_mem_size(args.mem_budget)
+
+    observer = Observer()
+    with observing(observer):
+        result = run_sharded(
+            graph,
+            source,
+            algorithm=args.algorithm,
+            num_devices=args.devices,
+            partition=args.partition,
+            device=device,
+            interconnect=interconnect_registry()[args.interconnect],
+            fault_plan=plan,
+            **kwargs,
+            **params,
+        )
+
+    oracle, cpu = info.cpu_run(graph, source, **params)
+    ok = _values_match(result.values, oracle)
+
+    table = Table(
+        ["metric", "value"],
+        title=f"{args.algorithm} on {graph.name} "
+        f"(sharded x{args.devices}, {args.partition})",
+    )
+    table.add_row(["source", source])
+    table.add_row(["super-iterations", result.super_iterations])
+    table.add_row(["simulated time", format_seconds(result.sim_seconds)])
+    table.add_row(["serial CPU baseline", format_seconds(cpu.seconds)])
+    table.add_row(["exchange volume", format_si(result.exchange_bytes) + "B"])
+    table.add_row(["exchange transfers", result.exchange_transfers])
+    table.add_row(["stragglers flagged", result.stragglers])
+    table.add_row(["recovery rung", result.recovery_rung])
+    if result.device_losses:
+        table.add_row(["device losses", result.device_losses])
+        table.add_row(["shards migrated", result.migrations])
+        table.add_row(["super-iterations replayed",
+                       result.replayed_super_iterations])
+    table.add_row(["values sha256", result.values_sha256[:16] + "…"])
+    table.add_row(["verified vs CPU reference", "yes" if ok else "MISMATCH"])
+    print(table.render())
+    for event in result.recovery_events:
+        print(
+            f"[recovery: super-iteration {event.super_iteration} "
+            f"shard {event.shard_index} device {event.device_index} "
+            f"{event.fault_kind} -> {event.rung}]",
+            file=sys.stderr,
+        )
+    if getattr(args, "manifest", None):
+        manifest = build_shard_manifest(
+            result, graph=graph, device=device, observer=observer
+        )
+        manifest.write(args.manifest)
+        print(f"[manifest written to {args.manifest}]")
+    return 0 if ok else 1
+
+
 def cmd_run(args) -> int:
     """Registry-driven runner: any registered algorithm through one door."""
     from repro.core import adaptive_run
     from repro.engine import get_algorithm
 
     info = get_algorithm(args.algorithm)
+    if getattr(args, "devices", None) is not None:
+        return _run_sharded_cmd(args, info)
     mode = args.mode or ("adaptive" if info.adaptive_eligible else "default")
     if mode == "resilient":
         return _run_resilient(args, args.algorithm)
@@ -1024,11 +1105,71 @@ def cmd_serve(args) -> int:
             f"breaker trips {loop.breaker.total_trips}]",
             file=sys.stderr,
         )
+        for move in report.breaker_transitions:
+            print(
+                f"[breaker: {move['key']} {move['from']} -> {move['to']} "
+                f"({move['cause']})]",
+                file=sys.stderr,
+            )
         if args.manifest:
             print(f"[manifest written to {args.manifest}]", file=sys.stderr)
     except BrokenPipeError:  # pragma: no cover - stderr gone too
         pass
     return 130 if interrupted else 0
+
+
+def _chaos_sharded(args) -> int:
+    """`repro chaos --devices N`: device-loss soak over the sharded
+    driver; exit 0 iff no crash, exactly-once, SHA parity with the
+    1-device run, and every fault attributed to one fault domain."""
+    from repro.graph.generators import power_law_graph
+    from repro.obs import Observer, build_serve_manifest, observing
+    from repro.serve.chaos import default_shard_chaos_plan, run_shard_chaos
+
+    if args.fault_plan:
+        from repro.reliability import load_fault_plan
+
+        plan = load_fault_plan(args.fault_plan)
+    else:
+        plan = default_shard_chaos_plan(args.seed)
+
+    graph = attach_uniform_weights(
+        power_law_graph(args.nodes, seed=args.seed, name=f"shardchaos{args.nodes}"),
+        seed=args.seed,
+    )
+    observer = Observer()
+    with observing(observer):
+        report = run_shard_chaos(
+            num_queries=args.queries if args.queries is not None else 12,
+            num_devices=args.devices,
+            seed=args.seed,
+            partition=args.partition,
+            fault_plan=plan,
+            graph=graph,
+        )
+
+    table = Table(["metric", "value"], title=f"shard chaos soak x{args.devices}")
+    table.add_row(["queries", report.num_queries])
+    table.add_row(["devices", report.num_devices])
+    table.add_row(["partition", report.partition])
+    table.add_row(["faults injected", report.faults_injected])
+    table.add_row(["device losses", report.device_losses])
+    table.add_row(["shards migrated", report.migrations])
+    table.add_row(["rollbacks", report.restores])
+    table.add_row(["cpu degradations", report.degraded_queries])
+    table.add_row(["sha mismatches", report.sha_mismatches])
+    table.add_row(["unattributed faults", report.unattributed_faults])
+    table.add_row(["verdict", "PASS" if report.passed else "FAIL"])
+    print(table.render())
+    for violation in report.violations:
+        print(f"violation: {violation}", file=sys.stderr)
+    if args.manifest:
+        manifest = build_serve_manifest(
+            report.result_dict(), graph=graph, observer=observer
+        )
+        manifest.write(args.manifest)
+        print(f"[manifest written to {args.manifest}]")
+    return 0 if report.passed else 1
 
 
 def cmd_chaos(args) -> int:
@@ -1038,6 +1179,8 @@ def cmd_chaos(args) -> int:
     from repro.obs.manifest import build_serve_manifest
     from repro.serve.chaos import default_chaos_plan, run_chaos
 
+    if getattr(args, "devices", 0) > 1:
+        return _chaos_sharded(args)
     if args.fault_plan:
         from repro.reliability import load_fault_plan
 
@@ -1048,7 +1191,7 @@ def cmd_chaos(args) -> int:
     observer = Observer()
     with observing(observer):
         report = run_chaos(
-            num_queries=args.queries,
+            num_queries=args.queries if args.queries is not None else 200,
             num_nodes=args.nodes,
             seed=args.seed,
             fault_plan=plan,
@@ -1135,6 +1278,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="PageRank damping factor (pagerank only)")
     p.add_argument("--tolerance", type=float, default=None,
                    help="PageRank convergence tolerance (pagerank only)")
+    p.add_argument("--devices", type=int, default=None, metavar="N",
+                   help="shard the graph across N simulated devices "
+                   "(batchable algorithms only; --devices 1 runs the "
+                   "sharded driver on a single device, e.g. as the "
+                   "bit-identity reference)")
+    p.add_argument("--partition", choices=("contiguous", "balanced"),
+                   default="contiguous",
+                   help="1D vertex partitioning strategy for --devices")
+    p.add_argument("--interconnect", choices=("pcie", "nvlink"),
+                   default="pcie",
+                   help="peer link pricing for frontier exchange "
+                   "(--devices)")
+    p.add_argument("--manifest", default=None, metavar="FILE",
+                   help="write the sharded run's RunManifest JSON here "
+                   "(--devices)")
     _add_reliability_args(p)
     p.set_defaults(func=cmd_run)
 
@@ -1295,8 +1453,9 @@ def build_parser() -> argparse.ArgumentParser:
         "bounded queue, then check the resilience invariants against a "
         "fault-free reference run.  Exit 0 iff all invariants held.",
     )
-    p.add_argument("--queries", type=int, default=200,
-                   help="queries in the soak stream")
+    p.add_argument("--queries", type=int, default=None,
+                   help="queries in the soak stream (default: 200 for the "
+                   "serve soak, 12 for the sharded --devices soak)")
     p.add_argument("--nodes", type=int, default=600,
                    help="size of the generated chaos graph")
     p.add_argument("--seed", type=int, default=0,
@@ -1311,6 +1470,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="deadline carried by a slice of the queries")
     p.add_argument("--scheduler", choices=("continuous", "drain"),
                    default="continuous")
+    p.add_argument("--devices", type=int, default=0, metavar="N",
+                   help="run the device-loss soak over the N-device "
+                   "sharded driver instead of the serve loop")
+    p.add_argument("--partition", choices=("contiguous", "balanced"),
+                   default="contiguous",
+                   help="partitioning strategy for the sharded soak")
     p.add_argument("--manifest", default=None, metavar="FILE",
                    help="write the soak's RunManifest JSON here")
     p.set_defaults(func=cmd_chaos)

@@ -50,4 +50,21 @@ __all__ = [
     "register_algorithm",
     "registered_algorithms",
     "run_frame",
+    "RECOVERY_RUNGS",
+    "RecoveryEvent",
+    "ShardedResult",
+    "run_sharded",
 ]
+
+#: sharding names resolved lazily (PEP 562): repro.engine is imported
+#: mid-way through repro.core's own import, and repro.engine.shard needs
+#: repro.core.policies — an eager import here would be circular.
+_LAZY_SHARD = {"RECOVERY_RUNGS", "RecoveryEvent", "ShardedResult", "run_sharded"}
+
+
+def __getattr__(name):
+    if name in _LAZY_SHARD:
+        from repro.engine import shard
+
+        return getattr(shard, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,11 +16,13 @@ __all__ = [
     "IngestLimitError",
     "DeviceError",
     "DeviceOOMError",
+    "DeviceLostError",
     "LaunchError",
     "KernelError",
     "NonConvergenceError",
     "WorksetError",
     "MemoryFaultError",
+    "CheckpointError",
     "RuntimeConfigError",
     "FaultPlanError",
     "TuningError",
@@ -56,6 +58,14 @@ class DeviceOOMError(DeviceError):
     into a slower-but-correct answer."""
 
 
+class DeviceLostError(DeviceError):
+    """A simulated device dropped off the bus mid-run (the analogue of
+    an Xid / fallen-off-the-bus event): everything resident on it —
+    graph shard, traversal state, working sets — is gone.  Survivable
+    in sharded runs: the shard is restored from its checkpoint onto a
+    surviving device or the run degrades to the CPU baseline."""
+
+
 class LaunchError(ReproError):
     """A kernel launch configuration violates device limits."""
 
@@ -77,6 +87,12 @@ class MemoryFaultError(DeviceError):
     """Simulated device-memory corruption detected mid-traversal (the
     analogue of an ECC double-bit error): the traversal state on the
     device can no longer be trusted and must be restored."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint failed its integrity verification on restore: one
+    of its state fields no longer matches the SHA-256 digest captured
+    at save time, so resuming from it would silently corrupt the run."""
 
 
 class RuntimeConfigError(ReproError):

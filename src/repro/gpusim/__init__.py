@@ -27,6 +27,13 @@ turns a tally into simulated seconds.
 
 from repro.gpusim.allocator import MemoryBudget, MemoryReport, parse_mem_size
 from repro.gpusim.device import DeviceSpec, TESLA_C2070, GTX_580, device_registry
+from repro.gpusim.interconnect import (
+    NVLINK,
+    PCIE_P2P,
+    InterconnectSpec,
+    interconnect_registry,
+    peer_transfer_seconds,
+)
 from repro.gpusim.kernel import CostModel, CostParams, KernelTally
 from repro.gpusim.launch import LaunchConfig
 from repro.gpusim.occupancy import OccupancyResult, occupancy
@@ -54,4 +61,9 @@ __all__ = [
     "transfer_seconds",
     "conflict_degree",
     "export_chrome_trace",
+    "InterconnectSpec",
+    "PCIE_P2P",
+    "NVLINK",
+    "interconnect_registry",
+    "peer_transfer_seconds",
 ]

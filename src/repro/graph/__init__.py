@@ -11,7 +11,9 @@ provides that representation plus everything needed to feed it:
 - :mod:`repro.graph.datasets` — analogues of the paper's six datasets;
 - :mod:`repro.graph.io` — DIMACS / SNAP / Matrix Market readers+writers;
 - :mod:`repro.graph.properties` — degree statistics and characterization;
-- :mod:`repro.graph.transforms` — symmetrize, relabel, subgraph, components.
+- :mod:`repro.graph.transforms` — symmetrize, relabel, subgraph, components;
+- :mod:`repro.graph.partition` — 1D vertex partitioning for multi-device
+  sharded traversal (contiguous and degree-balanced strategies).
 """
 
 from repro.graph.builder import (
@@ -23,6 +25,12 @@ from repro.graph.builder import (
 )
 from repro.graph.csr import CSRGraph
 from repro.graph.io import IngestLimits, IngestReport, load_graph
+from repro.graph.partition import (
+    PARTITION_STRATEGIES,
+    GraphShard,
+    partition_graph,
+    reassemble,
+)
 from repro.graph.properties import GraphCharacterization, characterize, out_degree_histogram
 
 __all__ = [
@@ -38,4 +46,8 @@ __all__ = [
     "characterize",
     "GraphCharacterization",
     "out_degree_histogram",
+    "GraphShard",
+    "PARTITION_STRATEGIES",
+    "partition_graph",
+    "reassemble",
 ]

@@ -43,6 +43,7 @@ from repro.obs.manifest import (
     build_batch_manifest,
     build_manifest,
     build_serve_manifest,
+    build_shard_manifest,
     graph_fingerprint,
 )
 from repro.obs.metrics import (
@@ -74,6 +75,7 @@ __all__ = [
     "build_manifest",
     "build_batch_manifest",
     "build_serve_manifest",
+    "build_shard_manifest",
     "graph_fingerprint",
     "combined_trace_events",
     "export_combined_trace",

@@ -44,6 +44,7 @@ __all__ = [
     "build_manifest",
     "build_batch_manifest",
     "build_serve_manifest",
+    "build_shard_manifest",
 ]
 
 #: bump when the document shape changes incompatibly
@@ -346,4 +347,41 @@ def build_serve_manifest(
         result=result,
         metrics=observer.metrics.snapshot() if observer is not None else {},
         spans=observer.spans.to_dicts() if observer is not None else [],
+    )
+
+
+def build_shard_manifest(
+    result,
+    *,
+    graph: CSRGraph,
+    device=None,
+    config=None,
+    observer=None,
+) -> RunManifest:
+    """Assemble a manifest for one *sharded* multi-device run.
+
+    *result* is a :class:`~repro.engine.shard.ShardedResult`.  Unlike a
+    batch or serve session, a sharded run *is* one traversal, so the
+    document keeps the real ``algorithm`` and ``source`` and uses
+    ``mode="sharded"``.  The sharding story — per-shard reports,
+    exchange volumes, the value digest, the recovery ladder verdict —
+    rides in the free-form ``result`` dict; per-shard decision traces
+    (each tagged ``shard_index``) land in ``decisions``; injected fault
+    events (tagged ``device_index``) in ``faults``; and the recovery
+    summary in ``reliability``.
+    """
+    return RunManifest(
+        schema_version=MANIFEST_SCHEMA_VERSION,
+        algorithm=result.algorithm,
+        mode="sharded",
+        source=int(result.source),
+        graph=graph_fingerprint(graph),
+        device=_device_dict(device),
+        config=_config_dict(config),
+        result=result.result_dict(),
+        decisions=list(result.decisions),
+        faults=list(result.faults),
+        metrics=observer.metrics.snapshot() if observer is not None else {},
+        spans=observer.spans.to_dicts() if observer is not None else [],
+        reliability=result.reliability_dict(),
     )

@@ -156,6 +156,33 @@ METRICS_CATALOG: Tuple[MetricSpec, ...] = (
                "repro.serve.loop", "admission-to-answer wall latency"),
     MetricSpec("serve.latency_sim_s", "histogram", "seconds",
                "repro.serve.loop", "admission-to-answer simulated latency"),
+    MetricSpec("shard.super_iterations", "counter", "iterations",
+               "repro.engine.shard",
+               "committed super-iterations of the sharded host loop"),
+    MetricSpec("shard.active_shards", "histogram", "shards",
+               "repro.engine.shard",
+               "shards with a non-empty owned frontier per super-iteration"),
+    MetricSpec("shard.exchange_bytes", "counter", "bytes",
+               "repro.engine.shard",
+               "ghost-update bytes shipped over the interconnect"),
+    MetricSpec("shard.exchange_transfers", "counter", "transfers",
+               "repro.engine.shard",
+               "peer-to-peer ghost-update transfers priced"),
+    MetricSpec("shard.stragglers", "counter", "shards",
+               "repro.engine.shard",
+               "shard rounds flagged slower than straggler_factor x median"),
+    MetricSpec("shard.device_losses", "counter", "devices",
+               "repro.engine.shard",
+               "devices lost to injected or escalated faults"),
+    MetricSpec("shard.restores", "counter", "rollbacks",
+               "repro.engine.shard",
+               "global rollbacks to the last exchange-consistent checkpoint"),
+    MetricSpec("shard.migrations", "counter", "shards",
+               "repro.engine.shard",
+               "shards rehomed from a lost device onto a survivor"),
+    MetricSpec("shard.replayed_super_iterations", "counter", "iterations",
+               "repro.engine.shard",
+               "super-iterations re-executed after a rollback"),
 )
 
 _CATALOG_BY_NAME: Dict[str, MetricSpec] = {s.name: s for s in METRICS_CATALOG}

@@ -22,15 +22,19 @@ States per key, the classic three:
   restarts the cooldown.
 
 Trips, short-circuited requests and resets are reported to the current
-observer (``breaker.*`` in the metrics catalog), and
-:meth:`CircuitBreaker.snapshot` is JSON-shaped for the serve manifest.
+observer (``breaker.*`` in the metrics catalog),
+:meth:`CircuitBreaker.snapshot` is JSON-shaped for the serve manifest,
+and every state transition is appended to
+:meth:`CircuitBreaker.transition_log` — (key, from, to, cause) — so a
+chaos run can show *which* path tripped and when, not just that some
+trip happened.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, Optional
+from typing import Callable, Dict, Hashable, List, Optional
 
 from repro.errors import ReproError, RuntimeConfigError
 from repro.obs.context import current_observer
@@ -88,6 +92,7 @@ class CircuitBreaker:
         self.cooldown_probes = cooldown_probes
         self._clock = clock
         self._circuits: Dict[Hashable, _Circuit] = {}
+        self._transitions: List[dict] = []
 
     # ------------------------------------------------------------------
 
@@ -97,11 +102,25 @@ class CircuitBreaker:
             circuit = self._circuits[key] = _Circuit()
         return circuit
 
+    def _move(
+        self, key: Hashable, circuit: _Circuit, to_state: str, cause: str
+    ) -> None:
+        """Move *circuit* to *to_state*, logging the transition."""
+        self._transitions.append(
+            {
+                "key": self._key_str(key),
+                "from": circuit.state,
+                "to": to_state,
+                "cause": cause,
+            }
+        )
+        circuit.state = to_state
+
     def state(self, key: Hashable) -> str:
         """The key's current state ("closed" / "open" / "half_open")."""
-        return self._refresh(self._circuit(key)).state
+        return self._refresh(key, self._circuit(key)).state
 
-    def _refresh(self, circuit: _Circuit) -> _Circuit:
+    def _refresh(self, key: Hashable, circuit: _Circuit) -> _Circuit:
         if circuit.state == "open":
             cooled = self._clock() - circuit.opened_at >= self.cooldown_s
             probed_out = (
@@ -109,7 +128,7 @@ class CircuitBreaker:
                 and circuit.denied_since_open >= self.cooldown_probes
             )
             if cooled or probed_out:
-                circuit.state = "half_open"
+                self._move(key, circuit, "half_open", "cooldown")
                 circuit.probe_in_flight = False
         return circuit
 
@@ -120,7 +139,7 @@ class CircuitBreaker:
         short-circuit).  A half-open circuit allows exactly one probe at
         a time; its outcome decides the next state.
         """
-        circuit = self._refresh(self._circuit(key))
+        circuit = self._refresh(key, self._circuit(key))
         if circuit.state == "closed":
             return True
         if circuit.state == "half_open" and not circuit.probe_in_flight:
@@ -137,14 +156,14 @@ class CircuitBreaker:
         circuit = self._circuit(key)
         if circuit.state != "closed":
             self._observe("resets")
-        circuit.state = "closed"
+            self._move(key, circuit, "closed", "reset")
         circuit.consecutive_failures = 0
         circuit.probe_in_flight = False
 
     def record_failure(self, key: Hashable) -> bool:
         """A request on this path failed.  Returns True when this
         failure tripped (or re-tripped) the circuit open."""
-        circuit = self._refresh(self._circuit(key))
+        circuit = self._refresh(key, self._circuit(key))
         circuit.consecutive_failures += 1
         circuit.probe_in_flight = False
         should_trip = (
@@ -152,7 +171,7 @@ class CircuitBreaker:
             or circuit.consecutive_failures >= self.failure_threshold
         )
         if should_trip and circuit.state != "open":
-            circuit.state = "open"
+            self._move(key, circuit, "open", "trip")
             circuit.trips += 1
             circuit.opened_at = self._clock()
             circuit.denied_since_open = 0
@@ -165,7 +184,9 @@ class CircuitBreaker:
     @property
     def open_count(self) -> int:
         return sum(
-            1 for c in self._circuits.values() if self._refresh(c).state == "open"
+            1
+            for key, c in self._circuits.items()
+            if self._refresh(key, c).state == "open"
         )
 
     @property
@@ -180,7 +201,7 @@ class CircuitBreaker:
         """JSON-shaped per-key state for the serve manifest."""
         return {
             self._key_str(key): {
-                "state": self._refresh(circuit).state,
+                "state": self._refresh(key, circuit).state,
                 "consecutive_failures": circuit.consecutive_failures,
                 "trips": circuit.trips,
                 "short_circuits": circuit.short_circuits,
@@ -189,6 +210,12 @@ class CircuitBreaker:
                 self._circuits.items(), key=lambda kv: self._key_str(kv[0])
             )
         }
+
+    def transition_log(self) -> List[dict]:
+        """Every state transition so far, in order: JSON-shaped dicts
+        with ``key`` / ``from`` / ``to`` / ``cause`` (``trip``,
+        ``cooldown``, or ``reset``)."""
+        return list(self._transitions)
 
     @staticmethod
     def _key_str(key: Hashable) -> str:

@@ -18,16 +18,24 @@ arrays).  Two policies:
   within an overhead *budget* (a simplified Young/Daly rule: with
   checkpoint cost ``C`` and budget ``b``, checkpoint every ``C / b``
   simulated seconds, so steady-state overhead is at most ``b``).
+
+Every checkpoint is **integrity-sealed** at capture: SHA-256 digests of
+``values``, ``frontier``, and ``extra`` are computed when the snapshot
+is taken, and :meth:`TraversalCheckpoint.verify` recomputes them on
+restore.  A mismatch raises :class:`~repro.errors.CheckpointError`
+naming the corrupted field — resuming from a silently-rotted checkpoint
+would corrupt the whole run, so the keeper refuses.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import KernelError
+from repro.errors import CheckpointError, KernelError
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.transfer import transfer_seconds
 
@@ -42,6 +50,26 @@ def _extra_bytes(extra: Optional[dict]) -> int:
     return sum(
         int(v.nbytes) if isinstance(v, np.ndarray) else 8 for v in extra.values()
     )
+
+
+def _array_digest(array: np.ndarray) -> str:
+    """SHA-256 of an array's raw bytes (C-contiguous canonical form)."""
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def _extra_digest(extra: Optional[dict]) -> str:
+    """SHA-256 over an algorithm-private payload: keys in sorted order,
+    arrays by raw bytes, scalars by repr."""
+    h = hashlib.sha256()
+    if extra:
+        for key in sorted(extra):
+            value = extra[key]
+            h.update(key.encode("utf-8"))
+            if isinstance(value, np.ndarray):
+                h.update(np.ascontiguousarray(value).tobytes())
+            else:
+                h.update(repr(value).encode("utf-8"))
+    return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -65,6 +93,20 @@ class TraversalCheckpoint:
     #: algorithm-private payload beyond (values, frontier) — PageRank's
     #: residuals, k-core's degrees (private copies; None for BFS/SSSP)
     extra: Optional[dict] = None
+    #: integrity seals computed at capture (never pass explicitly)
+    values_sha256: str = field(default="")
+    frontier_sha256: str = field(default="")
+    extra_sha256: str = field(default="")
+
+    def __post_init__(self):
+        if not self.values_sha256:
+            object.__setattr__(self, "values_sha256", _array_digest(self.values))
+        if not self.frontier_sha256:
+            object.__setattr__(
+                self, "frontier_sha256", _array_digest(self.frontier)
+            )
+        if not self.extra_sha256:
+            object.__setattr__(self, "extra_sha256", _extra_digest(self.extra))
 
     @property
     def state_bytes(self) -> int:
@@ -75,6 +117,31 @@ class TraversalCheckpoint:
 
     def matches(self, algorithm: str, source: int) -> bool:
         return self.algorithm == algorithm and self.source == source
+
+    def verify(self) -> None:
+        """Recompute the integrity seals; raise
+        :class:`~repro.errors.CheckpointError` naming the first field
+        whose current bytes no longer match the digest taken at
+        capture."""
+        checks = (
+            ("values", self.values_sha256, lambda: _array_digest(self.values)),
+            (
+                "frontier",
+                self.frontier_sha256,
+                lambda: _array_digest(self.frontier),
+            ),
+            ("extra", self.extra_sha256, lambda: _extra_digest(self.extra)),
+        )
+        for name, sealed, recompute in checks:
+            current = recompute()
+            if current != sealed:
+                raise CheckpointError(
+                    f"checkpoint integrity failure: field {name!r} of the "
+                    f"{self.algorithm} source={self.source} checkpoint "
+                    f"(next_iteration={self.next_iteration}) does not match "
+                    f"its capture-time digest "
+                    f"({current[:12]}… != {sealed[:12]}…)"
+                )
 
 
 class CheckpointKeeper:
@@ -175,7 +242,8 @@ class CheckpointKeeper:
 
     def restore(self, algorithm: str, source: int) -> Optional[TraversalCheckpoint]:
         """The checkpoint to resume from after a failure (None = restart
-        from scratch).  Counts the restore for telemetry."""
+        from scratch).  Verifies the integrity seals before handing the
+        checkpoint out; counts the restore for telemetry."""
         cp = self.latest
         if cp is None:
             return None
@@ -184,5 +252,6 @@ class CheckpointKeeper:
                 f"checkpoint for {cp.algorithm!r} source {cp.source} cannot "
                 f"resume a {algorithm!r} query from source {source}"
             )
+        cp.verify()
         self.restores += 1
         return cp

@@ -39,7 +39,15 @@ from repro.serve.batch import BatchQuery, BatchRunner
 from repro.serve.loop import ServeLoop, ServeReport
 from repro.serve.session import GraphSession
 
-__all__ = ["ChaosReport", "default_chaos_plan", "generate_queries", "run_chaos"]
+__all__ = [
+    "ChaosReport",
+    "ShardChaosReport",
+    "default_chaos_plan",
+    "default_shard_chaos_plan",
+    "generate_queries",
+    "run_chaos",
+    "run_shard_chaos",
+]
 
 #: modes the generator draws from (adaptive-heavy, some static codes)
 _CHAOS_MODES = ("adaptive", "adaptive", "adaptive", "U_T_BM", "U_B_QU")
@@ -240,5 +248,209 @@ def run_chaos(
             sim_seconds=serve_report.total_sim_seconds,
             queries=num_queries,
             super_iterations=serve_report.super_iterations,
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Device-loss soak over the sharded multi-device driver
+# ----------------------------------------------------------------------
+
+
+def default_shard_chaos_plan(seed: int = 0) -> "FaultPlan":
+    """A device-loss-heavy plan for the sharded soak: frequent enough
+    that a short soak sees losses on several distinct devices, bounded
+    so a single query cannot burn the whole restore budget."""
+    return FaultPlan(
+        seed=seed,
+        device_loss_rate=0.08,
+        launch_failure_rate=0.02,
+        max_faults=1,
+    )
+
+
+@dataclass
+class ShardChaosReport:
+    """One sharded soak's verdict.
+
+    The invariants extend the serve soak's three with *fault
+    attribution*: every injected device fault must be attributed to
+    exactly one device's fault domain (its ``device`` tag) and, for
+    device losses, to the shards that were homed there — an unattributed
+    fault means the recovery ladder acted on the wrong shard.
+    """
+
+    num_queries: int
+    num_devices: int
+    partition: str
+    plan: dict
+    #: per-query summaries: algorithm, source, sha parity, recovery rung
+    queries: List[dict] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    faults_injected: int = 0
+    device_losses: int = 0
+    migrations: int = 0
+    restores: int = 0
+    degraded_queries: int = 0
+    sha_mismatches: int = 0
+    unattributed_faults: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def result_dict(self) -> dict:
+        return {
+            "kind": "shard_chaos",
+            "num_queries": self.num_queries,
+            "num_devices": self.num_devices,
+            "partition": self.partition,
+            "fault_plan": self.plan,
+            "queries": list(self.queries),
+            "passed": self.passed,
+            "violations": list(self.violations),
+            "faults_injected": self.faults_injected,
+            "device_losses": self.device_losses,
+            "migrations": self.migrations,
+            "restores": self.restores,
+            "degraded_queries": self.degraded_queries,
+            "sha_mismatches": self.sha_mismatches,
+            "unattributed_faults": self.unattributed_faults,
+        }
+
+
+def run_shard_chaos(
+    *,
+    num_queries: int = 8,
+    num_nodes: int = 512,
+    num_devices: int = 4,
+    seed: int = 0,
+    partition: str = "contiguous",
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_every: int = 2,
+    algorithms: Tuple[str, ...] = ("bfs", "sssp"),
+    graph=None,
+) -> ShardChaosReport:
+    """Soak :func:`~repro.engine.shard.run_sharded` under seeded device
+    loss and assert the sharded invariants:
+
+    - **no crash** — every query returns a result, never an exception;
+    - **exactly once** — one result per submitted query;
+    - **bit identity** — each faulted N-device run's value SHA equals
+      the fault-free 1-device run of the same query;
+    - **attribution** — every injected fault names exactly one device
+      fault domain, and every device loss maps to recovery events for
+      the shards homed on that device (and no other device).
+    """
+    import dataclasses as _dc
+
+    import numpy as np
+
+    from repro.engine.shard import run_sharded
+
+    if graph is None:
+        graph = attach_uniform_weights(
+            power_law_graph(num_nodes, seed=seed, name=f"shardchaos{num_nodes}"),
+            seed=seed,
+        )
+    plan = fault_plan if fault_plan is not None else default_shard_chaos_plan(seed)
+    rng = np.random.default_rng(seed)
+
+    report = ShardChaosReport(
+        num_queries=num_queries,
+        num_devices=num_devices,
+        partition=partition,
+        plan=plan.to_dict(),
+    )
+
+    for i in range(num_queries):
+        algorithm = str(rng.choice(algorithms))
+        source = int(rng.integers(0, graph.num_nodes))
+        reference = run_sharded(
+            graph, source, algorithm=algorithm, num_devices=1
+        )
+        entry = {
+            "query": i,
+            "algorithm": algorithm,
+            "source": source,
+            "reference_sha256": reference.values_sha256,
+        }
+        try:
+            result = run_sharded(
+                graph,
+                source,
+                algorithm=algorithm,
+                num_devices=num_devices,
+                partition=partition,
+                fault_plan=_dc.replace(plan, seed=plan.seed + 7919 * (i + 1)),
+                checkpoint_every=checkpoint_every,
+            )
+        except Exception as exc:  # noqa: BLE001 — a crash IS the violation
+            report.violations.append(
+                f"query {i} ({algorithm} @ {source}) crashed: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            entry["crashed"] = f"{type(exc).__name__}: {exc}"
+            report.queries.append(entry)
+            continue
+
+        entry.update(
+            values_sha256=result.values_sha256,
+            recovery_rung=result.recovery_rung,
+            device_losses=result.device_losses,
+            migrations=result.migrations,
+            faults=len(result.faults),
+            degraded=result.degraded,
+        )
+        report.queries.append(entry)
+        report.faults_injected += len(result.faults)
+        report.device_losses += result.device_losses
+        report.migrations += result.migrations
+        report.restores += result.restores
+        report.degraded_queries += int(result.degraded)
+
+        if result.values_sha256 != reference.values_sha256:
+            report.sha_mismatches += 1
+            report.violations.append(
+                f"query {i} ({algorithm} @ {source}) sharded sha "
+                f"{result.values_sha256[:12]}… != 1-device reference "
+                f"{reference.values_sha256[:12]}…"
+            )
+
+        # Attribution: every injected fault carries exactly one device
+        # tag, and every device-loss fault maps to migration events for
+        # shards homed on that device only.
+        loss_events: Dict[int, set] = {}
+        for event in result.recovery_events:
+            if event.fault_kind == "device_loss" and event.device_index >= 0:
+                loss_events.setdefault(event.device_index, set()).add(
+                    event.shard_index
+                )
+        for fault in result.faults:
+            dev = fault.get("device", -1)
+            if dev < 0 or dev >= num_devices:
+                report.unattributed_faults += 1
+                report.violations.append(
+                    f"query {i}: fault #{fault.get('sequence')} "
+                    f"({fault.get('kind')}) has no device fault domain "
+                    f"(device={dev})"
+                )
+                continue
+            if fault.get("kind") == "device_loss" and not result.degraded:
+                shards = loss_events.get(dev, set())
+                if not shards:
+                    report.unattributed_faults += 1
+                    report.violations.append(
+                        f"query {i}: device_loss on device {dev} produced "
+                        f"no recovery events for any shard homed there"
+                    )
+
+    observer = current_observer()
+    if observer is not None:
+        observer.spans.add_span(
+            "shard_chaos_soak",
+            queries=num_queries,
+            devices=num_devices,
+            device_losses=report.device_losses,
         )
     return report

@@ -85,6 +85,7 @@ class ServeReport:
     wall_latencies_s: List[float] = field(default_factory=list)
     sim_latencies_s: List[float] = field(default_factory=list)
     breaker: dict = field(default_factory=dict)
+    breaker_transitions: List[dict] = field(default_factory=list)
 
     @property
     def total_sim_seconds(self) -> float:
@@ -120,6 +121,7 @@ class ServeReport:
                 "max": max(self.sim_latencies_s, default=0.0),
             },
             "breaker": self.breaker,
+            "breaker_transitions": self.breaker_transitions,
         }
 
 
@@ -486,10 +488,12 @@ class ServeLoop:
     # ------------------------------------------------------------------
 
     def finalize(self) -> ServeReport:
-        """Freeze the report: admitted/shed totals, breaker snapshot."""
+        """Freeze the report: admitted/shed totals, breaker snapshot
+        and transition history."""
         self.report.admitted = self.queue.admitted_total
         self.report.shed = self.queue.shed_total
         self.report.breaker = self.breaker.snapshot()
+        self.report.breaker_transitions = self.breaker.transition_log()
         return self.report
 
     def to_manifest(self, *, observer=None) -> RunManifest:

@@ -20,7 +20,12 @@ from repro.cli import main
 from repro.graph.generators import attach_uniform_weights, erdos_renyi_graph
 from repro.graph.io import write_dimacs
 from repro.reliability import FaultPlan
-from repro.serve.chaos import default_chaos_plan, run_chaos
+from repro.serve.chaos import (
+    default_chaos_plan,
+    default_shard_chaos_plan,
+    run_chaos,
+    run_shard_chaos,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -85,6 +90,37 @@ class TestChaosSoak:
         # error — but never crash, duplicate or silently vanish.
         assert report.passed, report.violations
         assert report.serve.answered == 60
+
+
+class TestShardChaosSoak:
+    def test_default_shard_plan_is_seeded_and_lossy(self):
+        plan = default_shard_chaos_plan(9)
+        assert plan.seed == 9
+        assert plan.device_loss_rate > 0
+        assert plan == default_shard_chaos_plan(9)
+
+    def test_device_loss_soak_passes(self):
+        report = run_shard_chaos(
+            num_queries=8, num_nodes=400, num_devices=4, seed=1
+        )
+        assert report.passed, report.violations
+        assert report.sha_mismatches == 0
+        assert report.unattributed_faults == 0
+        # The soak is only meaningful if devices actually died.
+        assert report.device_losses > 0
+
+    def test_shard_soak_is_deterministic(self):
+        a = run_shard_chaos(num_queries=4, num_nodes=300, seed=6)
+        b = run_shard_chaos(num_queries=4, num_nodes=300, seed=6)
+        assert a.result_dict() == b.result_dict()
+
+    def test_shard_chaos_subcommand(self, capsys):
+        rc = main(["chaos", "--devices", "4", "--queries", "6",
+                   "--nodes", "300", "--seed", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "device losses" in out
 
 
 class TestChaosCommand:

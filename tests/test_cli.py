@@ -259,6 +259,52 @@ class TestReliability:
         assert "served by" in capsys.readouterr().out
 
 
+class TestShardedRun:
+    def test_run_devices_fault_free(self, capsys):
+        rc = main(
+            ["run", "--algorithm", "bfs", "--dataset", "sns",
+             "--scale", "0.02", "--devices", "4",
+             "--partition", "balanced"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sharded x4, balanced" in out
+        assert "exchange volume" in out
+        assert "verified vs CPU reference" in out
+        assert "MISMATCH" not in out
+
+    def test_run_devices_with_device_loss(self, capsys, tmp_path):
+        import json
+
+        manifest_path = tmp_path / "shard.json"
+        plan = '{"seed": 11, "device_loss_rate": 0.25, "device": 1, "max_faults": 1}'
+        rc = main(
+            ["run", "--algorithm", "sssp", "--dataset", "sns",
+             "--scale", "0.02", "--devices", "4", "--fault-plan", plan,
+             "--checkpoint-every", "2", "--manifest", str(manifest_path)]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "MISMATCH" not in captured.out
+        assert "recovery rung" in captured.out
+        doc = json.loads(manifest_path.read_text())
+        assert doc["mode"] == "sharded"
+        assert doc["result"]["num_devices"] == 4
+        if doc["faults"]:
+            assert doc["reliability"]["recovery_rung"] in (
+                "retry", "restore", "cpu"
+            )
+            assert "[recovery:" in captured.err
+
+    def test_devices_rejects_non_batchable(self, capsys):
+        rc = main(
+            ["run", "--algorithm", "pagerank", "--dataset", "sns",
+             "--scale", "0.02", "--devices", "2"]
+        )
+        assert rc == 2
+        assert "batch" in capsys.readouterr().err
+
+
 class TestExitCodes:
     def test_repro_error_exits_2(self, capsys):
         # source beyond the graph is a ReproError: one line on stderr,
@@ -279,6 +325,27 @@ class TestExitCodes:
         )
         assert rc == 2
         assert "repro: error:" in capsys.readouterr().err
+
+    def test_fault_plan_unknown_key_named(self, capsys):
+        rc = main(
+            ["reliability", "--dataset", "p2p", "--scale", "0.05",
+             "--fault-plan", '{"seed": 1, "lunch_failure_rate": 0.1}']
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err
+        assert "lunch_failure_rate" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_fault_plan_unknown_kind_named(self, capsys):
+        rc = main(
+            ["reliability", "--dataset", "p2p", "--scale", "0.05",
+             "--fault-plan", '{"kinds": ["cosmic_ray"]}']
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cosmic_ray" in err
+        assert len(err.strip().splitlines()) == 1
 
     def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
         import repro.cli as cli_mod

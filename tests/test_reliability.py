@@ -17,6 +17,8 @@ from repro.core import adaptive_bfs, adaptive_sssp
 from repro.core.telemetry import RECOVERY_ACTIONS, FaultEvent
 from repro.cpu import cpu_bfs
 from repro.errors import (
+    CheckpointError,
+    DeviceLostError,
     FaultPlanError,
     KernelError,
     LaunchError,
@@ -101,6 +103,41 @@ class TestFaultPlan:
         with pytest.raises(ReproError):
             load_fault_plan("[1, 2]")
 
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(FaultPlanError) as exc:
+            FaultPlan.from_dict({"kinds": ["launch_failure", "cosmic_ray"]})
+        assert "cosmic_ray" in str(exc.value)
+
+    def test_kinds_filter_gates_injection(self):
+        plan = FaultPlan(
+            seed=1, launch_failure_rate=1.0, kinds=("memory_fault",)
+        )
+        assert not plan.enables("launch_failure")
+        assert plan.enables("memory_fault")
+        assert FaultPlan(kinds=()).is_empty
+
+    def test_device_scope_validation(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(device=-2)
+
+    def test_for_device_scoping(self):
+        plan = FaultPlan(seed=4, device_loss_rate=0.2, device=1)
+        assert plan.for_device(0, 4) is None
+        derived = plan.for_device(1, 4)
+        assert derived is not None
+        assert derived.device is None  # scope resolved, not re-applied
+        assert derived.seed != plan.seed
+
+    def test_for_device_seeds_are_distinct(self):
+        plan = FaultPlan(seed=4, device_loss_rate=0.2)
+        seeds = {plan.for_device(i, 4).seed for i in range(4)}
+        assert len(seeds) == 4
+
+    def test_for_device_out_of_range_scope(self):
+        plan = FaultPlan(seed=4, device_loss_rate=0.2, device=7)
+        with pytest.raises(FaultPlanError, match="only 4 devices"):
+            plan.for_device(0, 4)
+
 
 # ----------------------------------------------------------------------
 # Injector
@@ -164,6 +201,25 @@ class TestFaultInjector:
             with pytest.raises(LaunchError) as exc:
                 adaptive_bfs(graph, 0)
         assert "injected transient launch failure" in str(exc.value)
+
+    def test_device_loss_injected_and_attributed(self):
+        plan = FaultPlan(seed=0, device_loss_rate=1.0)
+        injector = FaultInjector(plan, device_index=3)
+        with pytest.raises(DeviceLostError) as exc:
+            injector.on_super_iteration(2)
+        assert "device 3" in str(exc.value)
+        fault = injector.log[0]
+        assert fault.kind == "device_loss"
+        assert fault.device == 3
+        assert fault.site == "device3"
+
+    def test_device_loss_gated_by_kinds_filter(self):
+        plan = FaultPlan(
+            seed=0, device_loss_rate=1.0, kinds=("launch_failure",)
+        )
+        injector = FaultInjector(plan, device_index=0)
+        injector.on_super_iteration(0)  # must not raise
+        assert injector.num_injected == 0
 
 
 # ----------------------------------------------------------------------
@@ -242,6 +298,43 @@ class TestCheckpoint:
             CheckpointKeeper(every=0)
         with pytest.raises(KernelError):
             CheckpointKeeper(budget=0.0)
+
+    @staticmethod
+    def _offered_keeper(extra=None):
+        keeper = CheckpointKeeper(every=1)
+        keeper.offer(
+            algorithm="bfs", source=0, iteration=0,
+            values=np.arange(8, dtype=np.int64),
+            frontier=np.array([2, 5], dtype=np.int64),
+            variant_code="U_T_QU", records=(), seconds=0.1, extra=extra,
+        )
+        return keeper
+
+    def test_corrupted_values_rejected_on_restore(self):
+        keeper = self._offered_keeper()
+        keeper.latest.values[3] = -42  # bit-rot between capture and resume
+        with pytest.raises(CheckpointError, match="'values'"):
+            keeper.restore("bfs", 0)
+        assert keeper.restores == 0
+
+    def test_corrupted_frontier_rejected_on_restore(self):
+        keeper = self._offered_keeper()
+        keeper.latest.frontier[0] = 7
+        with pytest.raises(CheckpointError, match="'frontier'"):
+            keeper.restore("bfs", 0)
+
+    def test_corrupted_extra_rejected_on_restore(self):
+        keeper = self._offered_keeper(
+            extra={"ranks": np.ones(4, dtype=np.float64)}
+        )
+        keeper.latest.extra["ranks"][0] = 0.0
+        with pytest.raises(CheckpointError, match="'extra'"):
+            keeper.restore("bfs", 0)
+
+    def test_intact_checkpoint_passes_verification(self):
+        keeper = self._offered_keeper()
+        cp = keeper.restore("bfs", 0)
+        assert cp is not None and keeper.restores == 1
 
 
 # ----------------------------------------------------------------------

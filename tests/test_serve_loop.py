@@ -197,6 +197,38 @@ class TestCircuitBreaker:
         assert metrics["breaker.short_circuits"]["value"] == 1
         assert metrics["breaker.open_circuits"]["max"] == 1
 
+    def test_transition_log_names_path_and_cause(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                                 clock=lambda: now[0])
+        key = ("batch", "bfs", "adaptive")
+        breaker.record_failure(key)        # closed -> open
+        now[0] = 6.0
+        assert breaker.allow(key)          # open -> half_open (probe)
+        breaker.record_success(key)        # half_open -> closed
+        log = breaker.transition_log()
+        assert [(m["from"], m["to"], m["cause"]) for m in log] == [
+            ("closed", "open", "trip"),
+            ("open", "half_open", "cooldown"),
+            ("half_open", "closed", "reset"),
+        ]
+        assert all(m["key"] == "batch/bfs/adaptive" for m in log)
+        # the log is a snapshot, not a live view
+        log.clear()
+        assert len(breaker.transition_log()) == 3
+
+    def test_serve_report_carries_transitions(self, random_weighted):
+        session = GraphSession(random_weighted)
+        loop = ServeLoop(session, max_batch_rows=2)
+        loop.breaker.failure_threshold = 1
+        loop.breaker.record_failure(("batch", "bfs", "adaptive"))
+        report = loop.finalize()
+        assert report.breaker_transitions
+        move = report.breaker_transitions[0]
+        assert move["to"] == "open" and move["cause"] == "trip"
+        doc = report.result_dict()
+        assert doc["breaker_transitions"] == report.breaker_transitions
+
 
 # ----------------------------------------------------------------------
 # The serve loop

@@ -40,6 +40,7 @@ LINKED_DOCS = (
     "docs/paper-map.md",
     "docs/reliability.md",
     "docs/serving.md",
+    "docs/sharding.md",
     "docs/simulator.md",
 )
 
