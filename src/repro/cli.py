@@ -364,6 +364,14 @@ def cmd_run(args) -> int:
     if getattr(args, "devices", None) is not None:
         return _run_sharded_cmd(args, info)
     mode = args.mode or ("adaptive" if info.adaptive_eligible else "default")
+    policy_spec = getattr(args, "policy", None)
+    if policy_spec is not None and mode != "adaptive":
+        print(
+            "repro run: --policy needs the adaptive runtime "
+            f"(got --mode {mode})",
+            file=sys.stderr,
+        )
+        return 2
     if mode == "resilient":
         return _run_resilient(args, args.algorithm)
     graph, source, device = _resolve_workload(args, weighted=info.weighted)
@@ -376,7 +384,7 @@ def cmd_run(args) -> int:
     if mode == "adaptive":
         result = adaptive_run(
             graph, args.algorithm, source, device=device, memory=memory,
-            **params,
+            policy=policy_spec, **params,
         )
         traversal = result.traversal
         mem_report = result.memory
@@ -384,6 +392,9 @@ def cmd_run(args) -> int:
             f"decisions: {result.trace.variants_chosen()}  "
             f"switches: {result.num_switches}"
         )
+        if result.policy is not None:
+            mode = "learned"
+            extra += f"\npolicy digest: {result.policy['digest'][:16]}…"
     elif mode == "default":
         if info.run_default is None:
             print(
@@ -775,6 +786,13 @@ def cmd_profile(args) -> int:
     mode = args.mode
     if mode == "adaptive" and not info.adaptive_eligible:
         mode = "default"
+    if getattr(args, "policy", None) is not None and mode != "adaptive":
+        print(
+            "repro profile: --policy needs the adaptive runtime "
+            f"(got mode {mode})",
+            file=sys.stderr,
+        )
+        return 2
     config = None
     trace_obj = None
 
@@ -800,11 +818,14 @@ def cmd_profile(args) -> int:
         result = adaptive_run(
             graph, args.algorithm, source, config=config, device=device,
             memory=memory, observe=observer,
+            policy=getattr(args, "policy", None),
         )
         values = result.values
         mem_report = result.memory
         trace_obj = result.trace
         traversal = result.traversal
+        if result.policy is not None:
+            mode = "learned"
     elif mode == "default":
         if info.run_default is None:
             print(
@@ -891,6 +912,38 @@ def cmd_profile(args) -> int:
         print(f"[combined trace written to {args.trace} "
               "(open in ui.perfetto.dev or chrome://tracing)]")
     return 0 if ok else 1
+
+
+def cmd_fit_policy(args) -> int:
+    """Fit a learned decision-tree policy from profile manifests."""
+    from repro.core import fit_policy, load_manifest_corpus
+
+    corpus = load_manifest_corpus(args.manifests)
+    artifact = fit_policy(
+        corpus,
+        max_depth=args.max_depth,
+        min_samples_leaf=args.min_samples_leaf,
+    )
+    artifact.save(args.out)
+
+    training = artifact.training
+    table = Table(["metric", "value"], title="fit-policy")
+    table.add_row(["manifests", len(training["manifests"])])
+    table.add_row(["training samples", training["samples"]])
+    table.add_row(["algorithms", ", ".join(training["algorithms"])])
+    table.add_row(["variant classes", ", ".join(artifact.classes)])
+    table.add_row(["tree depth", artifact.depth])
+    table.add_row(["leaves", artifact.num_leaves])
+    table.add_row(["digest", artifact.digest[:16]])
+    print(table.render())
+    for entry in training["manifests"]:
+        print(
+            f"  {entry['manifest']}: {entry['graph']} "
+            f"{entry['algorithm']}/{entry['mode']} "
+            f"({entry['decisions']} decisions)"
+        )
+    print(f"[policy written to {args.out}]")
+    return 0
 
 
 def cmd_sweep_t3(args) -> int:
@@ -1293,6 +1346,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--manifest", default=None, metavar="FILE",
                    help="write the sharded run's RunManifest JSON here "
                    "(--devices)")
+    p.add_argument("--policy", default=None, metavar="SPEC",
+                   help="drive adaptive decisions with a fitted policy "
+                   "artifact: 'learned:<policy.json>' (see fit-policy)")
     _add_reliability_args(p)
     p.set_defaults(func=cmd_run)
 
@@ -1384,8 +1440,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-plan", default=None, metavar="JSON",
                    help="fault-injection plan for --mode resilient "
                    "(inline JSON or a file path)")
+    p.add_argument("--policy", default=None, metavar="SPEC",
+                   help="drive adaptive decisions with a fitted policy "
+                   "artifact: 'learned:<policy.json>' (see fit-policy); "
+                   "the manifest records mode 'learned' plus the digest")
     p.set_defaults(func=cmd_profile, strict_io=False, lenient_io=False,
                    max_edges=None)
+
+    p = sub.add_parser(
+        "fit-policy",
+        help="fit a learned decision-tree policy from profile manifests",
+        description="Extract per-iteration decision features from one or "
+        "more RunManifest JSON files (repro profile --out …), label each "
+        "decision with the cheapest kernel variant under the cost model, "
+        "and fit a small cost-sensitive decision tree.  The resulting "
+        "policy.json is a versioned, digest-pinned artifact accepted by "
+        "'repro run --policy learned:policy.json'.",
+    )
+    p.add_argument("manifests", nargs="+", metavar="MANIFEST",
+                   help="RunManifest JSON files with decision traces")
+    p.add_argument("--out", default="policy.json", metavar="FILE",
+                   help="policy artifact output path (default: policy.json)")
+    p.add_argument("--max-depth", type=int, default=8,
+                   help="decision-tree depth cap (default: 8)")
+    p.add_argument("--min-samples-leaf", type=int, default=2,
+                   help="minimum training samples per leaf (default: 2)")
+    p.set_defaults(func=cmd_fit_policy)
 
     p = sub.add_parser(
         "batch",

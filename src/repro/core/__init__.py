@@ -7,6 +7,8 @@ variant libraries below.
 - :mod:`repro.core.api` — the user-facing :class:`Graph` type;
 - :mod:`repro.core.inspector` — static + monitored runtime attributes;
 - :mod:`repro.core.decision` — the Figure-11 decision space (T1/T2/T3);
+- :mod:`repro.core.learned` — the fitted decision-tree alternative
+  (offline ``fit_policy`` from manifests, online ``LearnedPolicy``);
 - :mod:`repro.core.policies` — the adaptive policy driving the frame;
 - :mod:`repro.core.runtime` — ``adaptive_bfs`` / ``adaptive_sssp``;
 - :mod:`repro.core.tuning` — threshold derivation and the T2/T3 sweeps;
@@ -18,6 +20,18 @@ from repro.core.config import RuntimeConfig
 from repro.core.decision import DecisionMaker, Thresholds
 from repro.core.hybrid import HybridConfig, HybridResult, hybrid_bfs, hybrid_sssp
 from repro.core.inspector import GraphInspector, StaticAttributes
+from repro.core.learned import (
+    FEATURE_NAMES,
+    LearnedDecisionMaker,
+    LearnedPolicy,
+    PolicyArtifact,
+    extract_samples,
+    fit_policy,
+    load_manifest_corpus,
+    load_policy,
+    resolve_policy,
+    variant_costs,
+)
 from repro.core.oracle import (
     DecisionQuality,
     IterationCosts,
@@ -54,6 +68,16 @@ __all__ = [
     "StaticAttributes",
     "AdaptivePolicy",
     "FixedPolicy",
+    "FEATURE_NAMES",
+    "LearnedDecisionMaker",
+    "LearnedPolicy",
+    "PolicyArtifact",
+    "extract_samples",
+    "fit_policy",
+    "load_manifest_corpus",
+    "load_policy",
+    "resolve_policy",
+    "variant_costs",
     "AdaptiveResult",
     "adaptive_run",
     "adaptive_bfs",

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.inspector import StaticAttributes
 from repro.core.runtime import AdaptiveResult
 from repro.errors import KernelError
 from repro.graph.csr import CSRGraph
@@ -122,6 +123,22 @@ def per_iteration_oracle(
         for v in (variants if variants is not None else unordered_variants())
     ]
 
+    # One source of graph properties for the whole report: the inspector's
+    # static profile.  The block-mapping launch geometry depends on the
+    # average outdegree, and recomputing it per variant per iteration
+    # (the old inner-loop `graph.avg_out_degree` read) both repeated the
+    # reduction |variants| x |iterations| times and left the door open to
+    # the oracle's labels and a learned policy's features disagreeing.
+    static = StaticAttributes.of(graph)
+    avg_out_degree = static.avg_out_degree
+    assert avg_out_degree == graph.avg_out_degree, (
+        "profiled average outdegree diverged from the graph's own "
+        f"({avg_out_degree} != {graph.avg_out_degree})"
+    )
+    tpb_by_code = {
+        v.code: v.threads_per_block(avg_out_degree, device) for v in candidates
+    }
+
     model = CostModel(device, cost_params)
     n = graph.num_nodes
     if weighted:
@@ -163,7 +180,7 @@ def per_iteration_oracle(
         )
         per_variant: Dict[str, float] = {}
         for variant in candidates:
-            tpb = variant.threads_per_block(graph.avg_out_degree, device)
+            tpb = tpb_by_code[variant.code]
             seconds = model.price(
                 computation_tally(shape, variant.mapping, variant.workset, tpb, device)
             ).seconds

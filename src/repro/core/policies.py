@@ -81,9 +81,8 @@ class AdaptivePolicy(VariantPolicy):
             return self._current
         self.inspector.observe(iteration, workset_size)
         pressure = self.memory.pressure if self.memory is not None else 0.0
-        unconstrained = self.decision_maker.decide(workset_size, self._avg_degree)
-        variant = self.decision_maker.decide(
-            workset_size, self._avg_degree, memory_pressure=pressure
+        unconstrained, variant, region = self._decide(
+            iteration, workset_size, pressure
         )
         variant = self._apply_memory_constraints(variant, workset_size)
         forced = variant != unconstrained
@@ -94,9 +93,7 @@ class AdaptivePolicy(VariantPolicy):
                 workset_size=workset_size,
                 avg_out_degree=self._avg_degree,
                 variant=variant.code,
-                region=self.decision_maker.region(
-                    workset_size, self._avg_degree, memory_pressure=pressure
-                ),
+                region=region,
                 switched=switched,
                 memory_pressure=pressure,
                 forced_by_memory=forced,
@@ -122,6 +119,21 @@ class AdaptivePolicy(VariantPolicy):
             )
         self._current = variant
         return variant
+
+    def _decide(self, iteration: int, workset_size: int, pressure: float):
+        """One decision-maker consultation: (unconstrained, pressured,
+        region-label).  The learned policy overrides this seam — and
+        only this seam — so sampling, tracing, the fit-check and the
+        switch-cost ablation stay shared between the two runtimes."""
+        dm = self.decision_maker
+        unconstrained = dm.decide(workset_size, self._avg_degree)
+        variant = dm.decide(
+            workset_size, self._avg_degree, memory_pressure=pressure
+        )
+        region = dm.region(
+            workset_size, self._avg_degree, memory_pressure=pressure
+        )
+        return unconstrained, variant, region
 
     def _apply_memory_constraints(self, variant: Variant, workset_size: int) -> Variant:
         """Footprint fit-check and configured representation pin.

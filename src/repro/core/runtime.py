@@ -50,6 +50,9 @@ class AdaptiveResult:
     thresholds: Thresholds
     #: device-memory accounting snapshot (None when no budget attached)
     memory: Optional[MemoryReport] = None
+    #: learned-policy provenance (kind, artifact digest, tree shape);
+    #: None under the threshold policy
+    policy: Optional[Dict] = None
 
     # Convenience pass-throughs ----------------------------------------
 
@@ -73,9 +76,10 @@ class AdaptiveResult:
         return self.traversal.variants_used()
 
 
-def _observed_traverse(span_name: str, run, trace: DecisionTrace):
+def _observed_traverse(span_name: str, run, trace: DecisionTrace, policy=None):
     """Run *run()* under the current observer's span (if any) and report
-    the trace's decision counts into its metrics registry afterwards."""
+    the trace's decision counts — plus the learned policy's ``policy.*``
+    telemetry, when one drives the run — into its metrics registry."""
     observer = current_observer()
     if observer is None:
         return run()
@@ -85,6 +89,13 @@ def _observed_traverse(span_name: str, run, trace: DecisionTrace):
     metrics.counter("runtime.decisions").inc(trace.num_decisions)
     metrics.counter("runtime.switches").inc(trace.num_switches)
     metrics.counter("runtime.memory_forced").inc(trace.num_memory_forced)
+    dm = getattr(policy, "decision_maker", None)
+    if dm is not None and hasattr(dm, "leaf_depths"):
+        metrics.counter("policy.evaluations").inc(dm.evaluations)
+        metrics.counter("policy.overrides").inc(dm.overrides)
+        depth_hist = metrics.histogram("policy.leaf_depth")
+        for depth in dm.leaf_depths:
+            depth_hist.observe(depth)
     return result
 
 
@@ -103,6 +114,7 @@ def adaptive_run(
     fault_hook=None,
     memory: Optional[MemoryBudget] = None,
     observe=None,
+    policy=None,
     **params,
 ) -> AdaptiveResult:
     """Run any registered *algorithm* under the adaptive runtime.
@@ -111,6 +123,14 @@ def adaptive_run(
     inspector + decision-maker policy drives every adaptive-eligible
     algorithm (Section I's generalization claim).  Whole-graph
     algorithms (``source_based`` False) ignore *source*.
+
+    *policy* swaps the threshold decision maker for a fitted one: pass
+    a ``"learned:<policy.json>"`` spec or a loaded
+    :class:`~repro.core.learned.PolicyArtifact` and the run is driven
+    by a :class:`~repro.core.learned.LearnedPolicy` instead (same
+    sampling cadence, same memory-pressure overrides); the artifact's
+    digest lands in :attr:`AdaptiveResult.policy` and the run's
+    manifest.
 
     The reliability keywords (*watchdog*, *checkpoint_keeper*,
     *resume_from*, *fault_hook*) are pass-throughs to the traversal
@@ -136,17 +156,25 @@ def adaptive_run(
         graph._check_node(source)
     else:
         source = -1
-    policy = AdaptivePolicy(graph, config, device=device, memory=memory)
+    if policy is not None:
+        from repro.core.learned import LearnedPolicy, resolve_policy
+
+        artifact = resolve_policy(policy)
+        driver = LearnedPolicy(
+            graph, artifact, config, device=device, memory=memory
+        )
+    else:
+        driver = AdaptivePolicy(graph, config, device=device, memory=memory)
     with observing(observe):
         result = _observed_traverse(
-            f"adaptive_{algorithm}",
+            f"{driver.name}_{algorithm}",
             lambda: info.traverse(
                 graph,
                 source,
-                policy,
+                driver,
                 device=device,
                 cost_params=cost_params,
-                queue_gen=policy.config.queue_gen,
+                queue_gen=driver.config.queue_gen,
                 max_iterations=max_iterations,
                 watchdog=watchdog,
                 checkpoint_keeper=checkpoint_keeper,
@@ -155,13 +183,15 @@ def adaptive_run(
                 memory=memory,
                 **params,
             ),
-            policy.trace,
+            driver.trace,
+            policy=driver,
         )
     return AdaptiveResult(
         traversal=result,
-        trace=policy.trace,
-        thresholds=policy.thresholds,
+        trace=driver.trace,
+        thresholds=driver.thresholds,
         memory=memory.report() if memory is not None else None,
+        policy=driver.policy_info() if hasattr(driver, "policy_info") else None,
     )
 
 

@@ -87,6 +87,10 @@ class RunManifest:
     spans: List[dict] = field(default_factory=list)
     #: recovery story of a guarded run (None for unguarded runs)
     reliability: Optional[dict] = None
+    #: learned-policy provenance — kind, artifact digest, tree shape
+    #: (None for threshold-policy and static runs; documents written
+    #: before this field existed load fine, the default covers absence)
+    policy: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Serialization
@@ -265,6 +269,8 @@ def build_manifest(
     if not summary and hasattr(result, "total_seconds"):
         summary["total_seconds"] = float(result.total_seconds)
 
+    policy = getattr(result, "policy", None)
+
     return RunManifest(
         schema_version=MANIFEST_SCHEMA_VERSION,
         algorithm=algorithm,
@@ -280,6 +286,7 @@ def build_manifest(
         memory=memory,
         spans=observer.spans.to_dicts() if observer is not None else [],
         reliability=reliability,
+        policy=dict(policy) if policy else None,
     )
 
 

@@ -183,6 +183,15 @@ METRICS_CATALOG: Tuple[MetricSpec, ...] = (
     MetricSpec("shard.replayed_super_iterations", "counter", "iterations",
                "repro.engine.shard",
                "super-iterations re-executed after a rollback"),
+    MetricSpec("policy.evaluations", "counter", "evaluations",
+               "repro.core.runtime",
+               "learned-policy decision-tree evaluations"),
+    MetricSpec("policy.overrides", "counter", "decisions",
+               "repro.core.runtime",
+               "learned-policy picks overridden by memory pressure"),
+    MetricSpec("policy.leaf_depth", "histogram", "levels",
+               "repro.core.runtime",
+               "tree depth of the leaf each learned decision landed in"),
 )
 
 _CATALOG_BY_NAME: Dict[str, MetricSpec] = {s.name: s for s in METRICS_CATALOG}

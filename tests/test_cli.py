@@ -558,6 +558,80 @@ class TestProfile:
         assert match.group(1).strip() == help_text
 
 
+class TestFitPolicy:
+    @pytest.fixture(scope="class")
+    def manifests(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("corpus")
+        paths = []
+        for key, seed in (("citeseer", 1), ("p2p", 2)):
+            path = root / f"{key}.json"
+            rc = main(["profile", "--dataset", key, "--scale", "0.05",
+                       "--seed", str(seed), "--algorithm", "sssp",
+                       "--out", str(path)])
+            assert rc == 0
+            paths.append(str(path))
+        return paths
+
+    def test_fit_policy_writes_artifact(self, manifests, tmp_path, capsys):
+        out = tmp_path / "policy.json"
+        rc = main(["fit-policy", *manifests, "--out", str(out)])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "training samples" in stdout
+        assert f"[policy written to {out}]" in stdout
+        from repro.core import load_policy
+
+        artifact = load_policy(out)
+        assert artifact.digest[:16] in stdout
+        assert len(artifact.training["manifests"]) == 2
+
+    def test_fit_policy_missing_manifest_exit_2(self, tmp_path, capsys):
+        rc = main(["fit-policy", str(tmp_path / "absent.json"),
+                   "--out", str(tmp_path / "p.json")])
+        assert rc == 2
+        assert "absent.json" in capsys.readouterr().err
+
+    def test_run_with_learned_policy(self, manifests, tmp_path, capsys):
+        out = tmp_path / "policy.json"
+        assert main(["fit-policy", *manifests, "--out", str(out)]) == 0
+        capsys.readouterr()
+        rc = main(["run", "--algorithm", "sssp", "--dataset", "citeseer",
+                   "--scale", "0.05", "--policy", f"learned:{out}"])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "(learned)" in stdout
+        assert "policy digest:" in stdout
+        assert "MISMATCH" not in stdout
+
+    def test_profile_with_learned_policy(self, manifests, tmp_path):
+        policy = tmp_path / "policy.json"
+        assert main(["fit-policy", *manifests, "--out", str(policy)]) == 0
+        out = tmp_path / "manifest.json"
+        rc = main(["profile", "--dataset", "citeseer", "--scale", "0.05",
+                   "--algorithm", "sssp", "--policy", f"learned:{policy}",
+                   "--out", str(out)])
+        assert rc == 0
+        from repro.core import load_policy
+        from repro.obs import RunManifest
+
+        manifest = RunManifest.read(out)
+        assert manifest.mode == "learned"
+        assert manifest.policy["digest"] == load_policy(policy).digest
+
+    def test_policy_requires_adaptive_mode(self, tmp_path, capsys):
+        rc = main(["run", "--algorithm", "sssp", "--dataset", "p2p",
+                   "--scale", "0.05", "--mode", "U_B_QU",
+                   "--policy", "learned:whatever.json"])
+        assert rc == 2
+        assert "adaptive" in capsys.readouterr().err
+
+    def test_bad_policy_spec_exit_2(self, capsys):
+        rc = main(["run", "--algorithm", "sssp", "--dataset", "p2p",
+                   "--scale", "0.05", "--policy", "oracle"])
+        assert rc == 2
+        assert "unknown policy spec" in capsys.readouterr().err
+
+
 class TestBatchCommand:
     def _graph_file(self, tmp_path):
         g = attach_uniform_weights(erdos_renyi_graph(60, 300, seed=1), seed=2)

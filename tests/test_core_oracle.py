@@ -81,6 +81,34 @@ class TestOracleReport:
             per_iteration_oracle(g, 0, "sssp")
 
 
+class TestSinglePropertySource:
+    def test_launch_geometry_derived_once_per_variant(self, workload, monkeypatch):
+        """Regression: the oracle used to re-read the graph's average
+        outdegree and re-derive each variant's launch geometry on every
+        iteration — |variants| x |iterations| recomputations of the same
+        numbers, and a second property source that could drift from the
+        inspector's profile that labels learned-policy features."""
+        from repro.kernels.variants import Variant
+
+        calls = []
+        original = Variant.threads_per_block
+
+        def counting(self, avg_out_degree, device):
+            calls.append(avg_out_degree)
+            return original(self, avg_out_degree, device)
+
+        monkeypatch.setattr(Variant, "threads_per_block", counting)
+        g, src = workload
+        report = per_iteration_oracle(g, src, "sssp")
+        assert len(report.iterations) > 1
+        # Once per candidate variant, not once per (variant, iteration).
+        assert len(calls) == len(report.iterations[0].seconds_by_variant)
+        # And every derivation saw the inspector's single source value.
+        from repro.core import StaticAttributes
+
+        assert set(calls) == {StaticAttributes.of(g).avg_out_degree}
+
+
 class TestDecisionQuality:
     def test_adaptive_low_regret(self, workload):
         g, src = workload

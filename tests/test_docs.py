@@ -36,6 +36,34 @@ class TestLinks:
         text = "[a](docs/x.md) [b](https://e.com) [c](#anchor) [d](y.md#sec)"
         assert list(check_docs.iter_relative_links(text)) == ["docs/x.md", "y.md"]
 
+    def test_learned_policy_doc_is_linked(self):
+        assert "docs/learned-policy.md" in check_docs.LINKED_DOCS
+
+
+class TestOrphans:
+    def test_no_orphaned_docs(self):
+        assert check_docs.check_orphans() == []
+
+    def test_orphan_detected(self, tmp_path):
+        """An unreferenced docs/*.md file must be flagged."""
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text("[linked](docs/linked.md)\n")
+        (tmp_path / "docs" / "linked.md").write_text("fine\n")
+        (tmp_path / "docs" / "lost.md").write_text("nobody links me\n")
+        problems = check_docs.check_orphans(root=str(tmp_path))
+        assert problems == [
+            "docs/lost.md: orphaned — not reachable from README.md by "
+            "relative links"
+        ]
+
+    def test_transitive_reachability_counts(self, tmp_path):
+        """README -> a -> b keeps b out of the orphan list."""
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text("[a](docs/a.md)\n")
+        (tmp_path / "docs" / "a.md").write_text("[b](b.md)\n")
+        (tmp_path / "docs" / "b.md").write_text("leaf\n")
+        assert check_docs.check_orphans(root=str(tmp_path)) == []
+
 
 class TestExamples:
     def test_observability_examples_execute(self):

@@ -13,6 +13,9 @@ the CI ``docs`` job (also exercised as pytest cases in
    ``docs/observability.md`` is executed in one shared namespace, so
    the documented API really behaves as written (blocks full of
    assertions double as doctests).
+3. **Orphan check** — every ``docs/*.md`` file must be reachable from
+   ``README.md`` by following relative Markdown links, so a doc cannot
+   quietly fall out of the navigation graph.
 
 Exit code 0 when everything passes; 1 with one line per problem.
 """
@@ -35,6 +38,7 @@ LINKED_DOCS = (
     "docs/architecture.md",
     "docs/adaptive-runtime.md",
     "docs/engine.md",
+    "docs/learned-policy.md",
     "docs/memory.md",
     "docs/observability.md",
     "docs/paper-map.md",
@@ -100,15 +104,50 @@ def run_examples(docs=EXECUTED_DOCS, root=REPO_ROOT):
     return problems
 
 
+def check_orphans(root=REPO_ROOT, start="README.md"):
+    """Return problem strings for docs/*.md files not reachable from
+    *start* by following relative Markdown links."""
+    reachable = set()
+    frontier = [start]
+    while frontier:
+        doc = frontier.pop()
+        if doc in reachable:
+            continue
+        reachable.add(doc)
+        path = os.path.join(root, doc)
+        if not os.path.exists(path) or not doc.endswith(".md"):
+            continue
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        base = os.path.dirname(path)
+        for target in iter_relative_links(text):
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(base, target))
+            frontier.append(os.path.relpath(resolved, root))
+    problems = []
+    docs_dir = os.path.join(root, "docs")
+    for name in sorted(os.listdir(docs_dir)):
+        if not name.endswith(".md"):
+            continue
+        doc = os.path.join("docs", name)
+        if doc not in reachable:
+            problems.append(
+                f"{doc}: orphaned — not reachable from {start} by "
+                "relative links"
+            )
+    return problems
+
+
 def main() -> int:
-    problems = check_links() + run_examples()
+    problems = check_links() + check_orphans() + run_examples()
     for problem in problems:
         print(f"check_docs: {problem}", file=sys.stderr)
     if not problems:
         docs = len(LINKED_DOCS)
         blocks = sum(len(extract_python_blocks(d)) for d in EXECUTED_DOCS)
-        print(f"check_docs: OK ({docs} docs linked-checked, "
-              f"{blocks} examples executed)")
+        print(f"check_docs: OK ({docs} docs link-checked, "
+              f"orphan check passed, {blocks} examples executed)")
     return 1 if problems else 0
 
 
