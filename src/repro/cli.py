@@ -1069,15 +1069,21 @@ def cmd_serve(args) -> int:
     cache = SessionCache(capacity=args.cache_size)
     served = 0
     interrupted = False
+    mutations_on = bool(getattr(args, "mutations", False))
+    mutation_events_emitted = 0
 
     def emit(doc: dict) -> None:
         print(_json.dumps(doc, sort_keys=True), flush=True)
 
     def emit_responses(loop) -> None:
-        nonlocal served
+        nonlocal served, mutation_events_emitted
         for doc in loop.take_responses():
             emit(doc)
             served += 1
+        events = loop.report.mutation_events
+        while mutation_events_emitted < len(events):
+            emit({"mutation": True, **events[mutation_events_emitted]})
+            mutation_events_emitted += 1
 
     with observing(observer):
         session = cache.get(graph, device=device, config=RuntimeConfig())
@@ -1089,6 +1095,8 @@ def cmd_serve(args) -> int:
             scheduler=args.scheduler,
             max_iterations=getattr(args, "max_iterations", None),
             fault_injector=injector,
+            cache=cache,
+            mutation_mode=_io_mode(args),
         )
         try:
             try:
@@ -1102,7 +1110,19 @@ def cmd_serve(args) -> int:
                             raise ValueError(
                                 "query line must be a JSON object"
                             )
-                        loop.submit(doc, line=lineno)
+                        if mutations_on and "op" in doc:
+                            # A mutation line: validated now (bad ops
+                            # answer with a line-numbered error), applied
+                            # at the next super-iteration barrier.
+                            from repro.graph.dynamic import EdgeBatch
+
+                            loop.submit_mutation(
+                                EdgeBatch.from_docs(
+                                    [(lineno, doc)], path="<stdin>"
+                                )
+                            )
+                        else:
+                            loop.submit(doc, line=lineno)
                     except (ValueError, ReproError) as exc:
                         emit({"line": lineno, "ok": False,
                               "error": str(exc)})
@@ -1148,6 +1168,13 @@ def cmd_serve(args) -> int:
             f"{cache.misses} misses]",
             file=sys.stderr,
         )
+        if mutations_on:
+            print(
+                f"[mutations: {report.mutations_applied} applied / "
+                f"{report.mutations_rejected} rejected; graph epoch "
+                f"{report.graph_epoch}; cache patches {cache.patches}]",
+                file=sys.stderr,
+            )
         wall = report.result_dict()["latency_wall_s"]
         print(
             f"[slo: p50 {wall['p50'] * 1e3:.1f} ms / "
@@ -1252,6 +1279,7 @@ def cmd_chaos(args) -> int:
             max_batch_rows=args.batch_size,
             deadline_s=args.deadline_s,
             scheduler=args.scheduler,
+            mutation_batches=getattr(args, "mutations", 0),
         )
 
     doc = report.result_dict()
@@ -1269,6 +1297,12 @@ def cmd_chaos(args) -> int:
     table.add_row(["duplicates", report.duplicate_responses])
     table.add_row(["missing", report.missing_responses])
     table.add_row(["sha mismatches", report.sha_mismatches])
+    if report.mutation_batches:
+        table.add_row(["mutation batches", report.mutation_batches])
+        table.add_row(["graph epoch", doc["graph_epoch"]])
+        table.add_row(["digest mismatches", report.mutation_digest_mismatches])
+        table.add_row(["cache patches", report.cache_patches])
+        table.add_row(["cache evictions", report.cache_evictions])
     table.add_row(["verdict", "PASS" if report.passed else "FAIL"])
     print(table.render())
     for violation in report.violations:
@@ -1284,6 +1318,144 @@ def cmd_chaos(args) -> int:
         manifest.write(args.manifest)
         print(f"[manifest written to {args.manifest}]")
     return 0 if report.passed else 1
+
+
+def cmd_mutate(args) -> int:
+    """Apply a mutation JSONL stream to a graph through the delta
+    overlay, compact, and (optionally) recompute incrementally.
+
+    A malformed or invalid batch fails with one line-numbered
+    :class:`~repro.errors.GraphError` (exit 2) before any simulated
+    cost accrues — never a retry ladder.  With ``--algorithm`` the
+    command also runs the traversal twice — from scratch on the base
+    graph, then incrementally after the mutation — and verifies the
+    warm-started values are SHA-identical to a from-scratch run on the
+    compacted graph.
+    """
+    import hashlib
+
+    from repro.core import adaptive_run
+    from repro.engine.incremental import run_incremental
+    from repro.graph.dynamic import DeltaOverlayGraph, EdgeBatch
+    from repro.obs import Observer, build_dynamic_manifest, observing
+
+    batch = EdgeBatch.from_jsonl(args.mutations)
+    weighted = any(
+        op.weight is not None for op in batch.ops if op.op == "insert"
+    )
+    graph, source, device = _resolve_workload(
+        args, weighted=weighted, resolve_source=args.algorithm is not None
+    )
+    memory = _make_memory(args, device)
+
+    observer = Observer()
+    with observing(observer):
+        overlay = DeltaOverlayGraph(graph)
+        delta = overlay.apply(batch, mode=_io_mode(args))
+        compaction = overlay.compact(
+            device=device, memory=memory, name=graph.name
+        )
+    mutated = compaction.graph
+    report = delta.report
+
+    table = Table(["metric", "value"], title=f"mutate {graph.name}")
+    table.add_row(["ops parsed", report.parsed_ops])
+    table.add_row(["edges inserted", report.edges_inserted])
+    table.add_row(["edges deleted", report.edges_deleted])
+    table.add_row(["nodes added", report.nodes_added])
+    if report.quarantined:
+        table.add_row(
+            ["quarantined",
+             f"self-loops {report.self_loops_dropped}, duplicates "
+             f"{report.duplicates_collapsed}, dangling "
+             f"{report.dangling_dropped}, missing deletes "
+             f"{report.missing_deletes_dropped}"]
+        )
+    table.add_row(["graph", f"{graph.num_nodes} nodes / {graph.num_edges} "
+                   f"-> {mutated.num_nodes} / {mutated.num_edges} edges"])
+    table.add_row(["epoch", overlay.epoch])
+    table.add_row(["delta upload", _fmt_bytes(compaction.delta_bytes)])
+    table.add_row(["compaction time", f"{compaction.seconds * 1e3:.3f} ms"])
+    _add_memory_rows(table, memory.report() if memory is not None else None)
+
+    result_doc = {
+        "kind": "mutate",
+        "mutation_events": [delta.event_dict()],
+        "mutation_report": report.to_dict(),
+        "compaction_seconds": float(compaction.seconds),
+        "delta_bytes": int(compaction.delta_bytes),
+        "graph_epoch": overlay.epoch,
+    }
+
+    exit_code = 0
+    if args.algorithm is not None:
+        def _sha(values):
+            return hashlib.sha256(
+                np.ascontiguousarray(values).tobytes()
+            ).hexdigest()
+
+        with observing(observer):
+            previous = adaptive_run(
+                graph, args.algorithm,
+                source if args.algorithm != "cc" else None,
+            )
+            incremental = run_incremental(
+                mutated, args.algorithm, previous, delta,
+                source=None if args.algorithm == "cc" else source,
+                device=device,
+            )
+            scratch = adaptive_run(
+                mutated, args.algorithm,
+                source if args.algorithm != "cc" else None,
+            )
+        parity = _sha(incremental.values) == _sha(scratch.values)
+        speedup = scratch.total_seconds / max(
+            incremental.total_seconds, 1e-12
+        )
+        table.add_row(["algorithm", args.algorithm])
+        table.add_row(["affected nodes", incremental.affected_nodes])
+        table.add_row(["seed frontier", incremental.seed_frontier_size])
+        table.add_row(
+            ["incremental time",
+             f"{incremental.total_seconds * 1e3:.3f} ms "
+             f"(from-scratch {scratch.total_seconds * 1e3:.3f} ms, "
+             f"{speedup:.1f}x)"]
+        )
+        table.add_row(["sha parity", "PASS" if parity else "FAIL"])
+        result_doc["incremental"] = {
+            "algorithm": args.algorithm,
+            "affected_nodes": incremental.affected_nodes,
+            "seed_frontier": incremental.seed_frontier_size,
+            "incremental_seconds": float(incremental.total_seconds),
+            "scratch_seconds": float(scratch.total_seconds),
+            "values_sha256": _sha(incremental.values),
+            "parity": parity,
+        }
+        if not parity:
+            exit_code = 1
+
+    print(table.render())
+    if args.out:
+        from repro.graph.io import (
+            write_dimacs, write_matrix_market, write_snap_edgelist,
+        )
+
+        out = str(args.out)
+        if out.endswith(".gr"):
+            write_dimacs(mutated, out)
+        elif out.endswith(".mtx"):
+            write_matrix_market(mutated, out)
+        else:
+            write_snap_edgelist(mutated, out)
+        print(f"[mutated graph written to {out}]")
+    if args.manifest:
+        manifest = build_dynamic_manifest(
+            result_doc, graph=mutated, device=device,
+            config=RuntimeConfig(), observer=observer,
+        )
+        manifest.write(args.manifest)
+        print(f"[manifest written to {args.manifest}]")
+    return exit_code
 
 
 # ----------------------------------------------------------------------
@@ -1520,6 +1692,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inject seeded faults while serving (chaos)")
     p.add_argument("--max-iterations", type=int, default=None,
                    help="per-query iteration budget")
+    p.add_argument("--mutations", action="store_true",
+                   help="accept interleaved mutation lines on stdin "
+                   "(JSON objects with an 'op' key: insert/delete/grow); "
+                   "batches apply at super-iteration barriers and bump "
+                   "the graph epoch tagged on every response")
     p.add_argument("--manifest", default=None, metavar="FILE",
                    help="write the serve RunManifest JSON here on exit")
     p.set_defaults(func=cmd_serve)
@@ -1556,9 +1733,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--partition", choices=("contiguous", "balanced"),
                    default="contiguous",
                    help="partitioning strategy for the sharded soak")
+    p.add_argument("--mutations", type=int, default=0, metavar="N",
+                   help="interleave N seeded mutation batches with the "
+                   "query stream: the soak turns epoch-aware (per-epoch "
+                   "SHA parity, post-compaction digest checks, in-place "
+                   "session patching)")
     p.add_argument("--manifest", default=None, metavar="FILE",
                    help="write the soak's RunManifest JSON here")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "mutate",
+        help="apply a mutation JSONL stream through the delta overlay, "
+        "compact, and optionally recompute incrementally",
+        description="Validate and apply a JSONL stream of graph "
+        "mutations (insert/delete/grow) to a delta-CSR overlay, price "
+        "the compaction (host rebuild + delta PCIe upload), and print "
+        "the mutation report.  A malformed batch fails with one "
+        "line-numbered error (exit 2) before any simulated cost "
+        "accrues.  With --algorithm the command warm-starts the "
+        "traversal from the pre-mutation values and verifies the "
+        "incremental result is SHA-identical to a from-scratch run on "
+        "the compacted graph (mismatch: exit 1).",
+    )
+    _add_workload_args(p)
+    p.add_argument("--mutations", required=True, metavar="FILE",
+                   help="mutation JSONL: one op per line, e.g. "
+                   '{"op": "insert", "u": 0, "v": 9, "weight": 2.0} / '
+                   '{"op": "delete", "u": 3, "v": 7} / '
+                   '{"op": "grow", "nodes": 16}')
+    p.add_argument("--algorithm", choices=("bfs", "sssp", "cc"),
+                   default=None,
+                   help="also recompute incrementally and verify SHA "
+                   "parity against a from-scratch run")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the compacted mutated graph (.gr / .mtx "
+                   "/ SNAP edge list by extension)")
+    p.add_argument("--manifest", default=None, metavar="FILE",
+                   help="write a dynamic RunManifest with the mutation "
+                   "events here")
+    p.set_defaults(func=cmd_mutate)
 
     p = sub.add_parser("sweep-t3", help="Figure-13-style T3 sensitivity sweep")
     _add_workload_args(p)

@@ -54,6 +54,8 @@ __all__ = [
     "RecoveryEvent",
     "ShardedResult",
     "run_sharded",
+    "IncrementalResult",
+    "run_incremental",
 ]
 
 #: sharding names resolved lazily (PEP 562): repro.engine is imported
@@ -61,10 +63,18 @@ __all__ = [
 #: repro.core.policies — an eager import here would be circular.
 _LAZY_SHARD = {"RECOVERY_RUNGS", "RecoveryEvent", "ShardedResult", "run_sharded"}
 
+#: incremental-recompute names, lazy for the same reason (the warm-start
+#: runner drives the frame through repro.core's adaptive policies).
+_LAZY_INCREMENTAL = {"IncrementalResult", "run_incremental"}
+
 
 def __getattr__(name):
     if name in _LAZY_SHARD:
         from repro.engine import shard
 
         return getattr(shard, name)
+    if name in _LAZY_INCREMENTAL:
+        from repro.engine import incremental
+
+        return getattr(incremental, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

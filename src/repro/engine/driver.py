@@ -138,8 +138,19 @@ def _initial_transfers(
     timeline: Timeline,
     device: DeviceSpec,
     memory: Optional["MemoryBudget"] = None,
+    *,
+    resident: bool = False,
 ) -> None:
+    """Price the opening host-to-device copies.
+
+    *resident* is the incremental-recompute path: the CSR arrays are
+    already on the device (the compaction shipped the delta), so only
+    the traversal state crosses PCIe — the graph is still *allocated*
+    against the budget (it occupies device memory either way), it just
+    isn't re-transferred.
+    """
     n = graph.num_nodes
+    state_bytes = 4 * n + n + 4 * n + n // 8
     if memory is not None:
         # Budgeted path: the CSR arrays and traversal state are charged
         # as resident (never-spillable) allocations; the per-iteration
@@ -155,14 +166,13 @@ def _initial_transfers(
         # Same initial h2d payload as the legacy path below (state init
         # includes zeroing the workset capacity), so a budget is
         # time-neutral until it actually intervenes.
-        total_bytes = graph.device_bytes() + 4 * n + n + 4 * n + n // 8
+        total_bytes = state_bytes if resident else graph.device_bytes() + state_bytes
         timeline.add_transfer(record_transfer("h2d", total_bytes, device))
         timeline.add_host_seconds(n * HOST_INIT_PER_NODE_S)
         return
     # Legacy (unbudgeted) capacity check: graph arrays + state array
     # (4 B/node) + update flags (1 B/node) + queue capacity (4 B/node)
     # + bitmap (1 bit/node).
-    state_bytes = 4 * n + n + 4 * n + n // 8
     total_bytes = graph.device_bytes() + state_bytes
     if total_bytes > device.global_mem_bytes:
         raise KernelError(
@@ -170,7 +180,9 @@ def _initial_transfers(
             f"memory but {device.name} has {device.global_mem_bytes / 2**30:.2f} GiB "
             "(the paper's system keeps the whole CSR resident)"
         )
-    timeline.add_transfer(record_transfer("h2d", total_bytes, device))
+    timeline.add_transfer(
+        record_transfer("h2d", state_bytes if resident else total_bytes, device)
+    )
     timeline.add_host_seconds(n * HOST_INIT_PER_NODE_S)
 
 
@@ -298,7 +310,9 @@ def run_frame(
     model = CostModel(device, cost_params)
     timeline = Timeline()
     work_graph, host_prep_seconds = spec.prepare(graph)
-    _initial_transfers(work_graph, timeline, device, memory)
+    _initial_transfers(
+        work_graph, timeline, device, memory, resident=spec.graph_resident
+    )
     if host_prep_seconds:
         timeline.add_host_seconds(host_prep_seconds)
     ctx = FrameContext(work_graph, device, model, timeline, queue_gen, source)

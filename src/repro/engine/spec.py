@@ -117,6 +117,10 @@ class AlgorithmSpec:
     #: the CPU reference reproduces GPU values bit-identically (floats
     #: accumulated in a different order are only close, e.g. PageRank)
     cpu_exact: bool = True
+    #: the CSR arrays are already resident on the device (incremental
+    #: recompute after a delta compaction): the initial h2d transfer
+    #: ships only the traversal state, never the graph
+    graph_resident: bool = False
 
     # -- setup ---------------------------------------------------------
 

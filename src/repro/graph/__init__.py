@@ -13,7 +13,9 @@ provides that representation plus everything needed to feed it:
 - :mod:`repro.graph.properties` — degree statistics and characterization;
 - :mod:`repro.graph.transforms` — symmetrize, relabel, subgraph, components;
 - :mod:`repro.graph.partition` — 1D vertex partitioning for multi-device
-  sharded traversal (contiguous and degree-balanced strategies).
+  sharded traversal (contiguous and degree-balanced strategies);
+- :mod:`repro.graph.dynamic` — mutation batches, the delta-CSR overlay
+  and priced compaction for graphs changing under live traffic.
 """
 
 from repro.graph.builder import (
@@ -24,6 +26,14 @@ from repro.graph.builder import (
     to_networkx,
 )
 from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import (
+    CompactionResult,
+    DeltaOverlayGraph,
+    EdgeBatch,
+    MutationDelta,
+    MutationReport,
+    load_mutations_jsonl,
+)
 from repro.graph.io import IngestLimits, IngestReport, load_graph
 from repro.graph.partition import (
     PARTITION_STRATEGIES,
@@ -43,6 +53,12 @@ __all__ = [
     "IngestLimits",
     "IngestReport",
     "load_graph",
+    "EdgeBatch",
+    "DeltaOverlayGraph",
+    "MutationDelta",
+    "MutationReport",
+    "CompactionResult",
+    "load_mutations_jsonl",
     "characterize",
     "GraphCharacterization",
     "out_degree_histogram",

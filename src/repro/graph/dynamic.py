@@ -1,0 +1,730 @@
+"""Dynamic graphs: mutation batches, a delta-CSR overlay, and priced
+compaction.
+
+The rest of the library treats a :class:`~repro.graph.csr.CSRGraph` as
+frozen at ingest — kernels share read-only views, sessions key on the
+content digest, manifests fingerprint the arrays.  This module is the
+bridge between that immutable world and graphs that change under live
+traffic:
+
+- :class:`EdgeBatch` — a parsed batch of ``insert`` / ``delete`` /
+  ``grow`` mutations, read from a JSONL stream with the same
+  strict/lenient + quarantine machinery (and line-numbered
+  diagnostics) as the file readers in :mod:`repro.graph.io`;
+- :class:`DeltaOverlayGraph` — a base CSR plus an adjacency overlay
+  for inserted edges and a deletion mask over base edges.  Outdegree
+  statistics are maintained incrementally on every apply, so the
+  decision maker and the learned policy see fresh ``num_edges`` /
+  ``avg_out_degree`` inputs without a full re-profile
+  (:func:`~repro.graph.properties.characterize` and
+  :class:`~repro.core.inspector.StaticAttributes` both consume the
+  overlay directly);
+- :meth:`DeltaOverlayGraph.compact` — a *priced* rebuild through the
+  canonical :func:`~repro.graph.builder.from_edge_list` path (so the
+  compacted CSR is array- and digest-identical to a from-scratch build
+  from the mutated edge list), charging the PCIe model for the delta
+  upload and the allocator for the device-side growth.  The base graph
+  stays resident; only deltas ship — the update model of "Exploring
+  the Limits of GPUs With Parallel Graph Algorithms" (see
+  ``docs/paper-map.md``).
+
+Mutation JSONL format (one object per line)::
+
+    {"op": "insert", "u": 3, "v": 7, "weight": 0.5}
+    {"op": "delete", "u": 1, "v": 2}
+    {"op": "grow", "nodes": 4}
+
+``weight`` is only legal on inserts into weighted graphs (defaulting
+to 1.0 when omitted); ``grow`` appends isolated nodes, which later
+inserts in the same batch may reference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphError, GraphFormatError
+from repro.graph.builder import from_edge_list
+from repro.graph.csr import CSRGraph, INDEX_DTYPE, WEIGHT_DTYPE
+from repro.graph.io import IngestLimits, _MODES
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.transfer import TransferRecord, record_transfer
+from repro.obs.context import current_observer
+
+__all__ = [
+    "MutationOp",
+    "EdgeBatch",
+    "MutationReport",
+    "MutationDelta",
+    "DeltaOverlayGraph",
+    "CompactionResult",
+    "load_mutations_jsonl",
+]
+
+#: host-side cost of one edge through the CSR rebuild (same per-edge
+#: constant the CC spec charges for its host symmetrization pass)
+COMPACT_SECONDS_PER_EDGE = 12e-9
+
+_OPS = ("insert", "delete", "grow")
+_FIELDS = {
+    "insert": {"op", "u", "v", "weight"},
+    "delete": {"op", "u", "v"},
+    "grow": {"op", "nodes"},
+}
+
+
+@dataclass(frozen=True)
+class MutationOp:
+    """One parsed mutation: an edge insert/delete or a node grow."""
+
+    op: str
+    u: int = -1
+    v: int = -1
+    weight: Optional[float] = None
+    nodes: int = 0
+    #: 1-based line number in the originating stream (diagnostics)
+    line: int = 0
+
+
+def _op_from_doc(doc: dict, where: str, lineno: int) -> MutationOp:
+    """Validate one decoded JSON object into a :class:`MutationOp`."""
+    if not isinstance(doc, dict):
+        raise GraphFormatError(
+            f"{where}:{lineno}: mutation must be a JSON object, "
+            f"got {type(doc).__name__}"
+        )
+    op = doc.get("op")
+    if op not in _OPS:
+        raise GraphFormatError(
+            f"{where}:{lineno}: unknown mutation op {op!r} "
+            f"(expected one of {', '.join(_OPS)})"
+        )
+    unknown = set(doc) - _FIELDS[op]
+    if unknown:
+        raise GraphFormatError(
+            f"{where}:{lineno}: unknown field(s) for {op!r}: "
+            f"{', '.join(sorted(unknown))}"
+        )
+    if op == "grow":
+        nodes = doc.get("nodes")
+        if not isinstance(nodes, int) or isinstance(nodes, bool) or nodes < 1:
+            raise GraphFormatError(
+                f"{where}:{lineno}: grow needs a positive integer "
+                f"'nodes', got {nodes!r}"
+            )
+        return MutationOp(op="grow", nodes=nodes, line=lineno)
+    endpoints = []
+    for key in ("u", "v"):
+        value = doc.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise GraphFormatError(
+                f"{where}:{lineno}: {op} needs an integer {key!r}, "
+                f"got {value!r}"
+            )
+        endpoints.append(value)
+    weight = None
+    if op == "insert" and "weight" in doc:
+        raw = doc["weight"]
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise GraphFormatError(
+                f"{where}:{lineno}: bad edge weight {raw!r}"
+            )
+        weight = float(raw)
+        if not np.isfinite(weight) or weight < 0:
+            raise GraphFormatError(
+                f"{where}:{lineno}: edge weight must be finite and "
+                f"non-negative, got {raw!r}"
+            )
+    return MutationOp(
+        op=op, u=endpoints[0], v=endpoints[1], weight=weight, line=lineno
+    )
+
+
+@dataclass
+class MutationReport:
+    """What one :meth:`DeltaOverlayGraph.apply` saw, checked, repaired.
+
+    The quarantine tallies mirror :class:`~repro.graph.io.IngestReport`:
+    in lenient mode anomalous ops are dropped and counted here instead
+    of raising.
+    """
+
+    path: str = ""
+    mode: Optional[str] = None
+    parsed_ops: int = 0
+    edges_inserted: int = 0
+    edges_deleted: int = 0
+    nodes_added: int = 0
+    self_loops_dropped: int = 0
+    duplicates_collapsed: int = 0
+    dangling_dropped: int = 0
+    missing_deletes_dropped: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def quarantined(self) -> int:
+        """Total ops dropped by lenient-mode repair."""
+        return (
+            self.self_loops_dropped
+            + self.duplicates_collapsed
+            + self.dangling_dropped
+            + self.missing_deletes_dropped
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "mode": self.mode,
+            "parsed_ops": self.parsed_ops,
+            "edges_inserted": self.edges_inserted,
+            "edges_deleted": self.edges_deleted,
+            "nodes_added": self.nodes_added,
+            "self_loops_dropped": self.self_loops_dropped,
+            "duplicates_collapsed": self.duplicates_collapsed,
+            "dangling_dropped": self.dangling_dropped,
+            "missing_deletes_dropped": self.missing_deletes_dropped,
+            "quarantined": self.quarantined,
+            "notes": list(self.notes),
+        }
+
+
+class EdgeBatch:
+    """An ordered batch of parsed mutations against one graph version.
+
+    Parsing (here) is separate from graph validation (in
+    :meth:`DeltaOverlayGraph.apply`): a batch parses against no graph
+    in particular, then validates against the exact version it lands
+    on — range checks against *that* graph's node count, duplicate
+    checks against *that* graph's edge set.
+    """
+
+    def __init__(self, ops: Iterable[MutationOp], *, path: str = "<batch>"):
+        self.ops: Tuple[MutationOp, ...] = tuple(ops)
+        self.path = path
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = {}
+        for op in self.ops:
+            kinds[op.op] = kinds.get(op.op, 0) + 1
+        return f"EdgeBatch({kinds}, path={self.path!r})"
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def from_docs(
+        cls, docs: Iterable[Tuple[int, dict]], *, path: str = "<stream>"
+    ) -> "EdgeBatch":
+        """Build from ``(lineno, decoded_json)`` pairs (the serve loop's
+        stdin path, where JSON decoding already happened)."""
+        return cls(
+            (_op_from_doc(doc, path, lineno) for lineno, doc in docs),
+            path=path,
+        )
+
+    @classmethod
+    def from_jsonl(
+        cls,
+        path: Union[str, os.PathLike],
+        *,
+        limits: Optional[IngestLimits] = None,
+    ) -> "EdgeBatch":
+        """Parse a mutation JSONL file with line-numbered diagnostics."""
+        from repro.graph.io import _open_text
+
+        ops: List[MutationOp] = []
+        consumed = 0
+        with _open_text(path) as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                consumed += len(raw)
+                if limits is not None and limits.max_bytes is not None:
+                    if consumed > limits.max_bytes:
+                        from repro.errors import IngestLimitError
+
+                        raise IngestLimitError(
+                            f"{path}:{lineno}: input exceeds the "
+                            f"{limits.max_bytes:,}-byte ingestion limit"
+                        )
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: invalid JSON ({exc.msg})"
+                    ) from exc
+                ops.append(_op_from_doc(doc, str(path), lineno))
+                if limits is not None and limits.max_edges is not None:
+                    if len(ops) > limits.max_edges:
+                        from repro.errors import IngestLimitError
+
+                        raise IngestLimitError(
+                            f"{path}:{lineno}: more than "
+                            f"{limits.max_edges:,} mutations "
+                            "(ingestion limit)"
+                        )
+        return cls(ops, path=str(path))
+
+    @classmethod
+    def inserts(cls, pairs, weights=None, *, path: str = "<batch>") -> "EdgeBatch":
+        """Convenience: a batch of edge inserts from ``(u, v)`` pairs."""
+        ops = []
+        for i, (u, v) in enumerate(pairs):
+            w = None if weights is None else float(weights[i])
+            ops.append(
+                MutationOp(op="insert", u=int(u), v=int(v), weight=w, line=i + 1)
+            )
+        return cls(ops, path=path)
+
+    @classmethod
+    def deletes(cls, pairs, *, path: str = "<batch>") -> "EdgeBatch":
+        """Convenience: a batch of edge deletes from ``(u, v)`` pairs."""
+        return cls(
+            (
+                MutationOp(op="delete", u=int(u), v=int(v), line=i + 1)
+                for i, (u, v) in enumerate(pairs)
+            ),
+            path=path,
+        )
+
+
+def load_mutations_jsonl(
+    path: Union[str, os.PathLike],
+    *,
+    limits: Optional[IngestLimits] = None,
+) -> EdgeBatch:
+    """Read a mutation batch from a JSONL file (see :class:`EdgeBatch`)."""
+    return EdgeBatch.from_jsonl(path, limits=limits)
+
+
+@dataclass
+class MutationDelta:
+    """The edges one :meth:`DeltaOverlayGraph.apply` actually changed.
+
+    This is what the incremental engine re-seeds from: inserted-edge
+    endpoints feed the warm frontier, deleted edges drive the scoped
+    recompute of affected regions.
+    """
+
+    #: applied inserts, as parallel int64 arrays (post-quarantine)
+    ins_src: np.ndarray
+    ins_dst: np.ndarray
+    ins_weight: Optional[np.ndarray]
+    #: applied deletes
+    del_src: np.ndarray
+    del_dst: np.ndarray
+    #: weights the deleted edges carried (parallel to del_src; None on
+    #: unweighted graphs) — the tight-edge closure needs them
+    del_weight: Optional[np.ndarray]
+    nodes_added: int
+    #: overlay epoch after this apply
+    epoch: int
+    report: MutationReport
+
+    @property
+    def num_inserts(self) -> int:
+        return int(self.ins_src.size)
+
+    @property
+    def num_deletes(self) -> int:
+        return int(self.del_src.size)
+
+    def is_empty(self) -> bool:
+        return not (self.num_inserts or self.num_deletes or self.nodes_added)
+
+    def event_dict(self) -> dict:
+        """Manifest-ready summary of this mutation event."""
+        return {
+            "epoch": self.epoch,
+            "inserted": self.num_inserts,
+            "deleted": self.num_deletes,
+            "nodes_added": self.nodes_added,
+            "quarantined": self.report.quarantined,
+        }
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """A compacted CSR plus the simulated price of producing it."""
+
+    graph: CSRGraph
+    #: host-side rebuild seconds (per-edge pass through the builder)
+    host_seconds: float
+    #: the delta upload (new offsets + overlay adjacency + tombstones)
+    transfer: TransferRecord
+    delta_bytes: int
+
+    @property
+    def seconds(self) -> float:
+        return self.host_seconds + self.transfer.seconds
+
+
+class DeltaOverlayGraph:
+    """A base CSR plus an insert overlay and a deletion mask.
+
+    Read statistics (``num_nodes``, ``num_edges``, ``out_degrees``,
+    ``avg_out_degree``) reflect the *logical* mutated graph and are
+    maintained incrementally on apply — no edge scan, no re-profile.
+    The kernels keep running on concrete CSR arrays: call
+    :meth:`materialize` (unpriced, host-side oracle) or
+    :meth:`compact` (priced, the serving path) to realize the logical
+    graph as a canonical :class:`~repro.graph.csr.CSRGraph`.
+    """
+
+    def __init__(self, base: CSRGraph, *, name: Optional[str] = None):
+        self.base = base
+        self.name = name if name is not None else base.name
+        self.epoch = 0
+        self._added_nodes = 0
+        #: deletion mask over base edge slots (lazily allocated)
+        self._deleted: Optional[np.ndarray] = None
+        self._deleted_count = 0
+        #: overlay adjacency: (u, v) -> weight (None on unweighted base)
+        self._overlay: Dict[Tuple[int, int], Optional[float]] = {}
+        self._out_degrees = base.out_degrees.copy()
+        self.mutations_applied = 0
+
+    # -- read interface (CSRGraph-compatible statistics) ----------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.base.num_nodes + self._added_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.base.num_edges - self._deleted_count + len(self._overlay)
+
+    @property
+    def has_weights(self) -> bool:
+        return self.base.has_weights
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        return self._out_degrees
+
+    @property
+    def avg_out_degree(self) -> float:
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_edges / self.num_nodes
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise GraphError(
+                f"node {node} out of range for graph with {self.num_nodes} nodes"
+            )
+
+    def device_bytes(self) -> int:
+        """Device bytes of the logical graph once compacted."""
+        per_edge = 4 + (4 if self.has_weights else 0)
+        return (self.num_nodes + 1) * 8 + self.num_edges * per_edge
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeltaOverlayGraph({self.name!r}, epoch={self.epoch}, "
+            f"nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"+{len(self._overlay)}/-{self._deleted_count})"
+        )
+
+    # -- membership ----------------------------------------------------
+
+    def _base_slots(self, u: int, v: int) -> np.ndarray:
+        """Base edge-array slots holding (u, v), deleted ones included."""
+        if u >= self.base.num_nodes:
+            return np.empty(0, dtype=np.int64)
+        lo = int(self.base.row_offsets[u])
+        hi = int(self.base.row_offsets[u + 1])
+        return lo + np.flatnonzero(self.base.col_indices[lo:hi] == v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when the *logical* graph currently contains u -> v."""
+        self._check_node(u)
+        self._check_node(v)
+        if (u, v) in self._overlay:
+            return True
+        slots = self._base_slots(u, v)
+        if slots.size == 0:
+            return False
+        if self._deleted is None:
+            return True
+        return bool((~self._deleted[slots]).any())
+
+    # -- mutation ------------------------------------------------------
+
+    def apply(
+        self,
+        batch: EdgeBatch,
+        *,
+        mode: Optional[str] = None,
+        report: Optional[MutationReport] = None,
+    ) -> MutationDelta:
+        """Validate *batch* against this graph version and apply it.
+
+        *mode* follows the readers' contract: ``None`` rejects
+        out-of-range endpoints and missing deletes but tolerates
+        self-loops and duplicate inserts (collapsed); ``"strict"``
+        raises a line-numbered :class:`~repro.errors.GraphFormatError`
+        on any anomaly; ``"lenient"`` quarantines anomalous ops and
+        tallies them in the :class:`MutationReport`.
+        """
+        if mode not in _MODES:
+            raise GraphFormatError(
+                f"mutation mode must be None, 'strict' or 'lenient', got {mode!r}"
+            )
+        rep = report if report is not None else MutationReport()
+        rep.path = batch.path
+        rep.mode = mode
+        strict = mode == "strict"
+        lenient = mode == "lenient"
+        where = batch.path
+        weighted = self.has_weights
+
+        ins_src: List[int] = []
+        ins_dst: List[int] = []
+        ins_w: List[float] = []
+        del_src: List[int] = []
+        del_dst: List[int] = []
+        del_w: List[float] = []
+        nodes_added = 0
+        #: (u, v) pairs this batch already inserted (intra-batch dedupe)
+        batch_seen = set()
+
+        for op in batch:
+            rep.parsed_ops += 1
+            if op.op == "grow":
+                self._grow(op.nodes)
+                nodes_added += op.nodes
+                rep.nodes_added += op.nodes
+                continue
+            u, v = op.u, op.v
+            if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+                if lenient:
+                    rep.dangling_dropped += 1
+                    continue
+                raise GraphFormatError(
+                    f"{where}:{op.line}: node id out of range in "
+                    f"{op.op} {u} -> {v} (graph has {self.num_nodes} nodes)"
+                )
+            if op.op == "insert":
+                if u == v:
+                    if strict:
+                        raise GraphFormatError(
+                            f"{where}:{op.line}: self-loop at node {u} "
+                            "(strict mode)"
+                        )
+                    if lenient:
+                        rep.self_loops_dropped += 1
+                        continue
+                if (u, v) in batch_seen or self.has_edge(u, v):
+                    if strict:
+                        raise GraphFormatError(
+                            f"{where}:{op.line}: duplicate edge {u} -> {v} "
+                            "(strict mode)"
+                        )
+                    rep.duplicates_collapsed += 1
+                    continue
+                if op.weight is not None and not weighted:
+                    if strict:
+                        raise GraphFormatError(
+                            f"{where}:{op.line}: weight on insert into "
+                            f"unweighted graph {self.name!r} (strict mode)"
+                        )
+                    rep.notes.append(
+                        f"line {op.line}: weight ignored (graph is unweighted)"
+                    )
+                weight = op.weight if op.weight is not None else 1.0
+                self._insert(u, v, weight if weighted else None)
+                batch_seen.add((u, v))
+                ins_src.append(u)
+                ins_dst.append(v)
+                ins_w.append(weight)
+                rep.edges_inserted += 1
+            else:  # delete
+                removed = self._delete(u, v)
+                if removed is None:
+                    if lenient:
+                        rep.missing_deletes_dropped += 1
+                        continue
+                    raise GraphFormatError(
+                        f"{where}:{op.line}: cannot delete missing edge "
+                        f"{u} -> {v}"
+                    )
+                batch_seen.discard((u, v))
+                del_src.append(u)
+                del_dst.append(v)
+                del_w.append(removed)
+                rep.edges_deleted += 1
+
+        self.epoch += 1
+        self.mutations_applied += 1
+        self._observe(rep, nodes_added)
+        return MutationDelta(
+            ins_src=np.asarray(ins_src, dtype=np.int64),
+            ins_dst=np.asarray(ins_dst, dtype=np.int64),
+            ins_weight=(
+                np.asarray(ins_w, dtype=np.float64) if weighted else None
+            ),
+            del_src=np.asarray(del_src, dtype=np.int64),
+            del_dst=np.asarray(del_dst, dtype=np.int64),
+            del_weight=(
+                np.asarray(del_w, dtype=np.float64) if weighted else None
+            ),
+            nodes_added=nodes_added,
+            epoch=self.epoch,
+            report=rep,
+        )
+
+    def _grow(self, count: int) -> None:
+        self._added_nodes += count
+        self._out_degrees = np.concatenate(
+            [self._out_degrees, np.zeros(count, dtype=np.int64)]
+        )
+
+    def _insert(self, u: int, v: int, weight: Optional[float]) -> None:
+        self._overlay[(u, v)] = weight
+        self._out_degrees[u] += 1
+
+    def _delete(self, u: int, v: int) -> Optional[float]:
+        """Remove the logical edge u -> v; returns its (min) weight, or
+        None when the edge does not exist.  Duplicate base slots are
+        all tombstoned — deletion has edge-set semantics."""
+        if (u, v) in self._overlay:
+            w = self._overlay.pop((u, v))
+            self._out_degrees[u] -= 1
+            return float(w) if w is not None else 1.0
+        slots = self._base_slots(u, v)
+        if slots.size:
+            if self._deleted is None:
+                self._deleted = np.zeros(self.base.num_edges, dtype=bool)
+            live = slots[~self._deleted[slots]]
+            if live.size:
+                self._deleted[live] = True
+                self._deleted_count += int(live.size)
+                self._out_degrees[u] -= int(live.size)
+                if self.base.weights is not None:
+                    return float(self.base.weights[live].min())
+                return 1.0
+        return None
+
+    def _observe(self, rep: MutationReport, nodes_added: int) -> None:
+        observer = current_observer()
+        if observer is None:
+            return
+        metrics = observer.metrics
+        metrics.counter("dynamic.mutations_applied").inc()
+        metrics.counter("dynamic.edges_inserted").inc(rep.edges_inserted)
+        metrics.counter("dynamic.edges_deleted").inc(rep.edges_deleted)
+        if nodes_added:
+            metrics.counter("dynamic.nodes_added").inc(nodes_added)
+        if rep.quarantined:
+            metrics.counter("dynamic.ops_quarantined").inc(rep.quarantined)
+        metrics.gauge("dynamic.epoch").set(self.epoch)
+
+    # -- realization ---------------------------------------------------
+
+    def edge_arrays(self):
+        """The logical graph's edge list: surviving base edges (in base
+        order) followed by overlay inserts (in insertion order)."""
+        n_base = self.base.num_nodes
+        src = np.repeat(np.arange(n_base, dtype=np.int64), self.base.out_degrees)
+        dst = self.base.col_indices.astype(np.int64)
+        w = (
+            self.base.weights.astype(WEIGHT_DTYPE)
+            if self.base.weights is not None
+            else None
+        )
+        if self._deleted is not None:
+            keep = ~self._deleted
+            src, dst = src[keep], dst[keep]
+            if w is not None:
+                w = w[keep]
+        if self._overlay:
+            o_src = np.fromiter(
+                (u for u, _ in self._overlay), dtype=np.int64, count=len(self._overlay)
+            )
+            o_dst = np.fromiter(
+                (v for _, v in self._overlay), dtype=np.int64, count=len(self._overlay)
+            )
+            src = np.concatenate([src, o_src])
+            dst = np.concatenate([dst, o_dst])
+            if w is not None:
+                o_w = np.fromiter(
+                    (wt for wt in self._overlay.values()),
+                    dtype=WEIGHT_DTYPE,
+                    count=len(self._overlay),
+                )
+                w = np.concatenate([w, o_w])
+        return src, dst, w
+
+    def materialize(self, *, name: Optional[str] = None) -> CSRGraph:
+        """Realize the logical graph as a canonical CSR (unpriced).
+
+        Goes through :func:`~repro.graph.builder.from_edge_list`, so
+        the result is array- and digest-identical to a from-scratch
+        build from the mutated edge list."""
+        src, dst, w = self.edge_arrays()
+        return from_edge_list(
+            src,
+            dst,
+            w,
+            num_nodes=self.num_nodes,
+            name=name if name is not None else self.name,
+        )
+
+    def delta_bytes(self) -> int:
+        """Bytes the compaction ships over PCIe: the rewritten node
+        vector, the overlay adjacency (+weights), and one tombstone
+        index per deleted base slot.  The base edge vector stays
+        resident."""
+        ins = len(self._overlay)
+        per_insert = 4 + (4 if self.has_weights else 0)
+        return (self.num_nodes + 1) * 8 + ins * per_insert + self._deleted_count * 4
+
+    def compact(
+        self,
+        *,
+        device: DeviceSpec = TESLA_C2070,
+        memory=None,
+        name: Optional[str] = None,
+    ) -> CompactionResult:
+        """Rebuild the CSR through the canonical builder and price it.
+
+        Host side: one per-edge pass through the builder's sort.
+        Device side: the delta upload of :meth:`delta_bytes` over PCIe
+        (the base graph is already resident), charged against *memory*
+        (a :class:`~repro.gpusim.allocator.MemoryBudget`) as growth in
+        the resident ``graph`` category when the compacted CSR is
+        larger than the base.  Non-mutating: callers re-wrap the
+        returned graph in a fresh overlay to keep mutating.
+        """
+        graph = self.materialize(name=name)
+        delta = self.delta_bytes()
+        if memory is not None:
+            growth = graph.device_bytes() - self.base.device_bytes()
+            if growth > 0:
+                memory.allocate(
+                    growth, "graph", label=f"delta compaction of {self.name!r}"
+                )
+        transfer = record_transfer("h2d", delta, device)
+        host_seconds = graph.num_edges * COMPACT_SECONDS_PER_EDGE
+        observer = current_observer()
+        if observer is not None:
+            observer.metrics.counter("dynamic.compactions").inc()
+            observer.metrics.counter("dynamic.compaction_bytes").inc(delta)
+        return CompactionResult(
+            graph=graph,
+            host_seconds=host_seconds,
+            transfer=transfer,
+            delta_bytes=delta,
+        )

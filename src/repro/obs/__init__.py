@@ -42,6 +42,7 @@ from repro.obs.manifest import (
     RunManifest,
     build_batch_manifest,
     build_manifest,
+    build_dynamic_manifest,
     build_serve_manifest,
     build_shard_manifest,
     graph_fingerprint,
@@ -74,6 +75,7 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "build_manifest",
     "build_batch_manifest",
+    "build_dynamic_manifest",
     "build_serve_manifest",
     "build_shard_manifest",
     "graph_fingerprint",

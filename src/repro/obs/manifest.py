@@ -43,6 +43,7 @@ __all__ = [
     "RunManifest",
     "build_manifest",
     "build_batch_manifest",
+    "build_dynamic_manifest",
     "build_serve_manifest",
     "build_shard_manifest",
 ]
@@ -348,6 +349,38 @@ def build_serve_manifest(
         algorithm="serve",
         mode="serve",
         source=-1,
+        graph=graph_fingerprint(graph),
+        device=_device_dict(device),
+        config=_config_dict(config),
+        result=result,
+        metrics=observer.metrics.snapshot() if observer is not None else {},
+        spans=observer.spans.to_dicts() if observer is not None else [],
+    )
+
+
+def build_dynamic_manifest(
+    result: dict,
+    *,
+    graph: CSRGraph,
+    device=None,
+    config=None,
+    observer=None,
+    algorithm: str = "dynamic",
+    source: int = -1,
+) -> RunManifest:
+    """Assemble a manifest for a graph-mutation / incremental run.
+
+    The graph fingerprint is the *post-mutation* graph's; the mutation
+    story — per-batch events (counts, digests, compaction pricing) and
+    any incremental-recompute summary — rides in the free-form
+    ``result`` dict under ``mutation_events``, so existing readers
+    round-trip dynamic manifests unchanged.
+    """
+    return RunManifest(
+        schema_version=MANIFEST_SCHEMA_VERSION,
+        algorithm=algorithm,
+        mode="dynamic",
+        source=int(source),
         graph=graph_fingerprint(graph),
         device=_device_dict(device),
         config=_config_dict(config),

@@ -192,6 +192,43 @@ METRICS_CATALOG: Tuple[MetricSpec, ...] = (
     MetricSpec("policy.leaf_depth", "histogram", "levels",
                "repro.core.runtime",
                "tree depth of the leaf each learned decision landed in"),
+    MetricSpec("serve.cache.patches", "counter", "sessions",
+               "repro.serve.session",
+               "cached sessions re-keyed in place after a mutation "
+               "(epoch-aware invalidation, no eviction)"),
+    MetricSpec("serve.mutation_barriers", "counter", "barriers",
+               "repro.serve.loop",
+               "super-iteration barriers at which mutation batches applied"),
+    MetricSpec("dynamic.mutations_applied", "counter", "batches",
+               "repro.graph.dynamic",
+               "mutation batches folded into a delta overlay"),
+    MetricSpec("dynamic.edges_inserted", "counter", "edges",
+               "repro.graph.dynamic", "edges inserted through overlays"),
+    MetricSpec("dynamic.edges_deleted", "counter", "edges",
+               "repro.graph.dynamic", "edges tombstoned through overlays"),
+    MetricSpec("dynamic.nodes_added", "counter", "nodes",
+               "repro.graph.dynamic", "nodes added by grow ops"),
+    MetricSpec("dynamic.ops_quarantined", "counter", "ops",
+               "repro.graph.dynamic",
+               "mutation ops dropped by lenient-mode validation"),
+    MetricSpec("dynamic.epoch", "gauge", "epoch",
+               "repro.graph.dynamic",
+               "graph version after the latest mutation batch"),
+    MetricSpec("dynamic.compactions", "counter", "compactions",
+               "repro.graph.dynamic",
+               "delta overlays rebuilt into canonical CSR"),
+    MetricSpec("dynamic.compaction_bytes", "counter", "bytes",
+               "repro.graph.dynamic",
+               "delta bytes shipped to the device by compactions"),
+    MetricSpec("dynamic.incremental_runs", "counter", "runs",
+               "repro.engine.incremental",
+               "warm-started incremental recomputes"),
+    MetricSpec("dynamic.affected_nodes", "histogram", "nodes",
+               "repro.engine.incremental",
+               "vertices invalidated by the seeding pass per run"),
+    MetricSpec("dynamic.seed_frontier", "histogram", "nodes",
+               "repro.engine.incremental",
+               "warm frontier size incremental runs start from"),
 )
 
 _CATALOG_BY_NAME: Dict[str, MetricSpec] = {s.name: s for s in METRICS_CATALOG}

@@ -31,19 +31,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.graph.dynamic import DeltaOverlayGraph, EdgeBatch
 from repro.graph.generators import attach_uniform_weights, power_law_graph
 from repro.obs.context import current_observer
+from repro.obs.manifest import graph_fingerprint
 from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.faults import FaultInjector, FaultPlan
 from repro.serve.batch import BatchQuery, BatchRunner
 from repro.serve.loop import ServeLoop, ServeReport
-from repro.serve.session import GraphSession
+from repro.serve.session import GraphSession, SessionCache
 
 __all__ = [
     "ChaosReport",
     "ShardChaosReport",
     "default_chaos_plan",
     "default_shard_chaos_plan",
+    "generate_mutations",
     "generate_queries",
     "run_chaos",
     "run_shard_chaos",
@@ -96,6 +99,57 @@ def generate_queries(
     return queries
 
 
+def generate_mutations(
+    graph,
+    num_batches: int,
+    *,
+    ops_per_batch: int = 12,
+    seed: int = 0,
+    mode: str = "lenient",
+):
+    """Seeded mutation batches plus the graph each epoch materializes.
+
+    Returns ``(batches, epoch_graphs)`` where ``epoch_graphs[k]`` is the
+    graph after the first *k* batches — epoch 0 is *graph* itself.  The
+    epoch graphs go through the same overlay/compaction machinery the
+    serve loop uses, so their content digests are the post-compaction
+    references the chaos soak asserts against.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    overlay = DeltaOverlayGraph(graph)
+    weighted = graph.weights is not None
+    batches = []
+    epoch_graphs = [graph]
+    for k in range(num_batches):
+        cur = epoch_graphs[-1]
+        src_all = np.repeat(np.arange(cur.num_nodes), cur.out_degrees)
+        docs = []
+        num_dels = min(ops_per_batch // 3, cur.num_edges)
+        for idx in rng.choice(cur.num_edges, size=num_dels, replace=False):
+            docs.append(
+                {"op": "delete", "u": int(src_all[idx]), "v": int(cur.col_indices[idx])}
+            )
+        while len(docs) < ops_per_batch:
+            u = int(rng.integers(0, cur.num_nodes))
+            v = int(rng.integers(0, cur.num_nodes))
+            if u == v:
+                continue
+            doc = {"op": "insert", "u": u, "v": v}
+            if weighted:
+                doc["weight"] = float(np.float32(rng.integers(1, 9)))
+            docs.append(doc)
+        batch = EdgeBatch.from_docs(
+            ((i + 1, doc) for i, doc in enumerate(docs)),
+            path=f"<chaos-batch-{k}>",
+        )
+        overlay.apply(batch, mode=mode)
+        epoch_graphs.append(overlay.materialize(name=graph.name))
+        batches.append(batch)
+    return batches, epoch_graphs
+
+
 @dataclass
 class ChaosReport:
     """One soak's verdict: counts, the serve report, and violations."""
@@ -112,6 +166,11 @@ class ChaosReport:
     duplicate_responses: int = 0
     missing_responses: int = 0
     sha_mismatches: int = 0
+    #: mutation soak bookkeeping (zero when no mutations interleaved)
+    mutation_batches: int = 0
+    mutation_digest_mismatches: int = 0
+    cache_patches: int = 0
+    cache_evictions: int = 0
 
     @property
     def passed(self) -> bool:
@@ -129,6 +188,10 @@ class ChaosReport:
             duplicate_responses=self.duplicate_responses,
             missing_responses=self.missing_responses,
             sha_mismatches=self.sha_mismatches,
+            mutation_batches=self.mutation_batches,
+            mutation_digest_mismatches=self.mutation_digest_mismatches,
+            cache_patches=self.cache_patches,
+            cache_evictions=self.cache_evictions,
         )
         return doc
 
@@ -163,6 +226,8 @@ def run_chaos(
     scheduler: str = "continuous",
     session: Optional[GraphSession] = None,
     pump_every: int = 4,
+    mutation_batches: int = 0,
+    mutation_ops: int = 12,
 ) -> ChaosReport:
     """Run one seeded chaos soak and return its :class:`ChaosReport`.
 
@@ -171,18 +236,44 @@ def run_chaos(
     running frame, then the loop drains.  Nothing here raises on a fault
     — an exception escaping *is* the no-crash invariant failing, and the
     test suite treats it as such.
+
+    *mutation_batches* > 0 turns the soak dynamic: seeded mutation
+    batches (:func:`generate_mutations`) are interleaved with the query
+    stream, and the isolation invariant becomes epoch-aware — every
+    ``ok`` response must match the fault-free reference *for the graph
+    epoch it was answered on*, and every applied batch's post-compaction
+    digest must equal the independently materialized epoch graph's.
     """
+    cache = SessionCache(capacity=4)
     if session is None:
         graph = attach_uniform_weights(
             power_law_graph(num_nodes, seed=seed, name=f"chaos{num_nodes}"),
             seed=seed,
         )
-        session = GraphSession(graph)
+        session = cache.get(graph)
+    else:
+        session = cache.get(session.graph, device=session.device,
+                            config=session.config)
     plan = fault_plan if fault_plan is not None else default_chaos_plan(seed)
     queries = generate_queries(
         num_queries, session.num_nodes, seed=seed, deadline_s=deadline_s
     )
-    reference = _reference_shas(session, queries)
+
+    batches, epoch_graphs = generate_mutations(
+        session.graph, mutation_batches, ops_per_batch=mutation_ops,
+        seed=seed + 4242,
+    )
+    epoch_digests = [graph_fingerprint(g)["digest"] for g in epoch_graphs]
+    # Fault-free reference per (triple, epoch): which epoch a query is
+    # answered on depends on barrier timing, so every epoch's answers
+    # are precomputed and the response's own tag selects among them.
+    reference: Dict[Tuple[str, int, str, int], Optional[str]] = {}
+    for epoch, epoch_graph in enumerate(epoch_graphs):
+        epoch_session = session if epoch == 0 else GraphSession(
+            epoch_graph, device=session.device, config=session.config
+        )
+        for triple, sha in _reference_shas(epoch_session, queries).items():
+            reference[triple + (epoch,)] = sha
 
     injector = FaultInjector(plan) if not plan.is_empty else None
     loop = ServeLoop(
@@ -192,13 +283,25 @@ def run_chaos(
         scheduler=scheduler,
         fault_injector=injector,
         breaker=CircuitBreaker(failure_threshold=3, cooldown_s=0.05),
+        cache=cache,
+        mutation_mode="lenient",
     )
+    mutate_every = (
+        max(1, num_queries // (mutation_batches + 1)) if batches else 0
+    )
+    next_batch = 0
     responses: List[dict] = []
     for i, query in enumerate(queries, start=1):
         loop.submit(query, line=i)
+        if batches and next_batch < len(batches) and i % mutate_every == 0:
+            loop.submit_mutation(batches[next_batch])
+            next_batch += 1
         if i % pump_every == 0:
             loop.pump()
             responses.extend(loop.take_responses())
+    while next_batch < len(batches):
+        loop.submit_mutation(batches[next_batch])
+        next_batch += 1
     loop.drain()
     responses.extend(loop.take_responses())
     serve_report = loop.finalize()
@@ -209,7 +312,38 @@ def run_chaos(
         serve=serve_report,
         session=session,
         faults_injected=injector.num_injected if injector else 0,
+        mutation_batches=len(batches),
+        cache_patches=cache.patches,
+        cache_evictions=cache.evictions,
     )
+
+    # Dynamic invariants: every batch applied, every barrier's
+    # compacted digest identical to the independently built epoch graph.
+    if batches:
+        if serve_report.graph_epoch != len(batches):
+            report.violations.append(
+                f"only {serve_report.graph_epoch} of {len(batches)} "
+                "mutation batches reached an epoch"
+            )
+        for event in serve_report.mutation_events:
+            if not event.get("ok"):
+                report.violations.append(
+                    f"mutation batch rejected: {event.get('error')}"
+                )
+                continue
+            epoch = event["graph_epoch"]
+            if event["new_digest"] != epoch_digests[epoch]:
+                report.mutation_digest_mismatches += 1
+                report.violations.append(
+                    f"epoch {epoch} compacted digest "
+                    f"{event['new_digest'][:12]}… != reference build "
+                    f"{epoch_digests[epoch][:12]}…"
+                )
+        if cache.evictions:
+            report.violations.append(
+                f"mutations evicted {cache.evictions} cached sessions "
+                "instead of patching in place"
+            )
 
     # Invariant: exactly one response per submitted query.
     seen: Dict[int, int] = {}
@@ -226,19 +360,24 @@ def run_chaos(
             report.missing_responses += 1
             report.violations.append(f"query seq {seq} never answered")
 
-    # Invariant: delivered successes are bit-identical to fault-free.
+    # Invariant: delivered successes are bit-identical to fault-free —
+    # on the graph epoch each response was answered against.
     by_seq = {doc["seq"]: doc for doc in responses}
     for i, query in enumerate(queries, start=1):
         doc = by_seq.get(i)
         if doc is None or not doc.get("ok"):
             continue
-        expected = reference.get((query.algorithm, query.source, query.mode))
+        epoch = doc.get("graph_epoch", 0)
+        expected = reference.get(
+            (query.algorithm, query.source, query.mode, epoch)
+        )
         if doc.get("values_sha256") != expected:
             report.sha_mismatches += 1
             report.violations.append(
                 f"query seq {i} ({query.algorithm} @ {query.source}, "
-                f"{query.mode}) answered sha {doc.get('values_sha256')!r}, "
-                f"fault-free reference is {expected!r}"
+                f"{query.mode}, epoch {epoch}) answered sha "
+                f"{doc.get('values_sha256')!r}, fault-free reference is "
+                f"{expected!r}"
             )
 
     observer = current_observer()

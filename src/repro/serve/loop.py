@@ -39,13 +39,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
-from repro.errors import ReproError
+from repro.errors import GraphError, ReproError
+from repro.graph.dynamic import DeltaOverlayGraph, EdgeBatch
 from repro.obs.context import current_observer
 from repro.obs.manifest import RunManifest, build_serve_manifest
 from repro.reliability.breaker import CircuitBreaker
 from repro.serve.admission import AdmissionQueue, AdmittedQuery
 from repro.serve.batch import BatchQuery, BatchRunner, _sha256
-from repro.serve.session import GraphSession
+from repro.serve.session import GraphSession, SessionCache
 
 __all__ = ["ServeLoop", "ServeReport", "percentile"]
 
@@ -86,6 +87,15 @@ class ServeReport:
     sim_latencies_s: List[float] = field(default_factory=list)
     breaker: dict = field(default_factory=dict)
     breaker_transitions: List[dict] = field(default_factory=list)
+    #: mutation batches applied at super-iteration barriers
+    mutations_applied: int = 0
+    #: rejected mutation batches (validation failures become events,
+    #: never crashes)
+    mutations_rejected: int = 0
+    #: the session's final graph epoch (0 = never mutated)
+    graph_epoch: int = 0
+    #: one event dict per mutation barrier (counts, digests, pricing)
+    mutation_events: List[dict] = field(default_factory=list)
 
     @property
     def total_sim_seconds(self) -> float:
@@ -122,6 +132,10 @@ class ServeReport:
             },
             "breaker": self.breaker,
             "breaker_transitions": self.breaker_transitions,
+            "mutations_applied": self.mutations_applied,
+            "mutations_rejected": self.mutations_rejected,
+            "graph_epoch": self.graph_epoch,
+            "mutation_events": self.mutation_events,
         }
 
 
@@ -150,6 +164,8 @@ class ServeLoop:
         fault_injector=None,
         breaker: Optional[CircuitBreaker] = None,
         clock: Callable[[], float] = time.monotonic,
+        cache: Optional[SessionCache] = None,
+        mutation_mode: Optional[str] = "strict",
     ):
         if scheduler not in _SCHEDULERS:
             raise ReproError(
@@ -177,6 +193,15 @@ class ServeLoop:
         self._in_flight: Dict[int, AdmittedQuery] = {}
         self._responses: List[dict] = []
         self.report = ServeReport(scheduler=scheduler)
+        #: live graph mutation state (``repro serve --mutations``)
+        self.cache = cache
+        self.mutation_mode = mutation_mode
+        self.graph_epoch = 0
+        self._pending_mutations: List[EdgeBatch] = []
+        #: simulated seconds of frames already retired at mutation
+        #: barriers plus compaction work — keeps :attr:`sim_now`
+        #: monotonic across frame rebuilds
+        self._retired_sim_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Submission
@@ -213,19 +238,22 @@ class ServeLoop:
 
     @property
     def sim_now(self) -> float:
-        """The loop's simulated clock: batch timeline + fallback runs."""
+        """The loop's simulated clock: retired frames + the live batch
+        timeline + fallback runs + compaction work."""
         batch = self._frame.timeline.total_seconds if self._frame else 0.0
-        return batch + self.report.fallback_sim_seconds
+        return self._retired_sim_seconds + batch + self.report.fallback_sim_seconds
 
     @property
     def busy(self) -> bool:
-        """Work outstanding: queued entries or live frame rows."""
-        if len(self.queue):
+        """Work outstanding: queued entries, live frame rows or
+        mutation batches awaiting their barrier."""
+        if len(self.queue) or self._pending_mutations:
             return True
         return bool(self._frame is not None and self._in_flight)
 
     def pump(self) -> bool:
-        """One scheduling round: expire overdue queue entries, admit
+        """One scheduling round: expire overdue queue entries, apply
+        pending mutations at the barrier (the frame drained), admit
         into the frame (continuous: always; drain: only when the frame
         is empty), run one super-iteration, route whatever finished.
         Returns True when it made progress."""
@@ -237,7 +265,15 @@ class ServeLoop:
             )
             progressed = True
 
-        admit_ok = (
+        # Mutation barrier: pending batches stall admission; once the
+        # live rows drain, the graph epoch advances and the frame is
+        # rebuilt on the compacted graph.  Every in-flight query keeps
+        # the graph it was dispatched on (exactly-once untouched).
+        if self._pending_mutations and not self._in_flight:
+            self._apply_mutations()
+            progressed = True
+
+        admit_ok = not self._pending_mutations and (
             self.scheduler == "continuous" or not self._in_flight
         )
         if admit_ok and len(self.queue):
@@ -273,6 +309,86 @@ class ServeLoop:
         """Responses completed since the last call, completion-ordered."""
         out, self._responses = self._responses, []
         return out
+
+    # ------------------------------------------------------------------
+    # Graph mutations (applied at super-iteration barriers)
+    # ------------------------------------------------------------------
+
+    def submit_mutation(self, batch: EdgeBatch) -> None:
+        """Queue one mutation batch for the next barrier.
+
+        The batch is held until the live frame drains, then applied
+        through the delta overlay, compacted (priced: host rebuild +
+        delta PCIe upload burn simulated time, so deadline clocks feel
+        mutations), and the session is patched in place — the next
+        dispatch runs on the new graph epoch.
+        """
+        self._pending_mutations.append(batch)
+
+    def _apply_mutations(self) -> None:
+        """The barrier: fold every pending batch into the session.
+
+        A batch that fails validation becomes a rejected mutation
+        *event* (invariant 1: failures never crash the loop); the
+        remaining batches still apply.  All surviving batches share one
+        compaction and one epoch bump.
+        """
+        batches, self._pending_mutations = self._pending_mutations, []
+        # Retire the drained frame's timeline into the monotonic base
+        # before rebuilding it on the new graph.
+        if self._frame is not None:
+            self._retired_sim_seconds += self._frame.timeline.total_seconds
+            self._frame = None
+        overlay = DeltaOverlayGraph(self.session.graph)
+        deltas = []
+        for batch in batches:
+            try:
+                deltas.append(overlay.apply(batch, mode=self.mutation_mode))
+            except GraphError as exc:
+                self.report.mutations_rejected += 1
+                self.report.mutation_events.append(
+                    {
+                        "ok": False,
+                        "graph_epoch": self.graph_epoch,
+                        "error": str(exc),
+                        "ops": len(batch.ops),
+                        "path": batch.path,
+                    }
+                )
+        if not deltas:
+            return
+        old_digest = self.session.digest
+        compaction = overlay.compact(
+            device=self.session.device, name=self.session.graph.name
+        )
+        self._retired_sim_seconds += compaction.seconds
+        if self.cache is not None:
+            self.cache.patch(self.session, compaction.graph)
+        else:
+            self.session.refresh(compaction.graph)
+        # One epoch per applied batch (even when a barrier coalesces
+        # several): epoch k always names the graph after the first k
+        # batches, which is what the chaos harness verifies against.
+        self.graph_epoch += len(deltas)
+        self.report.mutations_applied += len(deltas)
+        self.report.graph_epoch = self.graph_epoch
+        event = {
+            "ok": True,
+            "graph_epoch": self.graph_epoch,
+            "batches": len(deltas),
+            "edges_inserted": sum(d.num_inserts for d in deltas),
+            "edges_deleted": sum(d.num_deletes for d in deltas),
+            "nodes_added": sum(d.nodes_added for d in deltas),
+            "old_digest": old_digest,
+            "new_digest": self.session.digest,
+            "compaction_seconds": float(compaction.seconds),
+            "delta_bytes": int(compaction.delta_bytes),
+        }
+        self.report.mutation_events.append(event)
+        observer = current_observer()
+        if observer is not None:
+            observer.metrics.counter("serve.mutation_barriers").inc()
+            observer.metrics.gauge("dynamic.epoch").set(self.graph_epoch)
 
     # ------------------------------------------------------------------
     # Dispatch: queue entry -> batch row or fallback
@@ -415,6 +531,7 @@ class ServeLoop:
             "priority": entry.priority,
             "deadline_s": entry.deadline_s,
             "path": path,
+            "graph_epoch": self.graph_epoch,
             "latency_wall_s": max(0.0, self._clock() - entry.admitted_at),
         }
 

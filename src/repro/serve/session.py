@@ -56,6 +56,24 @@ class GraphSession:
     def num_nodes(self) -> int:
         return int(self.graph.num_nodes)
 
+    def refresh(self, graph: CSRGraph) -> None:
+        """Re-point this session at a mutated (compacted) graph.
+
+        Every query-independent artifact is recomputed from the new
+        CSR arrays — fingerprint/digest, property profile, resolved
+        thresholds — so policy decisions never see pre-mutation stats,
+        while the session object itself (and anything holding it)
+        survives.  The profile refresh is degree-vector work only, not
+        a full re-ingest.
+        """
+        self.graph = graph
+        self.fingerprint = graph_fingerprint(graph)
+        self.digest = self.fingerprint["digest"]
+        self.profile = characterize(graph)
+        self.thresholds = self.config.resolve_thresholds(
+            self.device, graph.num_nodes
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"GraphSession({self.graph.name!r}, n={self.graph.num_nodes}, "
@@ -83,6 +101,10 @@ class SessionCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: in-place mutation patches (epoch-aware invalidation): the
+        #: cached session was re-keyed under the post-mutation digest
+        #: without being evicted or rebuilt
+        self.patches = 0
 
     def __len__(self) -> int:
         return len(self._sessions)
@@ -114,6 +136,36 @@ class SessionCache:
             self._sessions.popitem(last=False)
             self.evictions += 1
             self._observe("evictions")
+        return session
+
+    def patch(self, session: GraphSession, graph: CSRGraph) -> GraphSession:
+        """Epoch-aware invalidation: re-key *session* in place.
+
+        After a mutation batch compacts, the serving loop calls this
+        with the held session and the post-mutation graph: the session
+        is :meth:`~GraphSession.refresh`-ed (new digest, profile,
+        thresholds) and moved under its new key without eviction — the
+        next ``get`` with the mutated graph is a *hit* on the same
+        object.  Non-incremental consumers keying on the digest simply
+        see it bump: the old digest no longer resolves.
+        """
+        if self._sessions.get(session.digest) is not session:
+            raise RuntimeConfigError(
+                "cannot patch a session this cache does not hold "
+                f"(digest {session.digest[:8]}...)"
+            )
+        del self._sessions[session.digest]
+        session.refresh(graph)
+        # A different session already cached under the new digest is
+        # superseded by the patched one (counted as an eviction).
+        if session.digest in self._sessions:
+            del self._sessions[session.digest]
+            self.evictions += 1
+            self._observe("evictions")
+        self._sessions[session.digest] = session
+        self._sessions.move_to_end(session.digest)
+        self.patches += 1
+        self._observe("patches")
         return session
 
     def _observe(self, event: str) -> None:

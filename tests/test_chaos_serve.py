@@ -235,3 +235,100 @@ class TestServeSubprocessSoak:
         )
         assert proc.returncode == 0, proc.stderr
         assert "PASS" in proc.stdout
+
+
+class TestDynamicServeCli:
+    """Mutation streams through the CLI: ``repro mutate``, interleaved
+    mutation lines on ``repro serve --mutations`` stdin, and the
+    mutating chaos soak."""
+
+    def _mutations_file(self, tmp_path):
+        path = tmp_path / "muts.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    json.dumps({"op": "grow", "nodes": 2}),
+                    json.dumps({"op": "insert", "u": 60, "v": 1, "weight": 2.0}),
+                    json.dumps({"op": "insert", "u": 61, "v": 2, "weight": 1.0}),
+                ]
+            )
+            + "\n"
+        )
+        return str(path)
+
+    def test_mutate_subcommand_parity_and_manifest(self, tmp_path, capsys):
+        manifest = tmp_path / "mutate.json"
+        rc = main([
+            "mutate", "--file", _graph_file(tmp_path),
+            "--mutations", self._mutations_file(tmp_path),
+            "--lenient-io", "--algorithm", "bfs", "--source", "0",
+            "--manifest", str(manifest),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sha parity" in out and "PASS" in out
+        doc = json.loads(manifest.read_text())
+        assert doc["mode"] == "dynamic"
+        assert doc["result"]["kind"] == "mutate"
+        assert doc["result"]["graph_epoch"] == 1
+        assert doc["result"]["incremental"]["parity"] is True
+        assert doc["result"]["mutation_events"][0]["inserted"] == 2
+
+    def test_mutate_bad_batch_is_line_numbered_exit_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({"op": "delete", "u": 0, "v": 59}) + "\n")
+        rc = main([
+            "mutate", "--file", _graph_file(tmp_path),
+            "--mutations", str(bad), "--strict-io",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "bad.jsonl:1:" in err and "missing edge" in err
+
+    def test_serve_mutations_stream_exactly_once_with_epochs(self, tmp_path):
+        lines = [
+            json.dumps({"algorithm": "bfs", "source": 0}),            # 1
+            json.dumps({"op": "insert", "u": 0, "v": 45}),            # 2
+            json.dumps({"op": "frobnicate"}),                         # 3
+            json.dumps({"algorithm": "bfs", "source": 0}),            # 4
+            json.dumps({"algorithm": "sssp", "source": 3}),           # 5
+        ]
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve",
+             "--file", _graph_file(tmp_path), "--mutations",
+             "--lenient-io", "--batch-size", "1"],
+            input="\n".join(lines) + "\n", capture_output=True,
+            text=True, timeout=300,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"),
+                 "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Traceback" not in proc.stderr
+        docs = [json.loads(line) for line in proc.stdout.splitlines()
+                if line.strip()]
+        answers = {d["line"]: d for d in docs if "line" in d and d["line"]}
+        events = [d for d in docs if d.get("mutation")]
+        # Exactly one response per query line (1, 4, 5); the malformed
+        # mutation line answers with a line-numbered format error.
+        assert sorted(answers) == [1, 3, 4, 5]
+        assert answers[1]["ok"] and answers[1]["graph_epoch"] == 0
+        assert not answers[3]["ok"]
+        assert "unknown mutation op" in answers[3]["error"]
+        for line in (4, 5):
+            assert answers[line]["ok"]
+            assert answers[line]["graph_epoch"] == 1
+        # The applied batch surfaced as exactly one mutation event.
+        assert len(events) == 1
+        assert events[0]["ok"] and events[0]["edges_inserted"] == 1
+        assert events[0]["old_digest"] != events[0]["new_digest"]
+        assert "graph epoch 1" in proc.stderr
+        assert "cache patches 1" in proc.stderr
+
+    def test_chaos_mutations_subcommand(self, capsys):
+        rc = main(["chaos", "--queries", "30", "--nodes", "200",
+                   "--seed", "5", "--mutations", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "graph epoch" in out
+        assert "digest mismatches" in out

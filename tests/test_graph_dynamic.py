@@ -1,0 +1,432 @@
+"""Dynamic graphs: mutation batches, the delta-CSR overlay, compaction.
+
+The contract under test: a :class:`DeltaOverlayGraph` is an *exact*
+stand-in for the mutated graph — its incremental statistics match the
+logical edge set after every apply, and realizing it (``materialize`` /
+``compact``) produces a CSR that is array- and digest-identical to a
+from-scratch :func:`from_edge_list` build of the mutated edge list.
+The hypothesis round-trip drives random mutation sequences through both
+the overlay and an explicit edge-dict model with the same lenient
+semantics and requires the two to agree bit-for-bit.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, GraphFormatError
+from repro.graph.builder import from_edge_list
+from repro.graph.dynamic import (
+    DeltaOverlayGraph,
+    EdgeBatch,
+    MutationReport,
+    load_mutations_jsonl,
+)
+from repro.gpusim.allocator import MemoryBudget
+from repro.obs import Observer, observing
+from repro.obs.manifest import graph_fingerprint
+
+
+def _graph(weighted: bool = False):
+    src = [0, 0, 1, 2, 2, 3]
+    dst = [1, 2, 2, 3, 4, 4]
+    w = [1.0, 4.0, 2.0, 7.0, 3.0, 1.0] if weighted else None
+    return from_edge_list(src, dst, w, num_nodes=5, name="tiny")
+
+
+# ----------------------------------------------------------------------
+# EdgeBatch parsing
+# ----------------------------------------------------------------------
+
+class TestEdgeBatchParsing:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "muts.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    '{"op": "insert", "u": 1, "v": 4, "weight": 2.5}',
+                    "# a comment line",
+                    "",
+                    '{"op": "delete", "u": 0, "v": 2}',
+                    '{"op": "grow", "nodes": 3}',
+                ]
+            )
+        )
+        batch = load_mutations_jsonl(path)
+        assert len(batch) == 3
+        ops = list(batch)
+        assert [op.op for op in ops] == ["insert", "delete", "grow"]
+        assert ops[0].weight == 2.5
+        assert ops[2].nodes == 3
+        # line numbers survive for diagnostics (comments/blanks counted)
+        assert [op.line for op in ops] == [1, 4, 5]
+
+    @pytest.mark.parametrize(
+        "line, fragment",
+        [
+            ('{"op": "frobnicate", "u": 0, "v": 1}', "unknown mutation op"),
+            ('{"op": "insert", "u": 0}', "integer 'v'"),
+            ('{"op": "insert", "u": 0, "v": "x"}', "integer 'v'"),
+            ('{"op": "insert", "u": 0, "v": 1, "extra": 1}', "unknown field"),
+            ('{"op": "delete", "u": 0, "v": 1, "weight": 2}', "unknown field"),
+            ('{"op": "grow", "nodes": 0}', "positive integer"),
+            ('{"op": "grow", "nodes": true}', "positive integer"),
+            ('{"op": "insert", "u": 0, "v": 1, "weight": -2}', "non-negative"),
+            ('{"op": "insert", "u": 0, "v": 1, "weight": "w"}', "bad edge weight"),
+            ("[1, 2, 3]", "JSON object"),
+            ("{not json", "invalid JSON"),
+        ],
+    )
+    def test_bad_lines_are_line_numbered_errors(self, tmp_path, line, fragment):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"op": "grow", "nodes": 1}\n' + line + "\n")
+        with pytest.raises(GraphFormatError) as exc:
+            EdgeBatch.from_jsonl(path)
+        message = str(exc.value)
+        assert fragment in message
+        assert ":2:" in message  # the offending line, not the file start
+
+    def test_from_docs_carries_stream_linenos(self):
+        docs = [(7, {"op": "insert", "u": 0, "v": 1}), (9, {"op": "bad"})]
+        with pytest.raises(GraphFormatError) as exc:
+            EdgeBatch.from_docs(docs, path="<stdin>")
+        assert "<stdin>:9:" in str(exc.value)
+
+
+# ----------------------------------------------------------------------
+# Overlay apply: modes, quarantine, incremental statistics
+# ----------------------------------------------------------------------
+
+class TestOverlayApply:
+    def test_insert_delete_grow_updates_stats_without_rebuild(self):
+        overlay = DeltaOverlayGraph(_graph())
+        delta = overlay.apply(
+            EdgeBatch.from_docs(
+                enumerate(
+                    [
+                        {"op": "insert", "u": 4, "v": 0},
+                        {"op": "delete", "u": 0, "v": 2},
+                        {"op": "grow", "nodes": 2},
+                        {"op": "insert", "u": 6, "v": 1},
+                    ],
+                    start=1,
+                )
+            )
+        )
+        assert overlay.num_nodes == 7
+        assert overlay.num_edges == 6 + 2 - 1
+        assert overlay.epoch == 1 and delta.epoch == 1
+        assert delta.num_inserts == 2 and delta.num_deletes == 1
+        assert delta.nodes_added == 2
+        assert overlay.has_edge(4, 0) and overlay.has_edge(6, 1)
+        assert not overlay.has_edge(0, 2)
+        expected_deg = np.array([1, 1, 2, 1, 1, 0, 1])
+        np.testing.assert_array_equal(overlay.out_degrees, expected_deg)
+        assert overlay.avg_out_degree == pytest.approx(7 / 7)
+
+    def test_default_mode_rejects_range_and_missing_delete(self):
+        overlay = DeltaOverlayGraph(_graph())
+        with pytest.raises(GraphFormatError, match="out of range"):
+            overlay.apply(EdgeBatch.inserts([(0, 99)]))
+        with pytest.raises(GraphFormatError, match="missing edge"):
+            overlay.apply(EdgeBatch.deletes([(4, 0)]))
+        # ...but tolerates duplicates (collapsed, not errors).
+        delta = overlay.apply(EdgeBatch.inserts([(0, 1)]))
+        assert delta.num_inserts == 0
+        assert delta.report.duplicates_collapsed == 1
+
+    def test_strict_mode_raises_on_each_anomaly(self):
+        cases = [
+            (EdgeBatch.inserts([(2, 2)]), "self-loop"),
+            (EdgeBatch.inserts([(0, 1)]), "duplicate edge"),
+            (EdgeBatch.deletes([(4, 0)]), "missing edge"),
+        ]
+        for batch, fragment in cases:
+            overlay = DeltaOverlayGraph(_graph())
+            with pytest.raises(GraphFormatError, match=fragment):
+                overlay.apply(batch, mode="strict")
+        overlay = DeltaOverlayGraph(_graph())  # unweighted
+        with pytest.raises(GraphFormatError, match="unweighted"):
+            overlay.apply(
+                EdgeBatch.inserts([(4, 0)], weights=[2.0]), mode="strict"
+            )
+
+    def test_lenient_mode_quarantines_and_tallies(self):
+        overlay = DeltaOverlayGraph(_graph())
+        report = MutationReport()
+        delta = overlay.apply(
+            EdgeBatch.from_docs(
+                enumerate(
+                    [
+                        {"op": "insert", "u": 2, "v": 2},   # self-loop
+                        {"op": "insert", "u": 0, "v": 1},   # duplicate
+                        {"op": "insert", "u": 0, "v": 99},  # dangling
+                        {"op": "delete", "u": 4, "v": 0},   # missing
+                        {"op": "insert", "u": 4, "v": 0},   # fine
+                    ],
+                    start=1,
+                )
+            ),
+            mode="lenient",
+            report=report,
+        )
+        assert delta.num_inserts == 1 and delta.num_deletes == 0
+        assert report.self_loops_dropped == 1
+        assert report.duplicates_collapsed == 1
+        assert report.dangling_dropped == 1
+        assert report.missing_deletes_dropped == 1
+        assert report.quarantined == 4
+        assert report.to_dict()["quarantined"] == 4
+
+    def test_invalid_mode_rejected(self):
+        overlay = DeltaOverlayGraph(_graph())
+        with pytest.raises(GraphFormatError, match="mutation mode"):
+            overlay.apply(EdgeBatch.inserts([(4, 0)]), mode="sloppy")
+
+    def test_delete_then_reinsert_in_one_batch(self):
+        overlay = DeltaOverlayGraph(_graph(weighted=True))
+        overlay.apply(
+            EdgeBatch.from_docs(
+                enumerate(
+                    [
+                        {"op": "delete", "u": 0, "v": 2},
+                        {"op": "insert", "u": 0, "v": 2, "weight": 9.0},
+                    ],
+                    start=1,
+                )
+            )
+        )
+        assert overlay.has_edge(0, 2)
+        graph = overlay.materialize()
+        slot = np.flatnonzero(
+            graph.col_indices[
+                graph.row_offsets[0]: graph.row_offsets[1]
+            ] == 2
+        )
+        assert graph.weights[graph.row_offsets[0] + slot[0]] == 9.0
+
+    def test_grown_nodes_referencable_in_same_batch(self):
+        overlay = DeltaOverlayGraph(_graph())
+        delta = overlay.apply(
+            EdgeBatch.from_docs(
+                enumerate(
+                    [
+                        {"op": "grow", "nodes": 1},
+                        {"op": "insert", "u": 5, "v": 0},
+                    ],
+                    start=1,
+                )
+            )
+        )
+        assert delta.num_inserts == 1
+        assert overlay.has_edge(5, 0)
+
+    def test_has_edge_range_checked(self):
+        overlay = DeltaOverlayGraph(_graph())
+        with pytest.raises(GraphError, match="out of range"):
+            overlay.has_edge(0, 99)
+
+    def test_observer_counters(self):
+        observer = Observer()
+        with observing(observer):
+            overlay = DeltaOverlayGraph(_graph())
+            overlay.apply(
+                EdgeBatch.from_docs(
+                    enumerate(
+                        [
+                            {"op": "insert", "u": 4, "v": 0},
+                            {"op": "delete", "u": 0, "v": 2},
+                            {"op": "insert", "u": 2, "v": 2},
+                            {"op": "grow", "nodes": 1},
+                        ],
+                        start=1,
+                    )
+                ),
+                mode="lenient",
+            )
+            overlay.compact()
+        snap = observer.metrics.snapshot()
+        assert snap["dynamic.mutations_applied"]["value"] == 1
+        assert snap["dynamic.edges_inserted"]["value"] == 1
+        assert snap["dynamic.edges_deleted"]["value"] == 1
+        assert snap["dynamic.nodes_added"]["value"] == 1
+        assert snap["dynamic.ops_quarantined"]["value"] == 1
+        assert snap["dynamic.epoch"]["value"] == 1
+        assert snap["dynamic.compactions"]["value"] == 1
+        assert snap["dynamic.compaction_bytes"]["value"] > 0
+
+
+# ----------------------------------------------------------------------
+# Compaction: pricing and canonical equality
+# ----------------------------------------------------------------------
+
+class TestCompaction:
+    def test_compact_equals_materialize_and_is_priced(self):
+        overlay = DeltaOverlayGraph(_graph(weighted=True))
+        overlay.apply(EdgeBatch.inserts([(4, 0), (3, 1)], weights=[2.0, 5.0]))
+        overlay.apply(EdgeBatch.deletes([(2, 3)]))
+        result = overlay.compact()
+        ref = overlay.materialize()
+        assert graph_fingerprint(result.graph) == graph_fingerprint(ref)
+        assert result.host_seconds > 0
+        assert result.transfer.seconds > 0
+        assert result.delta_bytes == overlay.delta_bytes()
+        assert result.seconds == result.host_seconds + result.transfer.seconds
+        # Only the delta ships — far less than a cold full upload.
+        assert result.delta_bytes < ref.device_bytes()
+
+    def test_compact_charges_growth_against_budget(self):
+        overlay = DeltaOverlayGraph(_graph())
+        overlay.apply(
+            EdgeBatch.from_docs(
+                enumerate(
+                    [{"op": "grow", "nodes": 64}]
+                    + [{"op": "insert", "u": 5 + i, "v": i % 5} for i in range(32)],
+                    start=1,
+                )
+            )
+        )
+        memory = MemoryBudget(1 << 20)
+        base_bytes = _graph().device_bytes()
+        memory.allocate(base_bytes, "graph", label="base graph")
+        result = overlay.compact(memory=memory)
+        assert memory.by_category["graph"] == result.graph.device_bytes()
+
+    def test_empty_overlay_compacts_to_base_digest(self):
+        base = _graph(weighted=True)
+        overlay = DeltaOverlayGraph(base)
+        result = overlay.compact()
+        assert (
+            graph_fingerprint(result.graph)["digest"]
+            == graph_fingerprint(base)["digest"]
+        )
+
+
+# ----------------------------------------------------------------------
+# Hypothesis round-trip: overlay == from-scratch build, always
+# ----------------------------------------------------------------------
+
+@st.composite
+def mutation_scenarios(draw):
+    """A base graph plus a random mutation-op stream.
+
+    Ops are drawn blind (endpoints may be out of range, duplicated,
+    self-looping, already deleted...) — lenient mode must quarantine
+    exactly what the explicit model quarantines.
+    """
+    n = draw(st.integers(min_value=2, max_value=16))
+    weighted = draw(st.booleans())
+    base_pairs = draw(
+        st.sets(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda p: p[0] != p[1]),
+            max_size=24,
+        )
+    )
+    base_weights = None
+    if weighted:
+        base_weights = draw(
+            st.lists(
+                st.floats(0.5, 8.0, allow_nan=False, width=32),
+                min_size=len(base_pairs),
+                max_size=len(base_pairs),
+            )
+        )
+    max_node = n + 6  # leave room for grown nodes and dangling ids
+    op = st.one_of(
+        st.fixed_dictionaries(
+            {
+                "op": st.just("insert"),
+                "u": st.integers(0, max_node),
+                "v": st.integers(0, max_node),
+            },
+            optional={"weight": st.floats(0.5, 8.0, allow_nan=False, width=32)},
+        ),
+        st.fixed_dictionaries(
+            {
+                "op": st.just("delete"),
+                "u": st.integers(0, max_node),
+                "v": st.integers(0, max_node),
+            }
+        ),
+        st.fixed_dictionaries(
+            {"op": st.just("grow"), "nodes": st.integers(1, 3)}
+        ),
+    )
+    batches = draw(st.lists(st.lists(op, max_size=12), min_size=1, max_size=4))
+    return n, weighted, sorted(base_pairs), base_weights, batches
+
+
+def _model_apply(model, num_nodes, weighted, ops):
+    """The lenient-mode contract, restated as a plain edge dict."""
+    for doc in ops:
+        if doc["op"] == "grow":
+            num_nodes += doc["nodes"]
+            continue
+        u, v = doc["u"], doc["v"]
+        if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+            continue  # dangling_dropped
+        if doc["op"] == "insert":
+            if u == v or (u, v) in model:
+                continue  # self_loops_dropped / duplicates_collapsed
+            weight = doc.get("weight", 1.0)
+            model[(u, v)] = np.float32(weight) if weighted else None
+        else:
+            model.pop((u, v), None)  # missing_deletes_dropped when absent
+    return num_nodes
+
+
+class TestOverlayRoundTripProperty:
+    @given(mutation_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_compact_equals_from_scratch_build(self, scenario):
+        n, weighted, base_pairs, base_weights, batches = scenario
+        src = [u for u, _ in base_pairs]
+        dst = [v for _, v in base_pairs]
+        base = from_edge_list(
+            src, dst, base_weights, num_nodes=n, name="hyp"
+        )
+        overlay = DeltaOverlayGraph(base)
+        model = {}
+        for i, (u, v) in enumerate(base_pairs):
+            model[(u, v)] = base_weights[i] if weighted else None
+        model_n = n
+
+        for k, ops in enumerate(batches):
+            batch = EdgeBatch.from_docs(
+                enumerate(ops, start=1), path=f"<hyp-{k}>"
+            )
+            overlay.apply(batch, mode="lenient")
+            model_n = _model_apply(model, model_n, weighted, ops)
+
+        # The overlay's incremental statistics match the model...
+        assert overlay.num_nodes == model_n
+        assert overlay.num_edges == len(model)
+        deg = np.zeros(model_n, dtype=np.int64)
+        for u, _ in model:
+            deg[u] += 1
+        np.testing.assert_array_equal(overlay.out_degrees, deg)
+
+        # ...and realization is identical to a from-scratch build of the
+        # model's edge list: CSR arrays and content digest both.
+        m_src = [u for u, _ in model]
+        m_dst = [v for _, v in model]
+        m_w = [model[p] for p in model] if weighted else None
+        expected = from_edge_list(
+            m_src, m_dst, m_w, num_nodes=model_n, name="hyp"
+        )
+        for built in (overlay.materialize(), overlay.compact().graph):
+            np.testing.assert_array_equal(built.row_offsets, expected.row_offsets)
+            np.testing.assert_array_equal(built.col_indices, expected.col_indices)
+            if weighted:
+                np.testing.assert_array_equal(built.weights, expected.weights)
+            else:
+                assert built.weights is None
+            assert (
+                graph_fingerprint(built)["digest"]
+                == graph_fingerprint(expected)["digest"]
+            )

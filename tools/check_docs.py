@@ -37,6 +37,7 @@ LINKED_DOCS = (
     "docs/api.md",
     "docs/architecture.md",
     "docs/adaptive-runtime.md",
+    "docs/dynamic.md",
     "docs/engine.md",
     "docs/learned-policy.md",
     "docs/memory.md",
