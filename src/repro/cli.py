@@ -362,6 +362,13 @@ def cmd_run(args) -> int:
 
     info = get_algorithm(args.algorithm)
     if getattr(args, "devices", None) is not None:
+        if getattr(args, "fuse", False):
+            print(
+                "repro run: --fuse applies to single-device runs (the "
+                "sharded driver fuses its own exchange phases)",
+                file=sys.stderr,
+            )
+            return 2
         return _run_sharded_cmd(args, info)
     mode = args.mode or ("adaptive" if info.adaptive_eligible else "default")
     policy_spec = getattr(args, "policy", None)
@@ -372,19 +379,33 @@ def cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
+    fuse = bool(getattr(args, "fuse", False))
     if mode == "resilient":
+        if fuse:
+            print(
+                "repro run: --fuse is a plain-run lowering; the resilient "
+                "ladder re-plans per rung (drop --fuse or --mode resilient)",
+                file=sys.stderr,
+            )
+            return 2
         return _run_resilient(args, args.algorithm)
     graph, source, device = _resolve_workload(args, weighted=info.weighted)
     if not info.source_based:
         source = -1
     memory = _make_memory(args, device)
     params = _spec_params(args, info)
+    observer = None
+    if getattr(args, "manifest", None):
+        from repro.obs import Observer
+
+        observer = Observer()
+        params["observe"] = observer
     mem_report = None
     extra = ""
     if mode == "adaptive":
         result = adaptive_run(
             graph, args.algorithm, source, device=device, memory=memory,
-            policy=policy_spec, **params,
+            policy=policy_spec, fuse=fuse, **params,
         )
         traversal = result.traversal
         mem_report = result.memory
@@ -403,6 +424,8 @@ def cmd_run(args) -> int:
                 file=sys.stderr,
             )
             return 2
+        if fuse:
+            params["fusion"] = True
         traversal = info.run_default(
             graph, source, device=device, memory=memory, **params
         )
@@ -410,10 +433,12 @@ def cmd_run(args) -> int:
     else:
         traversal = run_static(
             graph, source, args.algorithm, mode, device=device,
-            memory=memory, **params,
+            memory=memory, fuse=fuse, **params,
         )
         mem_report = memory.report() if memory is not None else None
 
+    params.pop("observe", None)
+    params.pop("fusion", None)
     oracle, cpu = info.cpu_run(graph, source, **params)
     ok = _values_match(traversal.values, oracle)
 
@@ -431,10 +456,47 @@ def cmd_run(args) -> int:
     table.add_row(["serial CPU baseline", format_seconds(cpu.seconds)])
     table.add_row(["speedup", f"{cpu.seconds / traversal.total_seconds:.2f}x"])
     _add_memory_rows(table, mem_report)
+    stats = getattr(traversal, "fusion", None)
+    if stats is not None:
+        plan = stats.plan
+        if plan.fusible:
+            table.add_row(
+                ["fused launches",
+                 f"{stats.fused_iterations} of "
+                 f"{stats.fused_iterations + stats.refused_iterations} "
+                 "iterations"]
+            )
+            table.add_row(
+                ["launch overhead saved",
+                 format_seconds(stats.overhead_saved_s)]
+            )
+            if stats.hoisted_h2d_bytes:
+                table.add_row(
+                    ["hoisted H2D payload", f"{stats.hoisted_h2d_bytes} B"]
+                )
+        else:
+            table.add_row(
+                ["fusion refused", "; ".join(plan.refusals) or "n/a"]
+            )
     table.add_row(["verified vs CPU reference", "yes" if ok else "MISMATCH"])
     print(table.render())
     if extra:
         print(extra)
+    if getattr(args, "manifest", None):
+        from repro.obs import build_manifest
+
+        result_obj = result if mode in ("adaptive", "learned") else traversal
+        manifest = build_manifest(
+            result_obj,
+            graph=graph,
+            algorithm=args.algorithm,
+            mode=mode + ("+fused" if fuse else ""),
+            source=source,
+            device=device,
+            observer=observer,
+        )
+        manifest.write(args.manifest)
+        print(f"[manifest written to {args.manifest}]")
     return 0 if ok else 1
 
 
@@ -1516,8 +1578,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="peer link pricing for frontier exchange "
                    "(--devices)")
     p.add_argument("--manifest", default=None, metavar="FILE",
-                   help="write the sharded run's RunManifest JSON here "
-                   "(--devices)")
+                   help="write the run's RunManifest JSON here (works for "
+                   "single-device and --devices runs)")
+    p.add_argument("--fuse", action="store_true",
+                   help="lower the run through the spec-fusion pass "
+                   "(repro.engine.fusion): merge computation+generation "
+                   "launches and hoist loop-invariant H2D payloads where "
+                   "the plan permits; values stay bit-identical")
     p.add_argument("--policy", default=None, metavar="SPEC",
                    help="drive adaptive decisions with a fitted policy "
                    "artifact: 'learned:<policy.json>' (see fit-policy)")

@@ -115,6 +115,7 @@ def adaptive_run(
     memory: Optional[MemoryBudget] = None,
     observe=None,
     policy=None,
+    fuse: bool = False,
     **params,
 ) -> AdaptiveResult:
     """Run any registered *algorithm* under the adaptive runtime.
@@ -141,7 +142,10 @@ def adaptive_run(
     :class:`~repro.obs.Observer` for the duration of the run, so every
     instrumented layer reports metrics and spans into it.  Extra
     keyword arguments (*params*) are forwarded to the algorithm
-    (PageRank's ``damping``/``tolerance``)."""
+    (PageRank's ``damping``/``tolerance``).  *fuse* lowers the spec
+    through :mod:`repro.engine.fusion` and runs under the fused launch
+    plan — values and decisions are identical; only launch pricing
+    changes."""
     info = get_algorithm(algorithm)
     if not info.adaptive_eligible:
         raise KernelError(
@@ -181,6 +185,7 @@ def adaptive_run(
                 resume_from=resume_from,
                 fault_hook=fault_hook,
                 memory=memory,
+                fusion=fuse or None,
                 **params,
             ),
             driver.trace,
@@ -243,12 +248,14 @@ def run_static(
     fault_hook=None,
     memory: Optional[MemoryBudget] = None,
     observe=None,
+    fuse: bool = False,
     **params,
 ) -> TraversalResult:
     """Run one static variant of any registered *algorithm*.
 
     *observe* installs an :class:`~repro.obs.Observer` for the run, as
-    in :func:`adaptive_run`."""
+    in :func:`adaptive_run`; *fuse* runs under a fused launch plan
+    (pinned variants fuse every iteration)."""
     info = get_algorithm(algorithm)
     if not info.supports_variants:
         raise KernelError(
@@ -270,6 +277,7 @@ def run_static(
         resume_from=resume_from,
         fault_hook=fault_hook,
         memory=memory,
+        fusion=fuse or None,
         **params,
     )
     with observing(observe):

@@ -20,6 +20,7 @@ from repro.cpu.costmodel import CpuModel, DEFAULT_CPU
 from repro.cpu.kcore import CpuKCoreResult, cpu_kcore
 from repro.cpu.pagerank import CpuPageRankResult, cpu_pagerank
 from repro.cpu.sssp import CpuSsspResult, cpu_bellman_ford, cpu_dijkstra
+from repro.cpu.triangles import CpuTrianglesResult, cpu_triangles
 
 __all__ = [
     "cpu_bfs",
@@ -32,6 +33,8 @@ __all__ = [
     "cpu_pagerank",
     "CpuPageRankResult",
     "cpu_kcore",
+    "cpu_triangles",
+    "CpuTrianglesResult",
     "CpuKCoreResult",
     "CpuModel",
     "DEFAULT_CPU",

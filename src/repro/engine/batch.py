@@ -53,6 +53,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.engine.fusion import fuse_tallies
 from repro.engine.spec import AlgorithmSpec, FrameState
 from repro.engine.types import HOST_INIT_PER_NODE_S, IterationRecord, VariantPolicy
 from repro.errors import KernelError, NonConvergenceError, ReproError
@@ -144,6 +145,11 @@ class BatchFrameResult:
     readbacks_saved: int
     #: rows ejected by per-row faults or admission deadlines
     rows_ejected: int = 0
+    #: super-iterations whose computation+generation launches merged
+    #: into one fused launch (spec-fusion pass; 0 when fusion is off)
+    fused_supersteps: int = 0
+    #: eliminated ``kernel_launch_overhead_s`` charges, in seconds
+    fusion_overhead_saved_s: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -231,6 +237,7 @@ class BatchFrame:
         max_iterations: Optional[int] = None,
         queue_gen: str = "atomic",
         fault_hook=None,
+        fusion: bool = False,
     ):
         self.graph = graph
         self.device = device
@@ -239,6 +246,13 @@ class BatchFrame:
         self.max_iterations = max_iterations
         self.queue_gen = queue_gen
         self.fault_hook = fault_hook
+        #: spec-fusion: merge the super-iteration's computation launch
+        #: with its generation launch when the pass is uniform (one
+        #: comp group, pinned policies, single-kernel generation)
+        self.fusion = bool(fusion)
+        self.fused_supersteps = 0
+        self.fusion_refused_supersteps = 0
+        self.fusion_overhead_saved_s = 0.0
         self.rows: List[_Row] = []
         self.super_iterations = 0
         self.fused_launches = 0
@@ -353,10 +367,12 @@ class BatchFrame:
                 if self.max_iterations is not None
                 else row.spec.default_cap(self.graph)
             )
+            # A hint of 0 means this row's loop never runs a kernel, so
+            # the policy must not be consulted (mirrors run_frame).
             hint = row.spec.first_choose_size(row.state)
-            if hint is not None:
+            if hint:
                 row.variant = row.policy.choose(0, hint)
-            elif row.spec.work_remaining(row.state):
+            elif hint is None and row.spec.work_remaining(row.state):
                 row.variant = row.policy.choose(
                     0, row.spec.work_remaining(row.state)
                 )
@@ -461,6 +477,23 @@ class BatchFrame:
             key = (row.spec.name, row.variant.code, tpb)
             groups.setdefault(key, []).append(row)
 
+        # Spec-fusion precondition: one uniform computation group of
+        # pinned (specialized) rows and a single-kernel generation
+        # scheme — then the pass's generation launch merges into the
+        # computation launch below.  Pricing of the held tally is
+        # merely deferred; fault injection still fires at tally
+        # construction inside the group loop.
+        defer_fusion = (
+            self.fusion
+            and len(groups) == 1
+            and self.queue_gen != "scan"
+            and all(
+                getattr(row.policy, "variant", None) is not None
+                for row in active
+            )
+        )
+        held_comp = None
+
         for (alg, code, tpb), members in groups.items():
             relaxations = []
             healthy = []
@@ -497,7 +530,6 @@ class BatchFrame:
                     weight_streams=weight_streams,
                     name=f"batch_{alg}_comp",
                 )
-                cost = self.model.price(tally)
             except ReproError as exc:
                 # A launch failure hits the whole fused launch: every
                 # rider is ejected (their relaxation already mutated
@@ -508,6 +540,10 @@ class BatchFrame:
                         row, f"fused launch failed: {exc}", kind="fault"
                     )
                 continue
+            if defer_fusion:
+                held_comp = (tally, code, healthy)
+                continue
+            cost = self.model.price(tally)
             self.timeline.add_kernel(self.super_iterations, tally, cost,
                                      f"batch:{code}")
             self.fused_launches += 1
@@ -560,16 +596,55 @@ class BatchFrame:
         # drained still sweep — discovering emptiness is the kernel's job,
         # exactly as in the single-source frame)
         for representation, (counts, members) in gen_groups.items():
+            # Mixed-spec groups share one stride; every batchable spec
+            # emits 4-byte ids today, but honor the declared width.
+            entry_bytes = max(
+                row.spec.workset_entry_bytes for row in members
+            )
             try:
-                for tally in fused_workset_gen_tallies(
+                gen_tallies = fused_workset_gen_tallies(
                     self._n, counts, representation, self.device,
-                    scheme=self.queue_gen,
+                    scheme=self.queue_gen, entry_bytes=entry_bytes,
+                )
+                if (
+                    held_comp is not None
+                    and len(gen_groups) == 1
+                    and len(gen_tallies) == 1
                 ):
+                    comp_tally, code, comp_members = held_comp
+                    held_comp = None
+                    merged = fuse_tallies([comp_tally, gen_tallies[0]])
+                    cost = self.model.price(merged)
+                    self.timeline.add_kernel(
+                        self.super_iterations, merged, cost, f"batch:{code}"
+                    )
+                    self.fused_launches += 1
+                    # The merged launch replaces one per surviving comp
+                    # rider, one per gen rider, and the gen launch itself.
+                    self.launches_saved += (
+                        (len(comp_members) - 1) + (len(counts) - 1) + 1
+                    )
+                    self.fused_supersteps += 1
+                    self.fusion_overhead_saved_s += (
+                        self.device.kernel_launch_overhead_s
+                    )
+                    continue
+                for tally in gen_tallies:
                     cost = self.model.price(tally)
                     self.timeline.add_kernel(
                         self.super_iterations, tally, cost, "batch:gen"
                     )
             except ReproError as exc:
+                if held_comp is not None:
+                    # The merged launch failed as a unit: its comp
+                    # riders fall with the gen riders.
+                    for row in held_comp[2]:
+                        if row.error is None and not row.ejected:
+                            self._eject(
+                                row, f"fused launch failed: {exc}",
+                                kind="fault",
+                            )
+                    held_comp = None
                 for row in members:
                     if row.error is None and not row.ejected:
                         self._eject(
@@ -579,6 +654,18 @@ class BatchFrame:
                 continue
             self.fused_launches += 1
             self.launches_saved += len(counts) - 1
+
+        if held_comp is not None:
+            # Fusion armed but no generation launch to merge with (every
+            # rider ejected mid-pass): price the held computation as-is.
+            tally, code, healthy = held_comp
+            cost = self.model.price(tally)
+            self.timeline.add_kernel(
+                self.super_iterations, tally, cost, f"batch:{code}"
+            )
+            self.fused_launches += 1
+            self.launches_saved += len(healthy) - 1
+            self.fusion_refused_supersteps += 1
 
         # --- one fused readback for the whole batch: every surviving
         # row's 4-byte working-set size behind a single PCIe latency
@@ -626,6 +713,19 @@ class BatchFrame:
             metrics.counter("batch.fused_launches").inc(self.fused_launches)
             metrics.counter("batch.launches_saved").inc(self.launches_saved)
             metrics.counter("batch.readbacks_saved").inc(self.readbacks_saved)
+            if self.fusion:
+                metrics.counter("fusion.fused_launches").inc(
+                    self.fused_supersteps
+                )
+                metrics.counter("fusion.launches_eliminated").inc(
+                    self.fused_supersteps
+                )
+                metrics.counter("fusion.overhead_saved_s").inc(
+                    self.fusion_overhead_saved_s
+                )
+                metrics.counter("fusion.refused_iterations").inc(
+                    self.fusion_refused_supersteps
+                )
             observer.spans.add_span(
                 "batch_frame",
                 sim_seconds=self.timeline.total_seconds,
@@ -642,6 +742,8 @@ class BatchFrame:
             launches_saved=self.launches_saved,
             readbacks_saved=self.readbacks_saved,
             rows_ejected=self.rows_ejected,
+            fused_supersteps=self.fused_supersteps,
+            fusion_overhead_saved_s=self.fusion_overhead_saved_s,
         )
 
 
@@ -655,6 +757,7 @@ def run_batch_frame(
     queue_gen: str = "atomic",
     fault_hook=None,
     watchdogs: Optional[Sequence] = None,
+    fusion: bool = False,
 ) -> BatchFrameResult:
     """Run every query of *plans* on the batched multi-source frame.
 
@@ -677,6 +780,7 @@ def run_batch_frame(
         max_iterations=max_iterations,
         queue_gen=queue_gen,
         fault_hook=fault_hook,
+        fusion=fusion,
     )
     frame.admit(plans, watchdogs=watchdogs)
     return frame.finish()

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from typing import List, Optional, TYPE_CHECKING
 
+from repro.engine.fusion import FusionStats, LaunchPlan, fuse_tallies, lower
 from repro.engine.spec import AlgorithmSpec, FrameState, StepOutcome
 from repro.engine.types import (
     HOST_INIT_PER_NODE_S,
@@ -51,7 +52,7 @@ from repro.gpusim.kernel import CostModel, CostParams, KernelTally
 from repro.gpusim.memory import traversal_state_bytes
 from repro.gpusim.timeline import Timeline
 from repro.gpusim.transfer import record_transfer
-from repro.kernels.variants import Variant
+from repro.kernels.variants import Variant, WorksetRepr
 from repro.kernels.workset import workset_gen_tallies
 from repro.obs.context import current_observer
 
@@ -90,9 +91,18 @@ class FrameContext:
         #: simulated seconds accumulated into the current iteration's
         #: record (reset by the driver at each iteration start)
         self.seconds = 0.0
+        #: when set (by the driver, around ``spec.compute`` under a
+        #: fusible :class:`~repro.engine.fusion.LaunchPlan`), ``price``
+        #: defers ``(tally, label)`` pairs here instead of pricing, so
+        #: the computation kernel can merge with the generation kernel
+        #: into one fused launch
+        self.collect: Optional[List] = None
 
     def price(self, tally: KernelTally, label: Optional[str] = None) -> None:
         """Price a kernel into the current iteration's record."""
+        if self.collect is not None:
+            self.collect.append((tally, label or self.label))
+            return
         cost = self.model.price(tally)
         self.timeline.add_kernel(self.iteration, tally, cost, label or self.label)
         self.seconds += cost.seconds
@@ -284,8 +294,18 @@ def run_frame(
     resume_from: Optional["TraversalCheckpoint"] = None,
     fault_hook=None,
     memory: Optional["MemoryBudget"] = None,
+    fusion=None,
 ) -> TraversalResult:
     """Run *spec* from *source* under *policy* on the generic frame.
+
+    *fusion* enables the spec-fusion lowering pass
+    (:mod:`repro.engine.fusion`): ``True`` lowers *spec* + *policy*
+    here, or pass a pre-lowered :class:`~repro.engine.fusion.LaunchPlan`.
+    Fusion merges the computation and workset-generation launches when
+    the plan permits, hoists loop-invariant H2D payloads, and records a
+    :class:`~repro.engine.fusion.FusionStats` on the result — values
+    and decision traces are bit-identical to the unfused run; only the
+    priced launch stream changes.
 
     *queue_gen* selects the queue-generation scheme: ``"atomic"``
     (the paper's baseline), ``"scan"`` (Merrill-style prefix scan) or
@@ -318,6 +338,22 @@ def run_frame(
     ctx = FrameContext(work_graph, device, model, timeline, queue_gen, source)
     ctx.policy = policy
     spec.extra_transfers(ctx)
+    plan: Optional[LaunchPlan] = None
+    fusion_stats: Optional[FusionStats] = None
+    if fusion:
+        plan = (
+            fusion
+            if isinstance(fusion, LaunchPlan)
+            else lower(spec, policy, queue_gen=queue_gen)
+        )
+        fusion_stats = FusionStats(plan=plan)
+    hoist_bytes = plan.hoist_h2d_bytes if plan is not None and plan.fusible else 0
+    hoisted_iterations = 0
+    if hoist_bytes:
+        # Invariant hoisting: the per-iteration H2D payload is
+        # loop-invariant, so the plan ships it once ahead of the loop
+        # instead of before every computation launch.
+        timeline.add_transfer(record_transfer("h2d", hoist_bytes, device))
     observer = current_observer()
     if observer is not None:
         # Keep the profiler's simulated clock aligned with the Chrome
@@ -341,11 +377,13 @@ def run_frame(
     variant: Optional[Variant] = None
     if not spec.chooses_at_top:
         # The paper's decision point is *after* each computation kernel;
-        # the pre-loop choice covers iteration 0 only.
+        # the pre-loop choice covers iteration 0 only.  A hint of 0
+        # means the loop exits before any kernel launches, so neither
+        # the policy nor its priced overhead region may run.
         hint = spec.first_choose_size(state)
-        if hint is not None:
+        if hint:
             variant = policy.choose(iteration, hint)
-        elif spec.work_remaining(state):
+        elif hint is None and spec.work_remaining(state):
             variant = policy.choose(iteration, spec.work_remaining(state))
         if variant is not None:
             ctx.label = variant.code
@@ -377,10 +415,26 @@ def run_frame(
             entry_bytes=spec.workset_entry_bytes,
         )
 
+        if spec.iteration_h2d_bytes:
+            if hoist_bytes:
+                hoisted_iterations += 1
+            else:
+                timeline.add_transfer(
+                    record_transfer("h2d", spec.iteration_h2d_bytes, device)
+                )
+
+        fusing = plan is not None and plan.fusible
+        if fusing:
+            ctx.collect = []
         outcome = spec.compute(ctx, state, variant, tpb)
+        deferred = ctx.collect
+        ctx.collect = None
         if outcome is None:
             # The step itself detected termination (DOBFS's pull sweep
             # with nothing left to visit): no generation, no readback.
+            if deferred:
+                for dtally, dlabel in deferred:
+                    ctx.price(dtally, dlabel)
             break
 
         # Decide the next iteration's variant now: the generation kernel
@@ -397,10 +451,35 @@ def run_frame(
             ctx.price(tally, label)
 
         gen_count = next_size if outcome.gen_count is None else outcome.gen_count
-        for tally in workset_gen_tallies(
-            n, gen_count, next_variant.workset, device, scheme=queue_gen
+        gen_tallies = workset_gen_tallies(
+            n, gen_count, next_variant.workset, device, scheme=queue_gen,
+            entry_bytes=spec.workset_entry_bytes,
+        )
+        if (
+            deferred is not None
+            and len(deferred) == 1
+            and len(gen_tallies) == 1
+            and (
+                plan.fuse_always
+                or next_variant.workset is WorksetRepr.BITMAP
+            )
         ):
-            ctx.price(tally, label)
+            # One computation kernel, one generation kernel, and the
+            # plan guarantees the representation: merge them into one
+            # fused launch.  The readback below survives — the host
+            # still needs the next size either way.
+            fused = fuse_tallies([deferred[0][0], gen_tallies[0]])
+            ctx.price(fused, label)
+            fusion_stats.fused_iterations += 1
+            fusion_stats.launches_eliminated += 1
+            fusion_stats.overhead_saved_s += device.kernel_launch_overhead_s
+        else:
+            if deferred is not None:
+                fusion_stats.refused_iterations += 1
+                for dtally, dlabel in deferred:
+                    ctx.price(dtally, dlabel)
+            for tally in gen_tallies:
+                ctx.price(tally, label)
         _readback(timeline, device)
 
         record = IterationRecord(
@@ -442,6 +521,28 @@ def run_frame(
     if memory is not None:
         memory.release_workset()
     _final_transfers(work_graph, timeline, device)
+    if fusion_stats is not None:
+        if hoist_bytes:
+            fusion_stats.hoisted_h2d_bytes = hoist_bytes * max(
+                0, hoisted_iterations - 1
+            )
+        if observer is not None:
+            metrics = observer.metrics
+            metrics.counter("fusion.fused_launches").inc(
+                fusion_stats.fused_iterations
+            )
+            metrics.counter("fusion.launches_eliminated").inc(
+                fusion_stats.launches_eliminated
+            )
+            metrics.counter("fusion.overhead_saved_s").inc(
+                fusion_stats.overhead_saved_s
+            )
+            metrics.counter("fusion.hoisted_h2d_bytes").inc(
+                fusion_stats.hoisted_h2d_bytes
+            )
+            metrics.counter("fusion.refused_iterations").inc(
+                fusion_stats.refused_iterations
+            )
     return TraversalResult(
         algorithm=spec.result_algorithm(policy),
         source=source,
@@ -450,4 +551,5 @@ def run_frame(
         timeline=timeline,
         device=device,
         policy_name=policy.name,
+        fusion=fusion_stats,
     )

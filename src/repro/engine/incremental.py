@@ -104,7 +104,9 @@ class IncrementalCcSpec(CcSpec):
         )
 
     def first_choose_size(self, state: FrameState) -> int:
-        return max(1, int(state.frontier.size))
+        # The warm frontier can legitimately be empty (a mutation batch
+        # that moved nothing): 0 must skip the policy entirely.
+        return int(state.frontier.size)
 
 
 class IncrementalBfsSpec(BfsSpec):

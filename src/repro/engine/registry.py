@@ -89,6 +89,7 @@ _BUILTIN_MODULES: Dict[str, str] = {
     "cc": "repro.kernels.cc",
     "kcore": "repro.kernels.kcore",
     "dobfs": "repro.kernels.dobfs",
+    "triangles": "repro.kernels.triangles",
 }
 
 

@@ -121,6 +121,12 @@ class AlgorithmSpec:
     #: recompute after a delta compaction): the initial h2d transfer
     #: ships only the traversal state, never the graph
     graph_resident: bool = False
+    #: loop-invariant per-iteration H2D payload (bytes) the host ships
+    #: before every computation launch (e.g. a chunk-schedule
+    #: descriptor).  The driver prices it each iteration; a fused
+    #: :class:`~repro.engine.fusion.LaunchPlan` hoists it out of the
+    #: loop and ships it once.  0 = no such payload.
+    iteration_h2d_bytes: int = 0
 
     # -- setup ---------------------------------------------------------
 

@@ -9,7 +9,7 @@ re-exports every name, so existing imports keep working.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -57,6 +57,9 @@ class TraversalResult:
     timeline: Timeline
     device: DeviceSpec
     policy_name: str
+    #: :class:`~repro.engine.fusion.FusionStats` when the run executed
+    #: under a fused launch plan (``None`` for ordinary runs)
+    fusion: Optional[object] = None
 
     @property
     def num_iterations(self) -> int:

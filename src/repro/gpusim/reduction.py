@@ -64,13 +64,17 @@ def reduction_tallies(
     threads_per_block: int = 256,
     name: str = "reduce",
     sequential_addressing: bool = True,
+    entry_bytes: int = 4,
 ) -> List[KernelTally]:
     """Tallies of the kernel launches a min-reduction of *n* values costs.
 
     *sequential_addressing* selects the conflict-free shared-memory
     layout (the standard optimized formulation); ``False`` models the
     naive interleaved tree, whose late steps serialize on the banks —
-    exposed for the bank-conflict ablation.
+    exposed for the bank-conflict ablation.  *entry_bytes* is the size
+    of each reduced element's global-memory record (ordered worksets
+    stream 8-byte ``(node, key)`` pairs; plain value reductions read
+    4 B).
     """
     plan = plan_reduction(n, threads_per_block)
     tallies: List[KernelTally] = []
@@ -88,7 +92,7 @@ def reduction_tallies(
             for step in range(steps)
         )
         issue = blocks * warps_per_block * per_warp_cycles
-        mem = np.ceil(elements * 4 / device.transaction_bytes) + blocks
+        mem = np.ceil(elements * entry_bytes / device.transaction_bytes) + blocks
         tallies.append(
             KernelTally(
                 name=f"{name}[{pass_idx}]",

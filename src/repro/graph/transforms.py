@@ -18,6 +18,7 @@ from repro.graph.csr import CSRGraph
 
 __all__ = [
     "symmetrize",
+    "rank_oriented_adjacency",
     "relabel",
     "degree_sort_relabel",
     "induced_subgraph",
@@ -141,3 +142,33 @@ def largest_weakly_connected_subgraph(graph: CSRGraph) -> Tuple[CSRGraph, np.nda
     uniq, counts = np.unique(labels, return_counts=True)
     big = uniq[np.argmax(counts)]
     return induced_subgraph(graph, np.flatnonzero(labels == big))
+
+
+def rank_oriented_adjacency(graph: CSRGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """Degree-rank orientation of an undirected graph, as CSR arrays.
+
+    Every undirected edge ``{u, v}`` is kept once, directed from the
+    lower-ranked endpoint to the higher-ranked one under the total
+    order ``(degree, id)`` — the standard forward orientation for
+    triangle counting: each triangle survives as exactly one wedge
+    ``u -> v, u -> w, v -> w`` pivoted at its lowest-ranked corner, and
+    the heaviest hubs keep the *shortest* adjacency lists.  Returns
+    ``(indptr, indices)`` with each node's neighbor list ascending;
+    duplicate input edges and self-loops are dropped.  The GPU spec and
+    the CPU reference both count through this exact orientation, which
+    is what keeps their per-node counts bit-identical.
+    """
+    n = graph.num_nodes
+    src, dst, _ = edge_arrays(graph)
+    deg = graph.out_degrees.astype(np.int64)
+    keep = (deg[src] < deg[dst]) | ((deg[src] == deg[dst]) & (src < dst))
+    src, dst = src[keep], dst[keep]
+    if src.size:
+        # Dedupe on the (src, dst) pair and sort by (src, dst) so every
+        # per-node neighbor slice comes out ascending.
+        key = src * n + dst
+        key = np.unique(key)
+        src, dst = key // n, key % n
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+    return indptr, dst.astype(np.int64)

@@ -129,7 +129,9 @@ class CcSpec(AlgorithmSpec):
         return f"CC exceeded {cap} iterations (non-convergence)"
 
     def first_choose_size(self, state: FrameState) -> int:
-        return max(1, int(state.values.size))
+        # Every node seeds the first sweep; 0 only for an empty graph,
+        # where the policy must not be consulted at all.
+        return int(state.values.size)
 
     def compute(self, ctx, state, variant, tpb) -> StepOutcome:
         workset = Workset.from_update_ids(state.frontier, variant.workset)
@@ -158,6 +160,7 @@ def traverse_cc(
     resume_from=None,
     fault_hook=None,
     memory=None,
+    fusion=None,
 ) -> TraversalResult:
     """Label-propagation connected components under *policy*.
 
@@ -180,6 +183,7 @@ def traverse_cc(
         resume_from=resume_from,
         fault_hook=fault_hook,
         memory=memory,
+        fusion=fusion,
     )
 
 
@@ -192,6 +196,7 @@ def run_cc(
     max_iterations: Optional[int] = None,
     queue_gen: str = "atomic",
     observe=None,
+    fusion=None,
 ) -> TraversalResult:
     """Run one static connected-components variant.
 
@@ -207,6 +212,7 @@ def run_cc(
             cost_params=cost_params,
             max_iterations=max_iterations,
             queue_gen=queue_gen,
+            fusion=fusion,
         )
 
 

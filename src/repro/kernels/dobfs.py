@@ -258,6 +258,7 @@ def direction_optimizing_bfs(
     fault_hook=None,
     memory=None,
     observe=None,
+    fusion=None,
 ) -> TraversalResult:
     """BFS with Beamer-style push/pull direction switching.
 
@@ -282,6 +283,7 @@ def direction_optimizing_bfs(
             resume_from=resume_from,
             fault_hook=fault_hook,
             memory=memory,
+            fusion=fusion,
         )
 
 

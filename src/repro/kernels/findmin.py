@@ -42,7 +42,17 @@ def findmin_tallies(
     num_nodes: int,
     representation: WorksetRepr,
     device: DeviceSpec,
+    *,
+    entry_bytes: int = 4,
 ) -> List[KernelTally]:
-    """Tallies of the reduction kernels for one findmin."""
+    """Tallies of the reduction kernels for one findmin.
+
+    *entry_bytes* is the stride of each scanned working-set record:
+    ordered queues hold 8-byte ``(node, key)`` pairs (the spec's
+    ``workset_entry_bytes``), so the reduction streams twice the
+    traffic of a plain 4-byte key scan.
+    """
     elements = num_nodes if representation is WorksetRepr.BITMAP else workset_size
-    return reduction_tallies(max(1, elements), device, name="findmin")
+    return reduction_tallies(
+        max(1, elements), device, name="findmin", entry_bytes=entry_bytes
+    )

@@ -240,7 +240,8 @@ class OrderedSsspSpec(SsspSpec):
         # findmin reduction over the working-set keys.
         min_key = findmin(ordered.ws_keys)
         for tally in findmin_tallies(
-            ws_size, ctx.graph.num_nodes, variant.workset, ctx.device
+            ws_size, ctx.graph.num_nodes, variant.workset, ctx.device,
+            entry_bytes=self.workset_entry_bytes,
         ):
             ctx.price(tally)
         if not np.isfinite(min_key):
@@ -282,6 +283,7 @@ def traverse_bfs(
     resume_from: Optional["TraversalCheckpoint"] = None,
     fault_hook=None,
     memory: Optional["MemoryBudget"] = None,
+    fusion=None,
 ) -> TraversalResult:
     """Run BFS from *source* under *policy*; ordered and unordered BFS
     share this level-synchronous frame (their step rule differs).
@@ -310,6 +312,7 @@ def traverse_bfs(
         resume_from=resume_from,
         fault_hook=fault_hook,
         memory=memory,
+        fusion=fusion,
     )
 
 
@@ -327,6 +330,7 @@ def traverse_sssp(
     resume_from: Optional["TraversalCheckpoint"] = None,
     fault_hook=None,
     memory: Optional["MemoryBudget"] = None,
+    fusion=None,
 ) -> TraversalResult:
     """Run SSSP from *source* under *policy*.
 
@@ -364,6 +368,7 @@ def traverse_sssp(
         resume_from=resume_from,
         fault_hook=fault_hook,
         memory=memory,
+        fusion=fusion,
     )
 
 

@@ -154,7 +154,9 @@ class KcoreSpec(AlgorithmSpec):
         return f"k-core exceeded {cap} iterations"
 
     def first_choose_size(self, state: FrameState) -> int:
-        return max(1, int(state.values.size))
+        # Every node enters the k=1 stage; 0 only for an empty graph,
+        # where the policy must not be consulted at all.
+        return int(state.values.size)
 
     def refill(self, ctx: FrameContext, state: FrameState):
         if not state.alive.any():
@@ -209,6 +211,7 @@ def traverse_kcore(
     resume_from=None,
     fault_hook=None,
     memory=None,
+    fusion=None,
 ) -> TraversalResult:
     """k-core decomposition under *policy*; ``result.values`` are the
     per-node core numbers (direction ignored; directed inputs are
@@ -229,6 +232,7 @@ def traverse_kcore(
         resume_from=resume_from,
         fault_hook=fault_hook,
         memory=memory,
+        fusion=fusion,
     )
 
 
@@ -241,6 +245,7 @@ def run_kcore(
     max_iterations: Optional[int] = None,
     queue_gen: str = "atomic",
     observe=None,
+    fusion=None,
 ) -> TraversalResult:
     """Run one static k-core variant.
 
@@ -256,6 +261,7 @@ def run_kcore(
             cost_params=cost_params,
             max_iterations=max_iterations,
             queue_gen=queue_gen,
+            fusion=fusion,
         )
 
 

@@ -104,12 +104,16 @@ def fused_workset_gen_tallies(
     *,
     scheme: str = "atomic",
     name: str = "batch_workset_gen",
+    entry_bytes: int = 4,
 ) -> List[KernelTally]:
     """Tallies of one fused multi-source generation launch.
 
     One thread-mapped sweep over the stacked ``rows x n`` update matrix
     emits every row's next working set (each row's slab feeds its own
     queue counter / bitmap), replacing one generation launch per query.
+    *entry_bytes* is each emitted slot's record size (the spec's
+    ``workset_entry_bytes`` — 4 B for every batchable spec today, but
+    honored here so slab pricing never silently assumes it).
     """
     if not updated_counts:
         return []
@@ -120,6 +124,7 @@ def fused_workset_gen_tallies(
         device,
         scheme=scheme,
         name=name,
+        entry_bytes=entry_bytes,
     )
 
 

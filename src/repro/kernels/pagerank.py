@@ -152,7 +152,9 @@ class PagerankSpec(AlgorithmSpec):
         return f"pagerank exceeded {cap} iterations; lower the tolerance"
 
     def first_choose_size(self, state: FrameState) -> int:
-        return max(1, int(state.frontier.size))
+        # The true initial workset size: 0 (every node already under
+        # tolerance) must skip the policy — the loop exits immediately.
+        return int(state.frontier.size)
 
     def compute(self, ctx, state, variant, tpb) -> StepOutcome:
         workset = Workset.from_update_ids(state.frontier, variant.workset)
@@ -194,6 +196,7 @@ def traverse_pagerank(
     resume_from=None,
     fault_hook=None,
     memory=None,
+    fusion=None,
 ) -> TraversalResult:
     """Push PageRank under *policy*; ``result.values`` are the ranks.
 
@@ -214,6 +217,7 @@ def traverse_pagerank(
         resume_from=resume_from,
         fault_hook=fault_hook,
         memory=memory,
+        fusion=fusion,
     )
 
 
@@ -228,6 +232,7 @@ def run_pagerank(
     max_iterations: Optional[int] = None,
     queue_gen: str = "atomic",
     observe=None,
+    fusion=None,
 ) -> TraversalResult:
     """Run one static PageRank variant.
 
@@ -245,6 +250,7 @@ def run_pagerank(
             cost_params=cost_params,
             max_iterations=max_iterations,
             queue_gen=queue_gen,
+            fusion=fusion,
         )
 
 

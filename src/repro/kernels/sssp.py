@@ -24,6 +24,7 @@ def run_sssp(
     max_iterations: Optional[int] = None,
     queue_gen: str = "atomic",
     observe=None,
+    fusion=None,
 ) -> TraversalResult:
     """Run one static SSSP variant on the simulated device.
 
@@ -43,6 +44,7 @@ def run_sssp(
             cost_params=cost_params,
             max_iterations=max_iterations,
             queue_gen=queue_gen,
+            fusion=fusion,
         )
 
 

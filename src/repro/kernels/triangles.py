@@ -1,0 +1,241 @@
+"""Triangle counting on the GPU frame — the fusion pass's showcase workload.
+
+Exact triangle counting over the degree-rank orientation
+(:func:`repro.graph.transforms.rank_oriented_adjacency`): every
+triangle survives as one wedge ``u -> v, u -> w`` closed by an oriented
+edge ``v -> w`` and is attributed to its lowest-ranked corner, so
+``result.values[u]`` is the number of triangles pivoted at *u* — exact
+integers, identical under every variant and bit-identical to the CPU
+reference (``cpu_exact``).
+
+The step is the classic two-phase shape the spec-fusion pass
+(:mod:`repro.engine.fusion`) exists for: a heavy intersection kernel
+over the scheduled chunk, then a trivial generation kernel that
+materializes the next chunk of the precomputed schedule.  Because the
+schedule is loop-invariant, the per-iteration chunk descriptor the host
+ships before each launch (:attr:`~repro.engine.spec.AlgorithmSpec.\
+iteration_h2d_bytes`) is hoistable, and the generation kernel is always
+a single launch — a fused plan merges every iteration, which is what
+``benchmarks/bench_fusion_savings.py`` measures.
+
+The graph is symmetrized on the host first (triangles live in the
+undirected graph), and the oriented CSR rides the initial transfer as
+an extra H2D payload, like DOBFS's reverse CSR.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.engine.driver import FrameContext, run_frame
+from repro.engine.registry import AlgorithmInfo, register_algorithm
+from repro.engine.spec import AlgorithmSpec, FrameState, StepOutcome
+from repro.engine.types import StaticPolicy, TraversalResult, VariantPolicy
+from repro.errors import KernelError
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import is_symmetric
+from repro.graph.transforms import rank_oriented_adjacency, symmetrize
+from repro.gpusim.device import DeviceSpec, TESLA_C2070
+from repro.gpusim.kernel import CostParams
+from repro.gpusim.transfer import record_transfer
+from repro.kernels import costs
+from repro.kernels.mapping import ComputationShape, computation_tally
+from repro.kernels.variants import Variant
+
+__all__ = ["TrianglesSpec", "traverse_triangles", "run_triangles"]
+
+#: default nodes per scheduled chunk (one frame iteration)
+DEFAULT_CHUNK = 256
+
+
+class TrianglesSpec(AlgorithmSpec):
+    """Chunked rank-oriented triangle counting as an engine spec."""
+
+    name = "triangles"
+    source_based = False
+    checkpointable = False
+    default_variant = "U_T_QU"
+    #: the per-iteration chunk descriptor (bounds + schedule cursor +
+    #: launch params) the host uploads before each computation launch;
+    #: loop-invariant, so a fused plan hoists it
+    iteration_h2d_bytes = 64
+
+    def __init__(self, chunk: int = DEFAULT_CHUNK, assume_symmetric: bool = False):
+        if int(chunk) < 1:
+            raise KernelError(f"chunk must be >= 1, got {chunk}")
+        self.chunk = int(chunk)
+        self.assume_symmetric = bool(assume_symmetric)
+
+    def prepare(self, graph: CSRGraph):
+        if not self.assume_symmetric and not is_symmetric(graph):
+            work_graph = symmetrize(graph)
+            return work_graph, work_graph.num_edges * 12e-9
+        return graph, 0.0
+
+    def extra_transfers(self, ctx: FrameContext) -> None:
+        # The oriented CSR rides the initial transfer; keep it for
+        # init_state so the orientation is built exactly once.
+        indptr, indices = rank_oriented_adjacency(ctx.graph)
+        self._oriented = (indptr, indices)
+        ctx.timeline.add_transfer(
+            record_transfer("h2d", indptr.nbytes + indices.nbytes, ctx.device)
+        )
+
+    def init_state(self, ctx: FrameContext) -> FrameState:
+        n = ctx.graph.num_nodes
+        indptr, indices = self._oriented
+        first = np.arange(min(self.chunk, n), dtype=np.int64)
+        return FrameState(
+            np.zeros(n, dtype=np.int64),
+            first,
+            tri_indptr=indptr,
+            tri_indices=indices,
+            cursor=int(first.size),
+        )
+
+    def default_cap(self, graph: CSRGraph) -> int:
+        return -(-graph.num_nodes // self.chunk) + 2
+
+    def cap_message(self, cap: int) -> str:
+        return f"triangle counting exceeded {cap} iterations (schedule bug)"
+
+    def compute(self, ctx, state, variant, tpb) -> StepOutcome:
+        indptr, indices = state.tri_indptr, state.tri_indices
+        chunk_nodes = state.frontier
+        n = ctx.graph.num_nodes
+        work_units = np.zeros(chunk_nodes.size, dtype=np.int64)
+        triangles = 0
+        comparisons = 0
+        for i, u in enumerate(chunk_nodes):
+            nbrs = indices[indptr[u] : indptr[u + 1]]
+            work = int(nbrs.size)
+            found = 0
+            for v in nbrs:
+                closing = indices[indptr[v] : indptr[v + 1]]
+                # Merge-path intersection: scan both sorted lists once.
+                work += int(nbrs.size + closing.size)
+                if closing.size:
+                    found += int(
+                        np.intersect1d(nbrs, closing, assume_unique=True).size
+                    )
+            state.values[u] = found
+            triangles += found
+            work_units[i] = work
+            comparisons += work
+        next_chunk = np.arange(
+            state.cursor, min(state.cursor + self.chunk, n), dtype=np.int64
+        )
+        state.cursor += int(next_chunk.size)
+        shape = ComputationShape(
+            name="triangles_comp",
+            num_nodes=n,
+            active_ids=chunk_nodes,
+            degrees=work_units,
+            edge_cost=costs.C_CHECK,
+            improved=triangles,
+            updated_count=int(next_chunk.size),
+        )
+        ctx.price(
+            computation_tally(shape, variant.mapping, variant.workset, tpb, ctx.device)
+        )
+        return StepOutcome(
+            next_frontier=next_chunk,
+            updated_count=int(next_chunk.size),
+            processed=int(chunk_nodes.size),
+            edges_scanned=comparisons,
+            improved_relaxations=triangles,
+        )
+
+
+def traverse_triangles(
+    graph: CSRGraph,
+    policy: VariantPolicy,
+    *,
+    chunk: int = DEFAULT_CHUNK,
+    assume_symmetric: bool = False,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    queue_gen: str = "atomic",
+    watchdog=None,
+    checkpoint_keeper=None,
+    resume_from=None,
+    fault_hook=None,
+    memory=None,
+    fusion=None,
+) -> TraversalResult:
+    """Count triangles under *policy*; ``result.values`` are the per-node
+    pivot counts (``values.sum()`` is the triangle total).  *chunk* sets
+    the scheduled nodes per iteration; the reliability keywords raise
+    (the spec is not checkpointable), *memory* and *fusion* are engine
+    pass-throughs as in :func:`~repro.kernels.frame.traverse_bfs`."""
+    return run_frame(
+        graph,
+        -1,
+        policy,
+        TrianglesSpec(chunk=chunk, assume_symmetric=assume_symmetric),
+        device=device,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
+        queue_gen=queue_gen,
+        watchdog=watchdog,
+        checkpoint_keeper=checkpoint_keeper,
+        resume_from=resume_from,
+        fault_hook=fault_hook,
+        memory=memory,
+        fusion=fusion,
+    )
+
+
+def run_triangles(
+    graph: CSRGraph,
+    variant: Union[Variant, str] = "U_T_QU",
+    *,
+    chunk: int = DEFAULT_CHUNK,
+    assume_symmetric: bool = False,
+    device: DeviceSpec = TESLA_C2070,
+    cost_params: Optional[CostParams] = None,
+    max_iterations: Optional[int] = None,
+    queue_gen: str = "atomic",
+    fusion=None,
+) -> TraversalResult:
+    """One static variant of triangle counting (see
+    :func:`traverse_triangles`)."""
+    if isinstance(variant, str):
+        variant = Variant.parse(variant)
+    return traverse_triangles(
+        graph,
+        StaticPolicy(variant),
+        chunk=chunk,
+        assume_symmetric=assume_symmetric,
+        device=device,
+        cost_params=cost_params,
+        max_iterations=max_iterations,
+        queue_gen=queue_gen,
+        fusion=fusion,
+    )
+
+
+def _cpu_triangles_reference(graph, source, **params):
+    from repro.cpu import cpu_triangles
+
+    result = cpu_triangles(graph)
+    return result.counts, result
+
+
+register_algorithm(
+    AlgorithmInfo(
+        name="triangles",
+        summary="exact rank-oriented triangle counting (chunked schedule)",
+        make_spec=TrianglesSpec,
+        traverse=lambda graph, source, policy, **kw: traverse_triangles(
+            graph, policy, **kw
+        ),
+        cpu_run=_cpu_triangles_reference,
+        source_based=False,
+        checkpointable=False,
+        param_names=("chunk", "assume_symmetric"),
+    )
+)

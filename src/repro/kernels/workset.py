@@ -103,6 +103,7 @@ def workset_gen_tallies(
     use_scan: bool = False,
     scheme: str = "atomic",
     name: str = "workset_gen",
+    entry_bytes: int = 4,
 ) -> List[KernelTally]:
     """Tallies of the generation kernel(s) for one iteration.
 
@@ -116,6 +117,11 @@ def workset_gen_tallies(
     indices; extra kernels, no atomics), or ``"hierarchical"``
     (per-block shared-memory queues with one global atomic per block).
     ``use_scan=True`` is a shorthand for ``scheme="scan"``.
+
+    *entry_bytes* is the size of each emitted queue slot: 4 B for plain
+    node ids, 8 B for an ordered frame's ``(node, key)`` pairs (the
+    spec's ``workset_entry_bytes``).  Bitmap generation is unaffected —
+    it writes one bit per node regardless of the entry record.
     """
     if updated_count > num_nodes:
         raise WorksetError(
@@ -151,7 +157,7 @@ def workset_gen_tallies(
         # Bitmap written coalesced alongside the scan.
         mem += np.ceil(n / tb)
     elif scheme == "scan":
-        mem += u * 4 / 32
+        mem += u * entry_bytes / 32
         tallies.extend(scan_tallies(n, device, name=f"{name}:scan"))
     elif scheme == "hierarchical":
         # Shared-memory staging: u cheap shared atomics (folded into the
@@ -159,11 +165,11 @@ def workset_gen_tallies(
         # copy-out of each block's chunk.
         issue += u * _SHARED_ATOMIC_CYCLES
         atomics_same = float(launch.grid_blocks)
-        mem += np.ceil(u * 4 / tb)  # coalesced chunk copy-out
+        mem += np.ceil(u * entry_bytes / tb)  # coalesced chunk copy-out
     else:
         # Queue writes: set threads are sparse within their warps, so slot
         # stores quarter-coalesce.
-        mem += u * 4 / 32
+        mem += u * entry_bytes / 32
         atomics_same = float(u)
 
     tallies.append(

@@ -36,6 +36,8 @@ import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
+import numpy as np
+
 from repro.graph.csr import CSRGraph
 
 __all__ = [
@@ -186,6 +188,16 @@ def _config_dict(config) -> dict:
 
 def _result_summary(traversal, values) -> dict:
     summary = {}
+    answer = values
+    if answer is None and traversal is not None:
+        answer = getattr(traversal, "values", None)
+    if answer is not None:
+        # Content digest of the answer array: lets two manifests (e.g. a
+        # fused and an unfused run) assert value parity without shipping
+        # the arrays themselves.
+        summary["values_sha256"] = hashlib.sha256(
+            np.ascontiguousarray(answer).tobytes()
+        ).hexdigest()
     if traversal is not None and getattr(traversal, "timeline", None) is not None:
         timeline = traversal.timeline
         summary.update(

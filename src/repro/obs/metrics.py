@@ -128,6 +128,21 @@ METRICS_CATALOG: Tuple[MetricSpec, ...] = (
                "repro.engine.batch",
                "rows ejected from the fused frame by per-row faults or "
                "admission deadlines"),
+    MetricSpec("fusion.fused_launches", "counter", "launches",
+               "repro.engine.fusion",
+               "computation+generation kernel pairs merged into one launch"),
+    MetricSpec("fusion.launches_eliminated", "counter", "launches",
+               "repro.engine.fusion",
+               "kernel launches eliminated by the spec-fusion pass"),
+    MetricSpec("fusion.overhead_saved_s", "counter", "seconds",
+               "repro.engine.fusion",
+               "simulated launch-overhead seconds the fused plan avoided"),
+    MetricSpec("fusion.hoisted_h2d_bytes", "counter", "bytes",
+               "repro.engine.fusion",
+               "loop-invariant H2D payload bytes hoisted out of the host loop"),
+    MetricSpec("fusion.refused_iterations", "counter", "iterations",
+               "repro.engine.fusion",
+               "iterations a fused plan fell back to separate launches"),
     MetricSpec("serve.cache.hits", "counter", "lookups",
                "repro.serve.session", "session-cache digest hits"),
     MetricSpec("serve.cache.misses", "counter", "lookups",

@@ -39,6 +39,7 @@ LINKED_DOCS = (
     "docs/adaptive-runtime.md",
     "docs/dynamic.md",
     "docs/engine.md",
+    "docs/fusion.md",
     "docs/learned-policy.md",
     "docs/memory.md",
     "docs/observability.md",

@@ -39,8 +39,10 @@ from repro import (  # noqa: E402
     run_pagerank,
     run_sssp,
 )
+from repro.core import adaptive_run  # noqa: E402
 from repro.graph.datasets import make_dataset  # noqa: E402
 from repro.kernels.dobfs import direction_optimizing_bfs  # noqa: E402
+from repro.kernels.triangles import run_triangles, traverse_triangles  # noqa: E402
 from repro.reliability import FaultPlan, GuardConfig  # noqa: E402
 
 FIXTURE_PATH = os.path.join(
@@ -73,6 +75,28 @@ def _records(result) -> list:
         ]
         for r in result.iterations
     ]
+
+
+def _fused_parity(unfused, fused) -> dict:
+    """Golden record that a fused run matched its unfused twin: the
+    shared value digest, both decision traces (iteration records minus
+    the seconds column, which fusion is *allowed* to change), and the
+    fused run's own times and fusion counters."""
+    assert _digest(unfused.values) == _digest(fused.values)
+    stats = fused.fusion
+    return {
+        "values_sha256": _digest(fused.values),
+        "decisions": [r[:-1] for r in _records(fused)],
+        "decisions_match_unfused": (
+            [r[:-1] for r in _records(fused)] == [r[:-1] for r in _records(unfused)]
+        ),
+        "fused_iterations": stats.fused_iterations,
+        "refused_iterations": stats.refused_iterations,
+        "hoisted_h2d_bytes": stats.hoisted_h2d_bytes,
+        "overhead_saved_s": float(stats.overhead_saved_s).hex(),
+        "total_seconds": float(fused.total_seconds).hex(),
+        "unfused_total_seconds": float(unfused.total_seconds).hex(),
+    }
 
 
 def _traversal(result) -> dict:
@@ -120,6 +144,41 @@ def build() -> dict:
         runs["run_cc"] = _traversal(run_cc(graph))
         runs["run_kcore"] = _traversal(run_kcore(graph))
         runs["dobfs"] = _traversal(direction_optimizing_bfs(graph, source))
+        runs["run_triangles"] = _traversal(run_triangles(graph))
+        runs["adaptive_triangles"] = _traversal(
+            adaptive_run(graph, "triangles", -1).traversal
+        )
+
+        # Fused-vs-unfused parity: every registry algorithm through the
+        # spec-fusion pass, static (fuse-always) and adaptive
+        # (bitmap-only) plans alike, pinned against its unfused twin.
+        fused = {}
+        fused["static_bfs_U_T_BM"] = _fused_parity(
+            run_bfs(graph, source, "U_T_BM"),
+            run_bfs(graph, source, "U_T_BM", fusion=True),
+        )
+        fused["static_bfs_U_B_QU"] = _fused_parity(
+            run_bfs(graph, source, "U_B_QU"),
+            run_bfs(graph, source, "U_B_QU", fusion=True),
+        )
+        fused["static_sssp_O_T_QU"] = _fused_parity(
+            run_sssp(graph, source, "O_T_QU"),
+            run_sssp(graph, source, "O_T_QU", fusion=True),
+        )
+        for algo in ("bfs", "sssp", "cc", "pagerank", "kcore", "triangles"):
+            src = source if algo in ("bfs", "sssp") else -1
+            fused[f"adaptive_{algo}"] = _fused_parity(
+                adaptive_run(graph, algo, src).traversal,
+                adaptive_run(graph, algo, src, fuse=True).traversal,
+            )
+        fused["dobfs"] = _fused_parity(
+            direction_optimizing_bfs(graph, source),
+            direction_optimizing_bfs(graph, source, fusion=True),
+        )
+        fused["static_triangles_U_T_QU"] = _fused_parity(
+            run_triangles(graph), run_triangles(graph, fusion=True)
+        )
+        entry["fused_parity"] = fused
 
         plan = FaultPlan(seed=13, memory_fault_rate=0.25, max_faults=2)
         res = resilient_bfs(
